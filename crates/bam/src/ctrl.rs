@@ -1,0 +1,479 @@
+//! The BaM-style synchronous controller.
+//!
+//! `BamCtrl` exposes the synchronous access model: a warp asks for pages
+//! through [`BamCtrl::read_warp_sync`]; misses are turned into NVMe commands
+//! on the spot, and the warp must then drive [`BamCtrl::poll_once`] until its
+//! data is resident — there is no background service, so user threads both
+//! issue and complete every command. The cache and queue structures are the
+//! same ones AGILE uses; what differs is who does the completion work and
+//! what each call costs (the `bam_*` cost constants model BaM's lock-held
+//! critical sections).
+
+use agile_cache::{CacheConfig, CacheLookup, ClockPolicy, SoftwareCache};
+use agile_core::sq_protocol::AgileSq;
+use agile_core::transaction::{Barrier, Transaction};
+use agile_core::coalesce::coalesce_warp;
+use agile_sim::costs::CostModel;
+use agile_sim::Cycles;
+use nvme_sim::{DmaHandle, Lba, NvmeCommand, PageToken, QueuePair};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// BaM system configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BamConfig {
+    /// I/O queue pairs per SSD.
+    pub queue_pairs_per_ssd: usize,
+    /// Queue depth.
+    pub queue_depth: u32,
+    /// Software cache capacity in bytes (clock policy, fixed).
+    pub cache_bytes: u64,
+    /// Shared cost model.
+    pub costs: CostModel,
+}
+
+impl BamConfig {
+    /// Match the paper's default evaluation setup (128 QPs × 256, 2 GiB cache).
+    pub fn paper_default() -> Self {
+        BamConfig {
+            queue_pairs_per_ssd: 128,
+            queue_depth: 256,
+            cache_bytes: 2 * agile_sim::units::GIB,
+            costs: CostModel::default(),
+        }
+    }
+
+    /// A small test configuration.
+    pub fn small_test() -> Self {
+        BamConfig {
+            queue_pairs_per_ssd: 4,
+            queue_depth: 64,
+            cache_bytes: 4 * agile_sim::units::MIB,
+            costs: CostModel::default(),
+        }
+    }
+
+    /// Override queue pair count.
+    pub fn with_queue_pairs(mut self, qps: usize) -> Self {
+        self.queue_pairs_per_ssd = qps;
+        self
+    }
+
+    /// Override queue depth.
+    pub fn with_queue_depth(mut self, depth: u32) -> Self {
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Override cache capacity.
+    pub fn with_cache_bytes(mut self, bytes: u64) -> Self {
+        self.cache_bytes = bytes;
+        self
+    }
+}
+
+/// Counters kept by the BaM controller.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BamStats {
+    /// Synchronous warp reads.
+    pub read_calls: u64,
+    /// Cache hits.
+    pub cache_hits: u64,
+    /// Cache misses that issued commands.
+    pub cache_misses: u64,
+    /// Requests coalesced onto in-flight fills.
+    pub cache_coalesced: u64,
+    /// CQ polling iterations executed by user threads.
+    pub poll_iterations: u64,
+    /// Completions processed by user threads.
+    pub completions: u64,
+    /// Times every targeted SQ was full.
+    pub sq_full_retries: u64,
+    /// Cycles charged for cache work.
+    pub cache_cycles: u64,
+    /// Cycles charged for issue + polling work.
+    pub io_cycles: u64,
+}
+
+#[derive(Default)]
+struct StatCells {
+    read_calls: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_coalesced: AtomicU64,
+    poll_iterations: AtomicU64,
+    completions: AtomicU64,
+    sq_full_retries: AtomicU64,
+    cache_cycles: AtomicU64,
+    io_cycles: AtomicU64,
+}
+
+struct CqCursor {
+    window_start: u32,
+    phase: bool,
+}
+
+/// The synchronous BaM controller.
+pub struct BamCtrl {
+    cfg: BamConfig,
+    cache: SoftwareCache,
+    /// Per device, per queue pair.
+    queues: Vec<Vec<Arc<AgileSq>>>,
+    cq_cursors: Vec<Vec<Mutex<CqCursor>>>,
+    stats: StatCells,
+}
+
+impl BamCtrl {
+    /// Build the controller over the registered queue pairs.
+    pub fn new(cfg: BamConfig, device_queues: Vec<Vec<Arc<QueuePair>>>) -> Self {
+        let cache = SoftwareCache::new(
+            CacheConfig::with_capacity(cfg.cache_bytes),
+            Box::new(ClockPolicy::new()),
+        );
+        let queues: Vec<Vec<Arc<AgileSq>>> = device_queues
+            .into_iter()
+            .map(|qps| qps.into_iter().map(|qp| Arc::new(AgileSq::new(qp))).collect())
+            .collect();
+        let cq_cursors = queues
+            .iter()
+            .map(|qs| {
+                qs.iter()
+                    .map(|_| {
+                        Mutex::new(CqCursor {
+                            window_start: 0,
+                            phase: true,
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
+        BamCtrl {
+            cfg,
+            cache,
+            queues,
+            cq_cursors,
+            stats: StatCells::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &BamConfig {
+        &self.cfg
+    }
+
+    /// The (clock-managed) software cache.
+    pub fn cache(&self) -> &SoftwareCache {
+        &self.cache
+    }
+
+    /// Number of devices.
+    pub fn device_count(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> BamStats {
+        let s = &self.stats;
+        BamStats {
+            read_calls: s.read_calls.load(Ordering::Relaxed),
+            cache_hits: s.cache_hits.load(Ordering::Relaxed),
+            cache_misses: s.cache_misses.load(Ordering::Relaxed),
+            cache_coalesced: s.cache_coalesced.load(Ordering::Relaxed),
+            poll_iterations: s.poll_iterations.load(Ordering::Relaxed),
+            completions: s.completions.load(Ordering::Relaxed),
+            sq_full_retries: s.sq_full_retries.load(Ordering::Relaxed),
+            cache_cycles: s.cache_cycles.load(Ordering::Relaxed),
+            io_cycles: s.io_cycles.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The queues of device `dev` (tests, deadlock demo).
+    pub fn device_queues(&self, dev: usize) -> &[Arc<AgileSq>] {
+        &self.queues[dev]
+    }
+
+    fn issue(
+        &self,
+        dev: usize,
+        warp: u64,
+        build: impl Fn(u16) -> NvmeCommand,
+        txn: Transaction,
+        now: Cycles,
+    ) -> (Cycles, bool) {
+        let api = &self.cfg.costs.api;
+        let gpu = &self.cfg.costs.gpu;
+        let sqs = &self.queues[dev];
+        let n = sqs.len();
+        let start = (warp as usize) % n;
+        let mut cost = Cycles(api.bam_issue);
+        for attempt in 0..n {
+            let sq = &sqs[(start + attempt) % n];
+            match sq.try_issue(&build, txn.clone(), now) {
+                Some(receipt) => {
+                    if receipt.rang_doorbell {
+                        cost += Cycles(gpu.doorbell_write);
+                    }
+                    cost += Cycles(gpu.poll_iteration) * (receipt.attempts.saturating_sub(1)) as u64;
+                    self.stats.io_cycles.fetch_add(cost.raw(), Ordering::Relaxed);
+                    return (cost, true);
+                }
+                None => cost += Cycles(gpu.poll_iteration),
+            }
+        }
+        self.stats.sq_full_retries.fetch_add(1, Ordering::Relaxed);
+        self.stats.io_cycles.fetch_add(cost.raw(), Ordering::Relaxed);
+        (cost, false)
+    }
+
+    /// Synchronous warp read: on a full hit returns the tokens; otherwise
+    /// issues the missing fills and reports `Pending` — the warp must then
+    /// call [`BamCtrl::poll_once`] until the data lands and retry.
+    pub fn read_warp_sync(
+        &self,
+        warp: u64,
+        requests: &[(u32, Lba)],
+        now: Cycles,
+    ) -> (Cycles, Option<Vec<PageToken>>) {
+        self.stats.read_calls.fetch_add(1, Ordering::Relaxed);
+        let api = &self.cfg.costs.api;
+        let gpu = &self.cfg.costs.gpu;
+        let coalesced = coalesce_warp(requests);
+        let mut cost = Cycles(gpu.warp_primitive);
+        let mut tokens: Vec<Option<PageToken>> = vec![None; coalesced.unique.len()];
+        let mut all_ready = true;
+
+        for (uidx, &(dev, lba)) in coalesced.unique.iter().enumerate() {
+            match self.cache.lookup_or_reserve(dev, lba) {
+                CacheLookup::Hit { line, token } => {
+                    cost += Cycles(api.bam_cache_hit);
+                    self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    tokens[uidx] = Some(token);
+                    self.cache.unpin(line);
+                }
+                CacheLookup::Busy { .. } => {
+                    cost += Cycles(api.bam_cache_hit);
+                    self.stats.cache_coalesced.fetch_add(1, Ordering::Relaxed);
+                    all_ready = false;
+                }
+                CacheLookup::Miss {
+                    line,
+                    dma,
+                    writeback,
+                } => {
+                    cost += Cycles(api.bam_cache_miss);
+                    self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+                    all_ready = false;
+                    if let Some((wb_dev, wb_lba, wb_token)) = writeback {
+                        let snapshot = DmaHandle::with_token(wb_token);
+                        let (wb_cost, ok) = self.issue(
+                            wb_dev as usize,
+                            warp,
+                            |cid| NvmeCommand::write(cid, wb_lba, snapshot.clone()),
+                            Transaction::WriteBack,
+                            now,
+                        );
+                        cost += wb_cost;
+                        if !ok {
+                            self.cache.abort_fill(line);
+                            continue;
+                        }
+                    }
+                    let (io_cost, ok) = self.issue(
+                        dev as usize,
+                        warp,
+                        |cid| NvmeCommand::read(cid, lba, dma.clone()),
+                        Transaction::CacheFill { line },
+                        now,
+                    );
+                    cost += io_cost;
+                    if !ok {
+                        self.cache.abort_fill(line);
+                    }
+                }
+                CacheLookup::NoLineAvailable => {
+                    cost += Cycles(api.bam_cache_miss);
+                    all_ready = false;
+                }
+            }
+        }
+        self.stats.cache_cycles.fetch_add(cost.raw(), Ordering::Relaxed);
+        if all_ready {
+            let per_lane = coalesced
+                .lane_to_unique
+                .iter()
+                .map(|&u| tokens[u].expect("ready"))
+                .collect();
+            (cost, Some(per_lane))
+        } else {
+            (cost, None)
+        }
+    }
+
+    /// One CQ polling pass executed by a *user* thread (there is no service in
+    /// BaM). The thread polls the CQ paired with its home SQ and processes any
+    /// completions it finds (releasing SQEs, finishing cache fills), then
+    /// advances the shared cursor. Returns the cycles spent and the number of
+    /// completions processed.
+    pub fn poll_once(&self, warp: u64, dev: usize) -> (Cycles, u32) {
+        let api = &self.cfg.costs.api;
+        let qidx = (warp as usize) % self.queues[dev].len();
+        let sq = &self.queues[dev][qidx];
+        let cq = &sq.queue_pair().cq;
+        let depth = cq.depth();
+        let mut cursor = self.cq_cursors[dev][qidx].lock();
+        self.stats.poll_iterations.fetch_add(1, Ordering::Relaxed);
+        let mut processed = 0u32;
+        // A synchronous thread scans forward from the cursor, consuming every
+        // completion that has landed.
+        loop {
+            let idx = cursor.window_start % depth;
+            let Some(cqe) = cq.poll_slot(idx, cursor.phase) else {
+                break;
+            };
+            let txn = sq
+                .transactions()
+                .take(cqe.cid)
+                .expect("completion without transaction");
+            sq.release(cqe.cid);
+            match txn {
+                Transaction::CacheFill { line } => {
+                    self.cache.complete_fill(line);
+                    self.cache.unpin(line);
+                }
+                Transaction::WriteBack => {}
+                Transaction::UserRead { barrier, shared } => {
+                    barrier.complete();
+                    if let Some(s) = shared {
+                        s.mark_ready();
+                    }
+                }
+                Transaction::UserWrite { barrier } | Transaction::Raw { barrier, .. } => {
+                    barrier.complete()
+                }
+            }
+            cq.consume(1);
+            processed += 1;
+            cursor.window_start = (cursor.window_start + 1) % depth;
+            if cursor.window_start == 0 {
+                cursor.phase = !cursor.phase;
+            }
+        }
+        self.stats
+            .completions
+            .fetch_add(processed as u64, Ordering::Relaxed);
+        let cost = Cycles(api.bam_cq_poll) + Cycles(api.bam_cq_poll) * processed as u64;
+        self.stats.io_cycles.fetch_add(cost.raw(), Ordering::Relaxed);
+        (cost, processed)
+    }
+
+    /// Issue a raw (cache-bypassing) read; the caller polls until `barrier`
+    /// completes. Used by micro-benchmarks comparing raw sync I/O.
+    pub fn raw_read(
+        &self,
+        warp: u64,
+        dev: u32,
+        lba: Lba,
+        dma: DmaHandle,
+        barrier: Barrier,
+        now: Cycles,
+    ) -> (Cycles, bool) {
+        self.issue(
+            dev as usize,
+            warp,
+            |cid| NvmeCommand::read(cid, lba, dma.clone()),
+            Transaction::Raw { barrier, lba },
+            now,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvme_sim::{MemBacking, SsdConfig, SsdDevice};
+
+    fn rig(qps: usize, depth: u32) -> (BamCtrl, SsdDevice) {
+        let mut dev = SsdDevice::new(
+            SsdConfig::new(0).with_capacity_pages(1 << 20),
+            Arc::new(MemBacking::new(0)),
+        );
+        let queues: Vec<Arc<QueuePair>> = (0..qps)
+            .map(|q| {
+                let qp = QueuePair::new(q as u16, depth);
+                dev.register_queue_pair(Arc::clone(&qp));
+                qp
+            })
+            .collect();
+        let ctrl = BamCtrl::new(
+            BamConfig::small_test().with_queue_pairs(qps).with_queue_depth(depth),
+            vec![queues],
+        );
+        (ctrl, dev)
+    }
+
+    #[test]
+    fn sync_read_miss_then_poll_then_hit() {
+        let (ctrl, mut dev) = rig(2, 64);
+        let reqs = vec![(0u32, 5u64), (0, 6)];
+        let (_, ready) = ctrl.read_warp_sync(0, &reqs, Cycles(0));
+        assert!(ready.is_none(), "first access must miss");
+        // The user thread itself drives the completion path.
+        let mut now = Cycles(0);
+        let mut done = false;
+        for _ in 0..10_000 {
+            now += Cycles(2_000);
+            dev.advance_to(now);
+            let _ = ctrl.poll_once(0, 0);
+            let (_, ready) = ctrl.read_warp_sync(0, &reqs, now);
+            if let Some(tokens) = ready {
+                assert_eq!(tokens.len(), 2);
+                assert_eq!(tokens[0], PageToken::pristine(0, 5));
+                done = true;
+                break;
+            }
+        }
+        assert!(done, "data never arrived");
+        let s = ctrl.stats();
+        assert_eq!(s.cache_misses, 2);
+        assert!(s.poll_iterations > 0);
+        assert_eq!(s.completions, 2);
+        assert_eq!(ctrl.cache().total_pins(), 0);
+    }
+
+    #[test]
+    fn bam_costs_exceed_agile_costs_per_call() {
+        // The per-call constants that drive Figure 11's API-overhead gap.
+        let costs = CostModel::default();
+        assert!(costs.api.bam_cache_hit > costs.api.agile_cache_hit);
+        assert!(costs.api.bam_issue > costs.api.agile_issue);
+    }
+
+    #[test]
+    fn poll_once_round_robins_by_warp_index() {
+        let (ctrl, _dev) = rig(4, 64);
+        // Different warps map to different queue pairs.
+        let (c0, _) = ctrl.poll_once(0, 0);
+        let (c1, _) = ctrl.poll_once(1, 0);
+        assert_eq!(c0, c1, "empty polls cost the same regardless of queue");
+        assert_eq!(ctrl.stats().poll_iterations, 2);
+    }
+
+    #[test]
+    fn raw_read_completes_via_user_polling() {
+        let (ctrl, mut dev) = rig(1, 32);
+        let barrier = Barrier::new();
+        let dma = DmaHandle::new();
+        let (_, ok) = ctrl.raw_read(0, 0, 77, dma.clone(), barrier.clone(), Cycles(0));
+        assert!(ok);
+        let mut now = Cycles(0);
+        while !barrier.is_complete() {
+            now += Cycles(2_000);
+            dev.advance_to(now);
+            let _ = ctrl.poll_once(0, 0);
+            assert!(now.raw() < 10_000_000, "raw read never completed");
+        }
+        assert_eq!(dma.load(), PageToken::pristine(0, 77));
+    }
+}

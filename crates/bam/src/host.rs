@@ -1,0 +1,151 @@
+//! Host-side setup for the BaM baseline.
+//!
+//! Mirrors [`agile_core::host::AgileHost`] minus the AGILE service: BaM has
+//! no background kernel, so `start()` only creates the GPU engine and bridges
+//! the SSD array into it. Keeping the two hosts shape-compatible lets the
+//! benchmark harness swap systems with one line.
+
+use crate::ctrl::{BamConfig, BamCtrl};
+use agile_core::host::SsdBridge;
+use agile_sim::Cycles;
+use gpu_sim::{Engine, ExecutionReport, GpuConfig, KernelFactory, LaunchConfig};
+use nvme_sim::{MemBacking, PageBacking, QueuePair, SsdArray, SsdConfig};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Host-side owner of the BaM testbed.
+pub struct BamHost {
+    gpu: GpuConfig,
+    config: BamConfig,
+    pending_devices: Vec<(SsdConfig, Arc<dyn PageBacking>)>,
+    array: Option<Arc<Mutex<SsdArray>>>,
+    ctrl: Option<Arc<BamCtrl>>,
+    engine: Option<Engine>,
+}
+
+impl BamHost {
+    /// Create a host for the given GPU and BaM configuration.
+    pub fn new(gpu: GpuConfig, config: BamConfig) -> Self {
+        BamHost {
+            gpu,
+            config,
+            pending_devices: Vec::new(),
+            array: None,
+            ctrl: None,
+            engine: None,
+        }
+    }
+
+    /// Register an SSD with a default in-memory backing.
+    pub fn add_nvme_dev(&mut self, namespace_pages: u64) -> usize {
+        let id = self.pending_devices.len() as u32;
+        self.add_nvme_dev_with_backing(namespace_pages, Arc::new(MemBacking::new(id)))
+    }
+
+    /// Register an SSD with a caller-supplied backing.
+    pub fn add_nvme_dev_with_backing(
+        &mut self,
+        namespace_pages: u64,
+        backing: Arc<dyn PageBacking>,
+    ) -> usize {
+        assert!(self.array.is_none(), "add devices before init_nvme");
+        let id = self.pending_devices.len() as u32;
+        let cfg = SsdConfig {
+            id,
+            costs: self.config.costs.ssd.clone(),
+            namespace_pages,
+            clock_ghz: self.gpu.clock_ghz,
+        };
+        self.pending_devices.push((cfg, backing));
+        id as usize
+    }
+
+    /// Build the SSD array and the BaM controller.
+    pub fn init_nvme(&mut self) {
+        assert!(!self.pending_devices.is_empty(), "no NVMe devices added");
+        let mut array = SsdArray::from_parts(std::mem::take(&mut self.pending_devices));
+        let mut per_device_queues: Vec<Vec<Arc<QueuePair>>> = Vec::new();
+        for dev in 0..array.len() {
+            let mut qps = Vec::new();
+            for q in 0..self.config.queue_pairs_per_ssd {
+                let qp = QueuePair::new(q as u16, self.config.queue_depth);
+                array.device_mut(dev).register_queue_pair(Arc::clone(&qp));
+                qps.push(qp);
+            }
+            per_device_queues.push(qps);
+        }
+        self.array = Some(Arc::new(Mutex::new(array)));
+        self.ctrl = Some(Arc::new(BamCtrl::new(
+            self.config.clone(),
+            per_device_queues,
+        )));
+    }
+
+    /// The controller.
+    pub fn ctrl(&self) -> Arc<BamCtrl> {
+        Arc::clone(self.ctrl.as_ref().expect("init_nvme not called"))
+    }
+
+    /// The shared SSD array.
+    pub fn ssd_array(&self) -> Arc<Mutex<SsdArray>> {
+        Arc::clone(self.array.as_ref().expect("init_nvme not called"))
+    }
+
+    /// The backing of device `dev` (for dataset setup).
+    pub fn backing(&self, dev: usize) -> Arc<dyn PageBacking> {
+        Arc::clone(self.ssd_array().lock().device(dev).backing())
+    }
+
+    /// Create the GPU engine and attach the SSD bridge (no service to launch).
+    pub fn start(&mut self) {
+        assert!(self.ctrl.is_some(), "init_nvme must run before start");
+        let mut engine = Engine::new(self.gpu.clone());
+        engine.add_device(Box::new(SsdBridge::new(self.ssd_array())));
+        self.engine = Some(engine);
+    }
+
+    /// Launch a user kernel and run to completion.
+    pub fn run_kernel(
+        &mut self,
+        launch: LaunchConfig,
+        factory: Box<dyn KernelFactory>,
+    ) -> ExecutionReport {
+        let engine = self.engine.as_mut().expect("start not called");
+        engine.launch(launch, factory);
+        engine.run()
+    }
+
+    /// Mutable engine access (deadlock-window tuning in tests).
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        self.engine.as_mut().expect("start not called")
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Cycles {
+        self.engine.as_ref().map(|e| e.now()).unwrap_or(Cycles::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::SyncReadComputeKernel;
+
+    #[test]
+    fn bam_host_runs_a_sync_kernel() {
+        let mut host = BamHost::new(GpuConfig::tiny(4), BamConfig::small_test());
+        host.add_nvme_dev(1 << 16);
+        host.init_nvme();
+        host.start();
+        let ctrl = host.ctrl();
+        let report = host.run_kernel(
+            LaunchConfig::new(2, 64).with_registers(56),
+            Box::new(SyncReadComputeKernel::new(Arc::clone(&ctrl), 3, 2_000, 50_000)),
+        );
+        assert!(!report.deadlocked);
+        let s = ctrl.stats();
+        assert!(s.read_calls > 0);
+        assert!(s.completions > 0, "user threads processed completions");
+        assert!(host.ssd_array().lock().total_bytes_read() > 0);
+    }
+}

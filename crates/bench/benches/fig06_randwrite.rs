@@ -1,0 +1,31 @@
+//! Figure 6: AGILE 4 KiB random-write bandwidth on 1–3 SSDs.
+
+use agile_bench::{fmt_gbps, print_header, print_row, quick_mode};
+use agile_workloads::experiments::fig05_06::{paper_request_counts, run_bandwidth_sweep};
+use agile_workloads::randio::IoDirection;
+
+fn main() {
+    print_header("Figure 6", "AGILE 4KB random write on multiple SSDs");
+    let max = if quick_mode() { 2_048 } else { 32_768 };
+    let counts = paper_request_counts(max);
+    let rows = run_bandwidth_sweep(IoDirection::Write, &[1, 2, 3], &counts);
+    for row in &rows {
+        print_row(&[
+            ("ssds", row.ssds.to_string()),
+            ("requests_per_ssd", row.requests_per_ssd.to_string()),
+            ("bandwidth", fmt_gbps(row.gbps)),
+        ]);
+    }
+    for ssds in [1usize, 2, 3] {
+        let peak = rows
+            .iter()
+            .filter(|r| r.ssds == ssds)
+            .map(|r| r.gbps)
+            .fold(0.0f64, f64::max);
+        println!(
+            "  -> {ssds} SSD(s) saturate at {} (paper: {:.1} GB/s)",
+            fmt_gbps(peak),
+            2.2 * ssds as f64
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! Figure 7: DLRM speedup of AGILE (sync and async) over BaM across the three
+//! model configurations.
+
+use agile_bench::{fmt_ratio, print_header, print_row, quick_mode};
+use agile_workloads::experiments::dlrm_figs::run_fig7_configs;
+
+fn main() {
+    print_header(
+        "Figure 7",
+        "AGILE (sync/async) speedup over BaM on DLRM Config-1/2/3 (batch 2048)",
+    );
+    let (batch, epochs) = if quick_mode() { (256, 3) } else { (2048, 4) };
+    let rows = run_fig7_configs(batch, epochs);
+    for row in &rows {
+        print_row(&[
+            ("config", row.point.clone()),
+            ("mode", row.mode.clone()),
+            ("cycles", row.elapsed_cycles.to_string()),
+            ("speedup_vs_bam", fmt_ratio(row.speedup_vs_bam)),
+        ]);
+    }
+    println!("  (paper: sync 1.30/1.39/1.27x, async 1.48/1.63/1.32x)");
+}

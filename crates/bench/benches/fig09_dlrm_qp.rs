@@ -1,0 +1,27 @@
+//! Figure 9: DLRM speedup over BaM across NVMe queue-pair counts
+//! (Config-1, queue depth 64).
+
+use agile_bench::{fmt_ratio, print_header, print_row, quick_mode};
+use agile_workloads::experiments::dlrm_figs::run_fig9_queue_sweep;
+
+fn main() {
+    print_header(
+        "Figure 9",
+        "AGILE (sync/async) speedup over BaM across I/O queue-pair counts (depth 64)",
+    );
+    let (qps, batch, epochs): (Vec<usize>, u64, u32) = if quick_mode() {
+        (vec![1, 4], 256, 3)
+    } else {
+        (vec![1, 4, 16], 1024, 4)
+    };
+    let rows = run_fig9_queue_sweep(&qps, batch, epochs);
+    for row in &rows {
+        print_row(&[
+            ("point", row.point.clone()),
+            ("mode", row.mode.clone()),
+            ("cycles", row.elapsed_cycles.to_string()),
+            ("speedup_vs_bam", fmt_ratio(row.speedup_vs_bam)),
+        ]);
+    }
+    println!("  (paper: async ≈ sync at 1 QP, async pulls ahead as QPs increase)");
+}

@@ -1,0 +1,23 @@
+//! Figure 12: per-thread register usage of BaM vs AGILE kernels (modelled).
+
+use agile_bench::{fmt_ratio, print_header, print_row};
+use agile_workloads::experiments::fig12::run_register_table;
+
+fn main() {
+    print_header(
+        "Figure 12",
+        "Per-thread register usage, BaM vs AGILE (static footprint model)",
+    );
+    let (rows, service) = run_register_table();
+    for row in &rows {
+        print_row(&[
+            ("kernel", row.kernel.clone()),
+            ("bam", row.bam_registers.to_string()),
+            ("agile", row.agile_registers.to_string()),
+            ("reduction", fmt_ratio(row.ratio())),
+            ("paper_bam", row.paper_bam.to_string()),
+            ("paper_agile", row.paper_agile.to_string()),
+        ]);
+    }
+    println!("  AGILE service kernel: {service} registers/thread (paper: 37)");
+}

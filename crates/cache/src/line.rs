@@ -1,0 +1,179 @@
+//! Cache line state.
+//!
+//! Each software-cache line mirrors the paper's four states (§3.4):
+//!
+//! * `INVALID` — the line holds no data;
+//! * `BUSY` — an NVMe read (fill) or write-back for the line is in flight;
+//! * `READY` — the line holds clean data;
+//! * `MODIFIED` — the line holds dirty data that must be written back on
+//!   eviction.
+//!
+//! On top of the state word every line carries a pin (reference) count —
+//! a line with pinned readers cannot be evicted, which is how AGILE keeps
+//! cache-hit accesses atomic with respect to eviction (§2.3.2) — and the
+//! per-line DMA slot the SSD writes the page token into.
+
+use nvme_sim::DmaHandle;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// The four line states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u32)]
+pub enum LineState {
+    /// No valid data.
+    Invalid = 0,
+    /// A fill or write-back is in flight.
+    Busy = 1,
+    /// Clean, valid data.
+    Ready = 2,
+    /// Dirty data; must be written back before reuse.
+    Modified = 3,
+}
+
+impl LineState {
+    fn from_u32(v: u32) -> LineState {
+        match v {
+            0 => LineState::Invalid,
+            1 => LineState::Busy,
+            2 => LineState::Ready,
+            3 => LineState::Modified,
+            _ => unreachable!("invalid line state encoding {v}"),
+        }
+    }
+
+    /// True when the line holds data that can be served to readers.
+    pub fn is_valid_data(self) -> bool {
+        matches!(self, LineState::Ready | LineState::Modified)
+    }
+}
+
+/// One cache way (line): state word, pin count and DMA slot.
+#[derive(Debug)]
+pub struct Way {
+    state: AtomicU32,
+    pins: AtomicU32,
+    /// The 64-bit page-token slot NVMe reads DMA into (and writes DMA out of).
+    pub data: DmaHandle,
+}
+
+impl Default for Way {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Way {
+    /// A fresh, invalid, unpinned line.
+    pub fn new() -> Self {
+        Way {
+            state: AtomicU32::new(LineState::Invalid as u32),
+            pins: AtomicU32::new(0),
+            data: DmaHandle::new(),
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> LineState {
+        LineState::from_u32(self.state.load(Ordering::Acquire))
+    }
+
+    /// Unconditionally set the state (caller must hold the set lock or be the
+    /// unique owner of the in-flight transition).
+    pub fn set_state(&self, s: LineState) {
+        self.state.store(s as u32, Ordering::Release);
+    }
+
+    /// Atomically transition `from → to`. Returns false if the current state
+    /// was not `from`.
+    pub fn transition(&self, from: LineState, to: LineState) -> bool {
+        self.state
+            .compare_exchange(from as u32, to as u32, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Current pin count.
+    pub fn pins(&self) -> u32 {
+        self.pins.load(Ordering::Acquire)
+    }
+
+    /// Pin the line (prevents eviction).
+    pub fn pin(&self) {
+        self.pins.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Unpin the line. Panics in debug builds on underflow.
+    pub fn unpin(&self) {
+        let prev = self.pins.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "unpin on a line with zero pins");
+    }
+
+    /// A line is evictable when it is not pinned and no fill is in flight.
+    pub fn evictable(&self) -> bool {
+        self.pins() == 0 && self.state() != LineState::Busy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_roundtrip() {
+        for s in [
+            LineState::Invalid,
+            LineState::Busy,
+            LineState::Ready,
+            LineState::Modified,
+        ] {
+            assert_eq!(LineState::from_u32(s as u32), s);
+        }
+        assert!(LineState::Ready.is_valid_data());
+        assert!(LineState::Modified.is_valid_data());
+        assert!(!LineState::Busy.is_valid_data());
+        assert!(!LineState::Invalid.is_valid_data());
+    }
+
+    #[test]
+    fn transitions_are_atomic_and_checked() {
+        let w = Way::new();
+        assert_eq!(w.state(), LineState::Invalid);
+        assert!(w.transition(LineState::Invalid, LineState::Busy));
+        assert!(!w.transition(LineState::Invalid, LineState::Busy));
+        assert!(w.transition(LineState::Busy, LineState::Ready));
+        w.set_state(LineState::Modified);
+        assert_eq!(w.state(), LineState::Modified);
+    }
+
+    #[test]
+    fn pinning_controls_evictability() {
+        let w = Way::new();
+        w.set_state(LineState::Ready);
+        assert!(w.evictable());
+        w.pin();
+        assert!(!w.evictable());
+        assert_eq!(w.pins(), 1);
+        w.unpin();
+        assert!(w.evictable());
+        w.set_state(LineState::Busy);
+        assert!(!w.evictable());
+    }
+
+    #[test]
+    fn concurrent_transitions_one_winner() {
+        use std::sync::Arc;
+        use std::thread;
+        let w = Arc::new(Way::new());
+        let winners: u32 = (0..8)
+            .map(|_| {
+                let w = Arc::clone(&w);
+                thread::spawn(move || w.transition(LineState::Invalid, LineState::Busy) as u32)
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .sum();
+        assert_eq!(winners, 1, "exactly one thread may claim the fill");
+        assert_eq!(w.state(), LineState::Busy);
+    }
+}

@@ -1,0 +1,339 @@
+//! Replacement policies.
+//!
+//! The paper makes cache-policy flexibility a headline feature: BaM hard-codes
+//! one policy, AGILE lets applications plug in their own (§3.4, §3.5 use the
+//! clock policy for the DLRM evaluation). The [`CachePolicy`] trait is the
+//! Rust analogue of the paper's CRTP-based `GPUCacheBase<Impl>` hook: the
+//! cache calls the policy on every access/fill and asks it to pick a victim
+//! among the evictable ways of a set.
+//!
+//! Four built-in policies are provided: [`ClockPolicy`] (the paper's default,
+//! second-chance), [`LruPolicy`], [`FifoPolicy`] and [`RandomPolicy`].
+//! All of them are lock-free: metadata is kept in per-way atomics.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// A pluggable replacement policy.
+///
+/// `set` and `way` identify the slot: the cache guarantees `way <
+/// associativity` and `set < num_sets` (both fixed at construction through
+/// [`CachePolicy::configure`]).
+pub trait CachePolicy: Send + Sync {
+    /// Name used in reports.
+    fn name(&self) -> &str;
+
+    /// Called once by the cache with its geometry before use.
+    fn configure(&mut self, num_sets: usize, associativity: usize);
+
+    /// A hit on `(set, way)` was served.
+    fn on_access(&self, set: usize, way: usize);
+
+    /// `(set, way)` was (re)filled with new contents.
+    fn on_fill(&self, set: usize, way: usize);
+
+    /// Choose a victim among the ways of `set` for which `evictable[way]` is
+    /// true. Returns `None` when no way is evictable (all pinned or busy);
+    /// the cache then reports `NoLineAvailable` and the caller retries, which
+    /// is AGILE's answer to the eviction-deadlock scenario of §2.3.2.
+    fn choose_victim(&self, set: usize, evictable: &[bool]) -> Option<usize>;
+}
+
+/// The clock (second-chance) policy used by the paper's DLRM evaluation.
+pub struct ClockPolicy {
+    assoc: usize,
+    /// One reference bit per way.
+    ref_bits: Vec<AtomicU32>,
+    /// Clock hand per set.
+    hands: Vec<AtomicU32>,
+}
+
+impl ClockPolicy {
+    /// An unconfigured clock policy (the cache will call `configure`).
+    pub fn new() -> Self {
+        ClockPolicy {
+            assoc: 0,
+            ref_bits: Vec::new(),
+            hands: Vec::new(),
+        }
+    }
+    fn idx(&self, set: usize, way: usize) -> usize {
+        set * self.assoc + way
+    }
+}
+
+impl Default for ClockPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CachePolicy for ClockPolicy {
+    fn name(&self) -> &str {
+        "clock"
+    }
+    fn configure(&mut self, num_sets: usize, associativity: usize) {
+        self.assoc = associativity;
+        self.ref_bits = (0..num_sets * associativity)
+            .map(|_| AtomicU32::new(0))
+            .collect();
+        self.hands = (0..num_sets).map(|_| AtomicU32::new(0)).collect();
+    }
+    fn on_access(&self, set: usize, way: usize) {
+        self.ref_bits[self.idx(set, way)].store(1, Ordering::Relaxed);
+    }
+    fn on_fill(&self, set: usize, way: usize) {
+        self.ref_bits[self.idx(set, way)].store(1, Ordering::Relaxed);
+    }
+    fn choose_victim(&self, set: usize, evictable: &[bool]) -> Option<usize> {
+        if !evictable.iter().any(|&e| e) {
+            return None;
+        }
+        let hand = &self.hands[set];
+        // Two sweeps: the first clears reference bits, the second is
+        // guaranteed to find an evictable way with a cleared bit.
+        for _ in 0..(2 * self.assoc) {
+            let pos = (hand.fetch_add(1, Ordering::Relaxed) as usize) % self.assoc;
+            if !evictable[pos] {
+                continue;
+            }
+            let bit = &self.ref_bits[self.idx(set, pos)];
+            if bit.swap(0, Ordering::Relaxed) == 0 {
+                return Some(pos);
+            }
+        }
+        // Fall back to the first evictable way (all bits were set repeatedly
+        // by concurrent hits).
+        evictable.iter().position(|&e| e)
+    }
+}
+
+/// Least-recently-used, tracked with a global logical timestamp per way.
+pub struct LruPolicy {
+    assoc: usize,
+    stamps: Vec<AtomicU64>,
+    tick: AtomicU64,
+}
+
+impl LruPolicy {
+    /// An unconfigured LRU policy.
+    pub fn new() -> Self {
+        LruPolicy {
+            assoc: 0,
+            stamps: Vec::new(),
+            tick: AtomicU64::new(1),
+        }
+    }
+    fn idx(&self, set: usize, way: usize) -> usize {
+        set * self.assoc + way
+    }
+    fn touch(&self, set: usize, way: usize) {
+        let t = self.tick.fetch_add(1, Ordering::Relaxed);
+        self.stamps[self.idx(set, way)].store(t, Ordering::Relaxed);
+    }
+}
+
+impl Default for LruPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CachePolicy for LruPolicy {
+    fn name(&self) -> &str {
+        "lru"
+    }
+    fn configure(&mut self, num_sets: usize, associativity: usize) {
+        self.assoc = associativity;
+        self.stamps = (0..num_sets * associativity)
+            .map(|_| AtomicU64::new(0))
+            .collect();
+    }
+    fn on_access(&self, set: usize, way: usize) {
+        self.touch(set, way);
+    }
+    fn on_fill(&self, set: usize, way: usize) {
+        self.touch(set, way);
+    }
+    fn choose_victim(&self, set: usize, evictable: &[bool]) -> Option<usize> {
+        evictable
+            .iter()
+            .enumerate()
+            .filter(|(_, &e)| e)
+            .min_by_key(|(way, _)| self.stamps[self.idx(set, *way)].load(Ordering::Relaxed))
+            .map(|(way, _)| way)
+    }
+}
+
+/// First-in-first-out: evicts the oldest fill regardless of hits.
+pub struct FifoPolicy {
+    assoc: usize,
+    filled_at: Vec<AtomicU64>,
+    tick: AtomicU64,
+}
+
+impl FifoPolicy {
+    /// An unconfigured FIFO policy.
+    pub fn new() -> Self {
+        FifoPolicy {
+            assoc: 0,
+            filled_at: Vec::new(),
+            tick: AtomicU64::new(1),
+        }
+    }
+    fn idx(&self, set: usize, way: usize) -> usize {
+        set * self.assoc + way
+    }
+}
+
+impl Default for FifoPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CachePolicy for FifoPolicy {
+    fn name(&self) -> &str {
+        "fifo"
+    }
+    fn configure(&mut self, num_sets: usize, associativity: usize) {
+        self.assoc = associativity;
+        self.filled_at = (0..num_sets * associativity)
+            .map(|_| AtomicU64::new(0))
+            .collect();
+    }
+    fn on_access(&self, _set: usize, _way: usize) {}
+    fn on_fill(&self, set: usize, way: usize) {
+        let t = self.tick.fetch_add(1, Ordering::Relaxed);
+        self.filled_at[self.idx(set, way)].store(t, Ordering::Relaxed);
+    }
+    fn choose_victim(&self, set: usize, evictable: &[bool]) -> Option<usize> {
+        evictable
+            .iter()
+            .enumerate()
+            .filter(|(_, &e)| e)
+            .min_by_key(|(way, _)| self.filled_at[self.idx(set, *way)].load(Ordering::Relaxed))
+            .map(|(way, _)| way)
+    }
+}
+
+/// Uniform-random victim selection (xorshift over an atomic seed).
+pub struct RandomPolicy {
+    seed: AtomicU64,
+}
+
+impl RandomPolicy {
+    /// A random policy with a fixed seed (deterministic runs).
+    pub fn new(seed: u64) -> Self {
+        RandomPolicy {
+            seed: AtomicU64::new(seed | 1),
+        }
+    }
+    fn next(&self) -> u64 {
+        let mut x = self.seed.load(Ordering::Relaxed);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.seed.store(x, Ordering::Relaxed);
+        x
+    }
+}
+
+impl CachePolicy for RandomPolicy {
+    fn name(&self) -> &str {
+        "random"
+    }
+    fn configure(&mut self, _num_sets: usize, _associativity: usize) {}
+    fn on_access(&self, _set: usize, _way: usize) {}
+    fn on_fill(&self, _set: usize, _way: usize) {}
+    fn choose_victim(&self, _set: usize, evictable: &[bool]) -> Option<usize> {
+        let candidates: Vec<usize> = evictable
+            .iter()
+            .enumerate()
+            .filter(|(_, &e)| e)
+            .map(|(i, _)| i)
+            .collect();
+        if candidates.is_empty() {
+            None
+        } else {
+            Some(candidates[(self.next() % candidates.len() as u64) as usize])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn configured<P: CachePolicy>(mut p: P) -> P {
+        p.configure(4, 4);
+        p
+    }
+
+    #[test]
+    fn clock_gives_second_chances() {
+        let p = configured(ClockPolicy::new());
+        for w in 0..4 {
+            p.on_fill(0, w);
+        }
+        // Way 1 is hot (recently accessed every time); others decay.
+        p.on_access(0, 1);
+        let evictable = vec![true; 4];
+        let v1 = p.choose_victim(0, &evictable).unwrap();
+        assert_ne!(v1, 1, "hot way should survive the first sweep");
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let p = configured(LruPolicy::new());
+        for w in 0..4 {
+            p.on_fill(0, w);
+        }
+        p.on_access(0, 0);
+        p.on_access(0, 2);
+        p.on_access(0, 3);
+        // Way 1 is now the least recently used.
+        assert_eq!(p.choose_victim(0, &[true; 4].to_vec()), Some(1));
+    }
+
+    #[test]
+    fn fifo_ignores_hits() {
+        let p = configured(FifoPolicy::new());
+        for w in 0..4 {
+            p.on_fill(0, w);
+        }
+        // Hits on way 0 must not save it: it was filled first.
+        p.on_access(0, 0);
+        p.on_access(0, 0);
+        assert_eq!(p.choose_victim(0, &[true; 4].to_vec()), Some(0));
+    }
+
+    #[test]
+    fn random_only_picks_evictable() {
+        let p = RandomPolicy::new(42);
+        let evictable = vec![false, true, false, true];
+        for _ in 0..100 {
+            let v = p.choose_victim(0, &evictable).unwrap();
+            assert!(v == 1 || v == 3);
+        }
+    }
+
+    #[test]
+    fn all_policies_return_none_when_nothing_evictable() {
+        let none = vec![false; 4];
+        assert_eq!(configured(ClockPolicy::new()).choose_victim(0, &none), None);
+        assert_eq!(configured(LruPolicy::new()).choose_victim(0, &none), None);
+        assert_eq!(configured(FifoPolicy::new()).choose_victim(0, &none), None);
+        assert_eq!(RandomPolicy::new(1).choose_victim(0, &none), None);
+    }
+
+    #[test]
+    fn policies_respect_partial_evictability() {
+        let p = configured(LruPolicy::new());
+        for w in 0..4 {
+            p.on_fill(1, w);
+        }
+        // Oldest way (0) is not evictable ⇒ next oldest (1) chosen.
+        let evictable = vec![false, true, true, true];
+        assert_eq!(p.choose_victim(1, &evictable), Some(1));
+    }
+}

@@ -1,0 +1,834 @@
+//! The AGILE controller: the device-side API surface (§3.5).
+//!
+//! `AgileCtrl` is what warp kernels hold an `Arc` to — the analogue of the
+//! `AGILE_CTRL *ctrl` pointer in Listing 1. It provides the paper's three
+//! access methods:
+//!
+//! 1. **`prefetch`** ([`AgileCtrl::prefetch_warp`]) — asynchronously pull SSD
+//!    pages into the software cache; the caller continues immediately and
+//!    later reads the data through the cache.
+//! 2. **`async_issue`** ([`AgileCtrl::async_read`] / [`AgileCtrl::async_write`])
+//!    — asynchronous transfers between SSDs and user-registered buffers
+//!    ([`crate::transaction::AgileBuf`]), returning a barrier the caller polls.
+//! 3. **Array-like synchronous access** ([`AgileCtrl::read_warp`]) — the
+//!    `ctrl->getArrayWrap<T>()[dev][idx]` view: a blocking-by-retry read that
+//!    transparently checks the cache and issues fills on misses.
+//!
+//! Every method is **non-blocking**: it returns a cycle cost (charged to the
+//! calling warp as busy time) plus an outcome that may ask the caller to
+//! retry later. No method ever holds a lock across a wait, which is the heart
+//! of the paper's deadlock-freedom argument.
+//!
+//! All NVMe I/O — fills, write-backs, user reads/writes and the raw-bandwidth
+//! path — funnels through [`AgileCtrl::issue_to_device`], which implements the
+//! "pick an SQ by thread index, move to the next SQ when full" placement of
+//! §3.3.1 on top of [`crate::sq_protocol::AgileSq`].
+
+use crate::coalesce::coalesce_warp;
+use crate::config::{AgileConfig, CachePolicyKind};
+use crate::lockchain::LockRegistry;
+use crate::sq_protocol::AgileSq;
+use crate::transaction::{AgileBuf, Barrier, Transaction};
+use agile_cache::{
+    CacheLookup, CachePolicy, ClockPolicy, FifoPolicy, LruPolicy, RandomPolicy, ShareTable,
+    SoftwareCache,
+};
+use agile_sim::Cycles;
+use nvme_sim::{DmaHandle, Lba, NvmeCommand, PageToken, QueuePair};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Outcome of an asynchronous issue (`asyncRead` / `asyncWrite` / raw I/O).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IssueOutcome {
+    /// The command was handed to an SQ; completion will be signalled through
+    /// the associated barrier.
+    Issued,
+    /// The data was already available (cache or Share Table); the barrier has
+    /// already been completed and no NVMe command was needed.
+    AlreadyAvailable,
+    /// No SQ entry (or no shareable resource) was available; retry later.
+    Retry,
+}
+
+/// Outcome of an array-like synchronous warp read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// Every lane's datum was resident: per-lane tokens, in request order.
+    Ready(Vec<PageToken>),
+    /// At least one lane missed; fills were issued where possible. Retry the
+    /// same call later (hits become cheap, the misses will have landed).
+    Pending,
+}
+
+/// Per-category API statistics (used by tests and the Figure 11 breakdown).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ApiStats {
+    /// prefetch_warp invocations.
+    pub prefetch_calls: u64,
+    /// read_warp invocations.
+    pub read_calls: u64,
+    /// asyncRead/asyncWrite invocations.
+    pub async_calls: u64,
+    /// Raw (cache-bypassing) reads/writes issued.
+    pub raw_calls: u64,
+    /// Cache hits observed by API calls.
+    pub cache_hits: u64,
+    /// Cache misses that issued a fill.
+    pub cache_misses: u64,
+    /// Requests eliminated by warp-level coalescing.
+    pub warp_coalesced: u64,
+    /// Requests coalesced onto an in-flight fill (BUSY hit).
+    pub cache_coalesced: u64,
+    /// Times every targeted SQ was full and the caller had to retry.
+    pub sq_full_retries: u64,
+    /// Write-backs of dirty evicted lines.
+    pub writebacks: u64,
+    /// Cycles charged for cache-management work.
+    pub cache_cycles: u64,
+    /// Cycles charged for NVMe issue / barrier work.
+    pub io_cycles: u64,
+}
+
+#[derive(Default)]
+struct ApiStatCells {
+    prefetch_calls: AtomicU64,
+    read_calls: AtomicU64,
+    async_calls: AtomicU64,
+    raw_calls: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    warp_coalesced: AtomicU64,
+    cache_coalesced: AtomicU64,
+    sq_full_retries: AtomicU64,
+    writebacks: AtomicU64,
+    cache_cycles: AtomicU64,
+    io_cycles: AtomicU64,
+}
+
+/// The queues of one SSD.
+pub struct DeviceQueues {
+    /// AGILE-managed submission queues (one per I/O queue pair).
+    pub sqs: Vec<Arc<AgileSq>>,
+}
+
+/// The AGILE controller shared by user kernels and the service kernel.
+pub struct AgileCtrl {
+    cfg: AgileConfig,
+    cache: SoftwareCache,
+    share_table: Option<ShareTable>,
+    devices: Vec<DeviceQueues>,
+    lock_registry: Option<LockRegistry>,
+    stop_service: AtomicBool,
+    stats: ApiStatCells,
+}
+
+fn build_policy(kind: CachePolicyKind) -> Box<dyn CachePolicy> {
+    match kind {
+        CachePolicyKind::Clock => Box::new(ClockPolicy::new()),
+        CachePolicyKind::Lru => Box::new(LruPolicy::new()),
+        CachePolicyKind::Fifo => Box::new(FifoPolicy::new()),
+        CachePolicyKind::Random => Box::new(RandomPolicy::new(0x5EED)),
+    }
+}
+
+impl AgileCtrl {
+    /// Build a controller over the queue pairs of each device (outer index =
+    /// device id, inner = queue pair). Normally constructed by
+    /// [`crate::host::AgileHost::init_nvme`].
+    pub fn new(cfg: AgileConfig, device_queues: Vec<Vec<Arc<QueuePair>>>) -> Self {
+        let cache = SoftwareCache::new(cfg.cache.clone(), build_policy(cfg.cache_policy));
+        let share_table = cfg
+            .share_table_enabled
+            .then(|| ShareTable::with_capacity(cfg.share_table_capacity));
+        let lock_registry = cfg.debug_lock_chain.then(LockRegistry::new);
+        let devices = device_queues
+            .into_iter()
+            .map(|qps| DeviceQueues {
+                sqs: qps.into_iter().map(|qp| Arc::new(AgileSq::new(qp))).collect(),
+            })
+            .collect();
+        AgileCtrl {
+            cfg,
+            cache,
+            share_table,
+            devices,
+            lock_registry,
+            stop_service: AtomicBool::new(false),
+            stats: ApiStatCells::default(),
+        }
+    }
+
+    /// The configuration this controller was built with.
+    pub fn config(&self) -> &AgileConfig {
+        &self.cfg
+    }
+
+    /// The software cache (exposed for preloading and statistics).
+    pub fn cache(&self) -> &SoftwareCache {
+        &self.cache
+    }
+
+    /// The Share Table, when enabled.
+    pub fn share_table(&self) -> Option<&ShareTable> {
+        self.share_table.as_ref()
+    }
+
+    /// The lock registry of the deadlock-debug option, when enabled.
+    pub fn lock_registry(&self) -> Option<&LockRegistry> {
+        self.lock_registry.as_ref()
+    }
+
+    /// Number of SSDs.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// The AGILE-managed SQs of device `dev`.
+    pub fn device_queues(&self, dev: usize) -> &[Arc<AgileSq>] {
+        &self.devices[dev].sqs
+    }
+
+    /// Snapshot of the API statistics.
+    pub fn stats(&self) -> ApiStats {
+        let s = &self.stats;
+        ApiStats {
+            prefetch_calls: s.prefetch_calls.load(Ordering::Relaxed),
+            read_calls: s.read_calls.load(Ordering::Relaxed),
+            async_calls: s.async_calls.load(Ordering::Relaxed),
+            raw_calls: s.raw_calls.load(Ordering::Relaxed),
+            cache_hits: s.cache_hits.load(Ordering::Relaxed),
+            cache_misses: s.cache_misses.load(Ordering::Relaxed),
+            warp_coalesced: s.warp_coalesced.load(Ordering::Relaxed),
+            cache_coalesced: s.cache_coalesced.load(Ordering::Relaxed),
+            sq_full_retries: s.sq_full_retries.load(Ordering::Relaxed),
+            writebacks: s.writebacks.load(Ordering::Relaxed),
+            cache_cycles: s.cache_cycles.load(Ordering::Relaxed),
+            io_cycles: s.io_cycles.load(Ordering::Relaxed),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // NVMe issue plumbing
+    // ------------------------------------------------------------------
+
+    /// Issue `cmd` to device `dev`, starting from the SQ selected by the
+    /// calling thread's index and falling over to the next SQ when one is
+    /// full (§3.3.1). Returns the extra cycles spent and whether it succeeded.
+    pub fn issue_to_device(
+        &self,
+        dev: usize,
+        warp: u64,
+        build: impl Fn(u16) -> NvmeCommand,
+        txn: Transaction,
+        now: Cycles,
+    ) -> (Cycles, bool) {
+        let api = &self.cfg.costs.api;
+        let gpu = &self.cfg.costs.gpu;
+        let sqs = &self.devices[dev].sqs;
+        let n = sqs.len();
+        let start = (warp as usize) % n;
+        let mut cost = Cycles(api.agile_issue);
+        for attempt in 0..n {
+            let sq = &sqs[(start + attempt) % n];
+            // `Transaction` is cheap to clone (an Arc flag and small ids);
+            // the clone handed to a full queue is simply dropped.
+            match sq.try_issue(&build, txn.clone(), now) {
+                Some(receipt) => {
+                    if receipt.rang_doorbell {
+                        cost += Cycles(gpu.doorbell_write);
+                    }
+                    // Extra serialization attempts burn polling cycles.
+                    cost +=
+                        Cycles(gpu.poll_iteration) * (receipt.attempts.saturating_sub(1)) as u64;
+                    self.stats.io_cycles.fetch_add(cost.raw(), Ordering::Relaxed);
+                    return (cost, true);
+                }
+                None => {
+                    // This SQ is full: pay a probe and move to the next one
+                    // ("simply increasing the index of the target SQ").
+                    cost += Cycles(gpu.poll_iteration);
+                }
+            }
+        }
+        self.stats.sq_full_retries.fetch_add(1, Ordering::Relaxed);
+        self.stats.io_cycles.fetch_add(cost.raw(), Ordering::Relaxed);
+        (cost, false)
+    }
+
+    // ------------------------------------------------------------------
+    // Method 1: prefetch
+    // ------------------------------------------------------------------
+
+    /// Asynchronously prefetch the given `(device, LBA)` pages into the
+    /// software cache on behalf of one warp.
+    ///
+    /// Returns the cycle cost of the call and the subset of requests that
+    /// could not even be *started* (no cache line available or every SQ
+    /// full); the caller retries those later. Requests that hit, are already
+    /// in flight, or were issued successfully need no further action — the
+    /// data will be readable through [`AgileCtrl::read_warp`] once the AGILE
+    /// service processes the completions.
+    pub fn prefetch_warp(
+        &self,
+        warp: u64,
+        requests: &[(u32, Lba)],
+        now: Cycles,
+    ) -> (Cycles, Vec<(u32, Lba)>) {
+        self.stats.prefetch_calls.fetch_add(1, Ordering::Relaxed);
+        let api = &self.cfg.costs.api;
+        let gpu = &self.cfg.costs.gpu;
+        let coalesced = coalesce_warp(requests);
+        self.stats
+            .warp_coalesced
+            .fetch_add(coalesced.eliminated as u64, Ordering::Relaxed);
+        let mut cost = Cycles(gpu.warp_primitive);
+        let mut retry = Vec::new();
+
+        for &(dev, lba) in &coalesced.unique {
+            match self.cache.lookup_or_reserve(dev, lba) {
+                CacheLookup::Hit { line, .. } => {
+                    cost += Cycles(api.agile_cache_hit);
+                    self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    self.cache.unpin(line);
+                }
+                CacheLookup::Busy { .. } => {
+                    cost += Cycles(api.agile_cache_hit);
+                    self.stats.cache_coalesced.fetch_add(1, Ordering::Relaxed);
+                }
+                CacheLookup::Miss {
+                    line,
+                    dma,
+                    writeback,
+                } => {
+                    cost += Cycles(api.agile_cache_miss);
+                    self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+                    // Dirty victim: write it back first (from a snapshot, so
+                    // there is no hazard against the incoming fill).
+                    if let Some((wb_dev, wb_lba, wb_token)) = writeback {
+                        self.stats.writebacks.fetch_add(1, Ordering::Relaxed);
+                        let snapshot = DmaHandle::with_token(wb_token);
+                        let (wb_cost, ok) = self.issue_to_device(
+                            wb_dev as usize,
+                            warp,
+                            |cid| NvmeCommand::write(cid, wb_lba, snapshot.clone()),
+                            Transaction::WriteBack,
+                            now,
+                        );
+                        cost += wb_cost;
+                        if !ok {
+                            // Could not even write back: abandon the fill.
+                            self.cache.abort_fill(line);
+                            retry.push((dev, lba));
+                            continue;
+                        }
+                    }
+                    let (io_cost, ok) = self.issue_to_device(
+                        dev as usize,
+                        warp,
+                        |cid| NvmeCommand::read(cid, lba, dma.clone()),
+                        Transaction::CacheFill { line },
+                        now,
+                    );
+                    cost += io_cost;
+                    if !ok {
+                        self.cache.abort_fill(line);
+                        retry.push((dev, lba));
+                    }
+                }
+                CacheLookup::NoLineAvailable => {
+                    cost += Cycles(api.agile_cache_miss);
+                    retry.push((dev, lba));
+                }
+            }
+        }
+        self.stats
+            .cache_cycles
+            .fetch_add(cost.raw(), Ordering::Relaxed);
+        (cost, retry)
+    }
+
+    // ------------------------------------------------------------------
+    // Method 3: array-like synchronous access
+    // ------------------------------------------------------------------
+
+    /// Array-like synchronous read for one warp: returns the tokens for all
+    /// lanes if everything is resident, otherwise issues the missing fills
+    /// and asks the caller to retry.
+    pub fn read_warp(
+        &self,
+        warp: u64,
+        requests: &[(u32, Lba)],
+        now: Cycles,
+    ) -> (Cycles, ReadOutcome) {
+        self.stats.read_calls.fetch_add(1, Ordering::Relaxed);
+        let api = &self.cfg.costs.api;
+        let gpu = &self.cfg.costs.gpu;
+        let coalesced = coalesce_warp(requests);
+        self.stats
+            .warp_coalesced
+            .fetch_add(coalesced.eliminated as u64, Ordering::Relaxed);
+        let mut cost = Cycles(gpu.warp_primitive);
+        let mut tokens: Vec<Option<PageToken>> = vec![None; coalesced.unique.len()];
+        let mut all_ready = true;
+
+        for (uidx, &(dev, lba)) in coalesced.unique.iter().enumerate() {
+            match self.cache.lookup_or_reserve(dev, lba) {
+                CacheLookup::Hit { line, token } => {
+                    cost += Cycles(api.agile_cache_hit);
+                    self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    tokens[uidx] = Some(token);
+                    self.cache.unpin(line);
+                }
+                CacheLookup::Busy { .. } => {
+                    cost += Cycles(api.agile_cache_hit);
+                    self.stats.cache_coalesced.fetch_add(1, Ordering::Relaxed);
+                    all_ready = false;
+                }
+                CacheLookup::Miss {
+                    line,
+                    dma,
+                    writeback,
+                } => {
+                    cost += Cycles(api.agile_cache_miss);
+                    self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+                    all_ready = false;
+                    if let Some((wb_dev, wb_lba, wb_token)) = writeback {
+                        self.stats.writebacks.fetch_add(1, Ordering::Relaxed);
+                        let snapshot = DmaHandle::with_token(wb_token);
+                        let (wb_cost, ok) = self.issue_to_device(
+                            wb_dev as usize,
+                            warp,
+                            |cid| NvmeCommand::write(cid, wb_lba, snapshot.clone()),
+                            Transaction::WriteBack,
+                            now,
+                        );
+                        cost += wb_cost;
+                        if !ok {
+                            self.cache.abort_fill(line);
+                            continue;
+                        }
+                    }
+                    let (io_cost, ok) = self.issue_to_device(
+                        dev as usize,
+                        warp,
+                        |cid| NvmeCommand::read(cid, lba, dma.clone()),
+                        Transaction::CacheFill { line },
+                        now,
+                    );
+                    cost += io_cost;
+                    if !ok {
+                        self.cache.abort_fill(line);
+                    }
+                }
+                CacheLookup::NoLineAvailable => {
+                    cost += Cycles(api.agile_cache_miss);
+                    all_ready = false;
+                }
+            }
+        }
+        self.stats
+            .cache_cycles
+            .fetch_add(cost.raw(), Ordering::Relaxed);
+        if all_ready {
+            let per_lane = coalesced
+                .lane_to_unique
+                .iter()
+                .map(|&u| tokens[u].expect("ready token"))
+                .collect();
+            (cost, ReadOutcome::Ready(per_lane))
+        } else {
+            (cost, ReadOutcome::Pending)
+        }
+    }
+
+    /// Store one page through the software cache (array-like write): the
+    /// line is updated (write-allocate) and marked dirty; the write-back to
+    /// flash happens on eviction. Returns the cost and whether the store
+    /// landed (false = retry later).
+    pub fn write_warp(
+        &self,
+        _warp: u64,
+        dev: u32,
+        lba: Lba,
+        token: PageToken,
+        _now: Cycles,
+    ) -> (Cycles, bool) {
+        let api = &self.cfg.costs.api;
+        match self.cache.lookup_or_reserve(dev, lba) {
+            CacheLookup::Hit { line, .. } => {
+                self.cache.store(line, token);
+                self.cache.unpin(line);
+                self.bump_cache(api.agile_cache_hit);
+                (Cycles(api.agile_cache_hit), true)
+            }
+            CacheLookup::Miss { line, .. } => {
+                // Write-allocate without fetching the old contents.
+                self.cache.complete_fill(line);
+                self.cache.store(line, token);
+                self.cache.unpin(line);
+                self.bump_cache(api.agile_cache_miss);
+                (Cycles(api.agile_cache_miss), true)
+            }
+            CacheLookup::Busy { .. } | CacheLookup::NoLineAvailable => {
+                self.bump_cache(api.agile_cache_miss);
+                (Cycles(api.agile_cache_miss), false)
+            }
+        }
+    }
+
+    fn bump_cache(&self, c: u64) {
+        self.stats.cache_cycles.fetch_add(c, Ordering::Relaxed);
+    }
+
+    // ------------------------------------------------------------------
+    // Method 2: async_issue(src, dst)
+    // ------------------------------------------------------------------
+
+    /// Asynchronously read `(dev, lba)` into the user buffer `buf`
+    /// (`ctrl->asyncRead` in Listing 1). The buffer's barrier is re-armed and
+    /// completed when the data is in place.
+    pub fn async_read(
+        &self,
+        warp: u64,
+        dev: u32,
+        lba: Lba,
+        buf: &AgileBuf,
+        now: Cycles,
+    ) -> (Cycles, IssueOutcome) {
+        self.stats.async_calls.fetch_add(1, Ordering::Relaxed);
+        let api = &self.cfg.costs.api;
+        buf.barrier.reset();
+        let mut cost = Cycles(api.agile_barrier_probe);
+
+        // 1. Share Table has the highest priority in the hierarchy (§3.4.1).
+        if let Some(st) = &self.share_table {
+            if let Some(shared) = st.acquire(dev, lba) {
+                cost += Cycles(api.agile_cache_hit);
+                if shared.is_ready() {
+                    buf.store(shared.token());
+                    buf.barrier.complete();
+                    // We only needed a copy of the data; drop our reference.
+                    let _ = st.release(dev, lba);
+                    self.bump_cache(cost.raw());
+                    return (cost, IssueOutcome::AlreadyAvailable);
+                }
+                // The owner's transfer is still in flight; retry later.
+                let _ = st.release(dev, lba);
+                self.bump_cache(cost.raw());
+                return (cost, IssueOutcome::Retry);
+            }
+        }
+
+        // 2. Software cache.
+        if let Some(token) = self.cache.peek(dev, lba) {
+            cost += Cycles(api.agile_cache_hit);
+            self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            buf.store(token);
+            buf.barrier.complete();
+            self.bump_cache(cost.raw());
+            return (cost, IssueOutcome::AlreadyAvailable);
+        }
+
+        // 3. Issue the NVMe read straight into the user buffer and register
+        //    it with the Share Table so other threads can reuse it.
+        let shared = self
+            .share_table
+            .as_ref()
+            .and_then(|st| st.register(dev, lba, buf.dma.clone(), warp));
+        let txn = Transaction::UserRead {
+            barrier: buf.barrier.clone(),
+            shared: shared.clone(),
+        };
+        let (io_cost, ok) = self.issue_to_device(
+            dev as usize,
+            warp,
+            |cid| NvmeCommand::read(cid, lba, buf.dma.clone()),
+            txn,
+            now,
+        );
+        cost += io_cost;
+        if ok {
+            (cost, IssueOutcome::Issued)
+        } else {
+            if let Some(st) = &self.share_table {
+                if shared.is_some() {
+                    let _ = st.release(dev, lba);
+                }
+            }
+            (cost, IssueOutcome::Retry)
+        }
+    }
+
+    /// Asynchronously write the contents of `buf` to `(dev, lba)`
+    /// (`ctrl->asyncWrite`). The data is snapshotted at issue time, so the
+    /// buffer may be reused immediately; the software cache is updated so
+    /// subsequent readers see the new data; the barrier completes when the
+    /// SSD acknowledges the write.
+    pub fn async_write(
+        &self,
+        warp: u64,
+        dev: u32,
+        lba: Lba,
+        buf: &AgileBuf,
+        now: Cycles,
+    ) -> (Cycles, IssueOutcome) {
+        self.stats.async_calls.fetch_add(1, Ordering::Relaxed);
+        let api = &self.cfg.costs.api;
+        let token = buf.token();
+        buf.barrier.reset();
+        let snapshot = DmaHandle::with_token(token);
+        let mut cost = Cycles(api.agile_barrier_probe);
+
+        let (io_cost, ok) = self.issue_to_device(
+            dev as usize,
+            warp,
+            |cid| NvmeCommand::write(cid, lba, snapshot.clone()),
+            Transaction::UserWrite {
+                barrier: buf.barrier.clone(),
+            },
+            now,
+        );
+        cost += io_cost;
+        if !ok {
+            return (cost, IssueOutcome::Retry);
+        }
+
+        // Keep the cache coherent with the new data (write-allocate update).
+        let (c_cost, _stored) = self.write_warp(warp, dev, lba, token, now);
+        cost += c_cost;
+
+        // If the Share Table tracks this source, record the modification so
+        // the owner propagates it when the sharing drains.
+        if let Some(st) = &self.share_table {
+            let _ = st.mark_modified(dev, lba, token, warp);
+        }
+        (cost, IssueOutcome::Issued)
+    }
+
+    // ------------------------------------------------------------------
+    // Raw path (bandwidth experiments) and barrier polling
+    // ------------------------------------------------------------------
+
+    /// Issue a raw 4 KiB read that bypasses the software cache (used by the
+    /// Figure 5 scaling experiment). Completion is signalled via `barrier`.
+    pub fn raw_read(
+        &self,
+        warp: u64,
+        dev: u32,
+        lba: Lba,
+        dma: DmaHandle,
+        barrier: Barrier,
+        now: Cycles,
+    ) -> (Cycles, IssueOutcome) {
+        self.stats.raw_calls.fetch_add(1, Ordering::Relaxed);
+        let (cost, ok) = self.issue_to_device(
+            dev as usize,
+            warp,
+            |cid| NvmeCommand::read(cid, lba, dma.clone()),
+            Transaction::Raw { barrier, lba },
+            now,
+        );
+        (cost, if ok { IssueOutcome::Issued } else { IssueOutcome::Retry })
+    }
+
+    /// Issue a raw 4 KiB write that bypasses the software cache (Figure 6).
+    pub fn raw_write(
+        &self,
+        warp: u64,
+        dev: u32,
+        lba: Lba,
+        token: PageToken,
+        barrier: Barrier,
+        now: Cycles,
+    ) -> (Cycles, IssueOutcome) {
+        self.stats.raw_calls.fetch_add(1, Ordering::Relaxed);
+        let dma = DmaHandle::with_token(token);
+        let (cost, ok) = self.issue_to_device(
+            dev as usize,
+            warp,
+            |cid| NvmeCommand::write(cid, lba, dma.clone()),
+            Transaction::Raw { barrier, lba },
+            now,
+        );
+        (cost, if ok { IssueOutcome::Issued } else { IssueOutcome::Retry })
+    }
+
+    /// Poll a transaction barrier (`buf.wait()` single probe). Returns the
+    /// probe cost and whether the transaction has completed.
+    pub fn poll_barrier(&self, barrier: &Barrier) -> (Cycles, bool) {
+        let api = &self.cfg.costs.api;
+        self.stats
+            .io_cycles
+            .fetch_add(api.agile_barrier_probe, Ordering::Relaxed);
+        (Cycles(api.agile_barrier_probe), barrier.is_complete())
+    }
+
+    // ------------------------------------------------------------------
+    // Service control
+    // ------------------------------------------------------------------
+
+    /// Ask the service kernel to stop (host-side `stopAgile()`).
+    pub fn request_service_stop(&self) {
+        self.stop_service.store(true, Ordering::Release);
+    }
+
+    /// Re-arm the service (between host-side runs).
+    pub fn reset_service_stop(&self) {
+        self.stop_service.store(false, Ordering::Release);
+    }
+
+    /// True once the host asked the service to stop.
+    pub fn service_stop_requested(&self) -> bool {
+        self.stop_service.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctrl_with_queues(devs: usize, qps: usize, depth: u32) -> AgileCtrl {
+        let cfg = AgileConfig::small_test()
+            .with_queue_pairs(qps)
+            .with_queue_depth(depth);
+        let queues: Vec<Vec<Arc<QueuePair>>> = (0..devs)
+            .map(|_| (0..qps).map(|q| QueuePair::new(q as u16, depth)).collect())
+            .collect();
+        AgileCtrl::new(cfg, queues)
+    }
+
+    #[test]
+    fn prefetch_issues_fills_for_misses_and_coalesces() {
+        let ctrl = ctrl_with_queues(1, 2, 64);
+        // 32 lanes all asking for the same page → one unique request.
+        let reqs = vec![(0u32, 7u64); 32];
+        let (cost, retry) = ctrl.prefetch_warp(0, &reqs, Cycles(0));
+        assert!(retry.is_empty());
+        assert!(cost.raw() > 0);
+        let s = ctrl.stats();
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.warp_coalesced, 31);
+        // The command reached an SQ ring.
+        let total_inflight: usize = ctrl.device_queues(0).iter().map(|q| q.transactions().in_flight()).sum();
+        assert_eq!(total_inflight, 1);
+    }
+
+    #[test]
+    fn second_prefetch_of_same_page_is_coalesced_at_cache_level() {
+        let ctrl = ctrl_with_queues(1, 2, 64);
+        ctrl.prefetch_warp(0, &[(0, 9)], Cycles(0));
+        ctrl.prefetch_warp(1, &[(0, 9)], Cycles(0));
+        let s = ctrl.stats();
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.cache_coalesced, 1);
+    }
+
+    #[test]
+    fn read_warp_becomes_ready_after_manual_fill() {
+        let ctrl = ctrl_with_queues(1, 1, 64);
+        let reqs = vec![(0u32, 3u64), (0, 4)];
+        let (_, outcome) = ctrl.read_warp(0, &reqs, Cycles(0));
+        assert_eq!(outcome, ReadOutcome::Pending);
+        // Simulate the service completing the fills: find the reserved lines
+        // via the transaction table and complete them.
+        for sq in ctrl.device_queues(0) {
+            for cid in 0..sq.depth() as u16 {
+                if let Some(Transaction::CacheFill { line }) = sq.transactions().take(cid) {
+                    ctrl.cache().way(line).data.store(PageToken(100 + cid as u64));
+                    ctrl.cache().complete_fill(line);
+                    ctrl.cache().unpin(line);
+                    sq.release(cid);
+                }
+            }
+        }
+        let (_, outcome) = ctrl.read_warp(0, &reqs, Cycles(0));
+        match outcome {
+            ReadOutcome::Ready(tokens) => assert_eq!(tokens.len(), 2),
+            ReadOutcome::Pending => panic!("expected ready after fills completed"),
+        }
+    }
+
+    #[test]
+    fn async_read_hits_share_table_on_second_request() {
+        let ctrl = ctrl_with_queues(1, 1, 64);
+        let a = AgileBuf::new();
+        let (_, o) = ctrl.async_read(1, 0, 42, &a, Cycles(0));
+        assert_eq!(o, IssueOutcome::Issued);
+        // Manually play the service: complete the user-read transaction.
+        let sq = &ctrl.device_queues(0)[0];
+        let txn = sq.transactions().take(0).expect("in flight");
+        if let Transaction::UserRead { barrier, shared } = txn {
+            a.dma.store(PageToken(0xAA));
+            barrier.complete();
+            if let Some(s) = shared {
+                s.mark_ready();
+            }
+            sq.release(0);
+        } else {
+            panic!("expected a UserRead transaction");
+        }
+        assert!(a.is_ready());
+        // A second thread asking for the same page gets it from the Share
+        // Table without any NVMe traffic.
+        let b = AgileBuf::new();
+        let (_, o) = ctrl.async_read(2, 0, 42, &b, Cycles(0));
+        assert_eq!(o, IssueOutcome::AlreadyAvailable);
+        assert_eq!(b.token(), PageToken(0xAA));
+        assert_eq!(ctrl.stats().raw_calls, 0);
+    }
+
+    #[test]
+    fn async_write_updates_cache_and_issues() {
+        let ctrl = ctrl_with_queues(1, 1, 64);
+        let buf = AgileBuf::with_token(PageToken(0xBEEF));
+        let (_, o) = ctrl.async_write(0, 0, 5, &buf, Cycles(0));
+        assert_eq!(o, IssueOutcome::Issued);
+        // Cache now serves the new data.
+        assert_eq!(ctrl.cache().peek(0, 5), Some(PageToken(0xBEEF)));
+        // Buffer is reusable immediately even though the barrier is pending.
+        assert!(!buf.is_ready());
+        buf.store(PageToken(1));
+        // The in-flight command carries the snapshot, not the new value.
+        let sq = &ctrl.device_queues(0)[0];
+        assert_eq!(sq.transactions().in_flight(), 1);
+    }
+
+    #[test]
+    fn issue_retries_and_reports_when_all_sqs_full() {
+        let ctrl = ctrl_with_queues(1, 1, 2);
+        // Fill both SQ slots with raw reads.
+        for i in 0..2u64 {
+            let (_, o) = ctrl.raw_read(0, 0, i, DmaHandle::new(), Barrier::new(), Cycles(0));
+            assert_eq!(o, IssueOutcome::Issued);
+        }
+        let (_, o) = ctrl.raw_read(0, 0, 99, DmaHandle::new(), Barrier::new(), Cycles(0));
+        assert_eq!(o, IssueOutcome::Retry);
+        assert_eq!(ctrl.stats().sq_full_retries, 1);
+        // Prefetch misses that cannot issue must not wedge the cache line.
+        let (_, retry) = ctrl.prefetch_warp(0, &[(0, 123)], Cycles(0));
+        assert_eq!(retry, vec![(0, 123)]);
+        assert_eq!(ctrl.cache().total_pins(), 0, "aborted fill must unpin");
+    }
+
+    #[test]
+    fn service_stop_flag_roundtrip() {
+        let ctrl = ctrl_with_queues(1, 1, 4);
+        assert!(!ctrl.service_stop_requested());
+        ctrl.request_service_stop();
+        assert!(ctrl.service_stop_requested());
+        ctrl.reset_service_stop();
+        assert!(!ctrl.service_stop_requested());
+    }
+
+    #[test]
+    fn write_warp_allocates_and_marks_dirty() {
+        let ctrl = ctrl_with_queues(1, 1, 16);
+        let (_, ok) = ctrl.write_warp(0, 0, 77, PageToken(55), Cycles(0));
+        assert!(ok);
+        assert_eq!(ctrl.cache().peek(0, 77), Some(PageToken(55)));
+        let (_, outcome) = ctrl.read_warp(0, &[(0, 77)], Cycles(0));
+        assert!(matches!(outcome, ReadOutcome::Ready(t) if t[0] == PageToken(55)));
+    }
+}

@@ -1,0 +1,71 @@
+//! # agile-core — AGILE: asynchronous GPU-centric NVMe I/O
+//!
+//! This crate is the reproduction of the paper's primary contribution: a
+//! lightweight library that lets (simulated) GPU warps issue NVMe commands
+//! **asynchronously**, without holding locks across waits and therefore
+//! without the deadlock risks of §2.3, while a dedicated background service
+//! processes completions on their behalf.
+//!
+//! The crate is organised exactly along the paper's §3 structure:
+//!
+//! * [`config`] — system configuration (queue topology, cache geometry,
+//!   policies, cost model), the analogue of the host-side configuration calls
+//!   in Listing 1;
+//! * [`transaction`] — transaction barriers ([`transaction::AgileBuf`],
+//!   [`transaction::Barrier`]) and the per-SQ transaction tables that map
+//!   completions (by CID) back to the work they finish (§3.2.1, Figure 3);
+//! * [`sq_protocol`] — the three-state SQE locks (`EMPTY → UPDATED → ISSUED`)
+//!   and the serialized doorbell update of Algorithm 2 (§3.3.1);
+//! * [`coalesce`] — warp-level request coalescing (§3.3.2);
+//! * [`service`] — the AGILE service kernel with warp-centric CQ polling
+//!   (Algorithm 1, §3.2);
+//! * [`ctrl`] — the device-side API surface (`prefetch`, `asyncRead`,
+//!   `asyncWrite`, the array-like accessor) exposed to warp kernels (§3.5);
+//! * [`lockchain`] — the compile-time debug option that tracks per-thread
+//!   lock chains and reports circular dependencies (§3.5);
+//! * [`host`] — [`host::AgileHost`], the host-side setup/run/teardown flow of
+//!   Listing 1, plus the bridge that co-simulates the SSD array with the GPU
+//!   engine.
+//!
+//! ## Example
+//!
+//! ```
+//! use agile_core::host::AgileHost;
+//! use agile_core::config::AgileConfig;
+//! use agile_core::kernels::PrefetchComputeKernel;
+//! use gpu_sim::{GpuConfig, LaunchConfig};
+//!
+//! // Two small SSDs, a 4 MiB cache, 4 queue pairs of depth 64 per SSD.
+//! let config = AgileConfig::small_test();
+//! let mut host = AgileHost::new(GpuConfig::tiny(4), config);
+//! host.add_nvme_dev(1 << 16); // pages
+//! host.add_nvme_dev(1 << 16);
+//! host.init_nvme();
+//! host.start_agile();
+//! let ctrl = host.ctrl();
+//! let report = host.run_kernel(
+//!     LaunchConfig::new(2, 64).with_registers(32),
+//!     Box::new(PrefetchComputeKernel::new(ctrl, 8, 2000)),
+//! );
+//! assert!(!report.deadlocked);
+//! host.stop_agile();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod coalesce;
+pub mod config;
+pub mod ctrl;
+pub mod host;
+pub mod kernels;
+pub mod lockchain;
+pub mod service;
+pub mod sq_protocol;
+pub mod transaction;
+
+pub use config::AgileConfig;
+pub use ctrl::{AgileCtrl, ApiStats, IssueOutcome, ReadOutcome};
+pub use host::AgileHost;
+pub use lockchain::{AgileLockChain, DeadlockReport, LockRegistry};
+pub use transaction::{AgileBuf, Barrier};

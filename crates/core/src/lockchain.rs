@@ -1,0 +1,294 @@
+//! Lock-chain tracking and deadlock reporting (the paper's debug option).
+//!
+//! AGILE lets users plug in their own cache and Share-Table policies, and
+//! custom policies may take locks of their own — re-introducing deadlock
+//! risk. The paper ships a compile-time debug option (§3.5): every thread
+//! tracks the locks it has acquired in a per-thread *lock chain*; when an
+//! acquisition fails, the thread records that its held locks now depend on
+//! the target lock, and checks whether the target's dependency chain reaches
+//! back to any lock it already holds — a cycle, i.e. a deadlock — which is
+//! then reported instead of hanging.
+//!
+//! The reproduction implements the same machinery as a runtime-selectable
+//! (rather than compile-time) option: a global [`LockRegistry`] of abstract
+//! locks, per-thread [`AgileLockChain`]s, and cycle detection over the
+//! wait-for graph.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Identifier of an abstract lock registered with the [`LockRegistry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LockId(pub u64);
+
+/// Identifier of a (simulated) thread.
+pub type ThreadId = u64;
+
+/// A reported circular dependency.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeadlockReport {
+    /// The thread whose failed acquisition closed the cycle.
+    pub thread: ThreadId,
+    /// The lock that thread was trying to acquire.
+    pub wanted: LockId,
+    /// The cycle of locks, starting and ending at `wanted`.
+    pub cycle: Vec<LockId>,
+}
+
+impl fmt::Display for DeadlockReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "deadlock: thread {} waiting for lock {:?}; cycle: {:?}",
+            self.thread, self.wanted, self.cycle
+        )
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    /// Current holder of each lock (if any).
+    holders: HashMap<LockId, ThreadId>,
+    /// wanted-by edges: thread → lock it is currently blocked on.
+    waiting: HashMap<ThreadId, LockId>,
+    /// locks held per thread.
+    held: HashMap<ThreadId, Vec<LockId>>,
+    next_id: u64,
+    reports: Vec<DeadlockReport>,
+}
+
+/// The global registry of abstract locks used by the debug option.
+#[derive(Default)]
+pub struct LockRegistry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl LockRegistry {
+    /// A fresh registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a new abstract lock and return its id.
+    pub fn register_lock(&self) -> LockId {
+        let mut inner = self.inner.lock();
+        let id = LockId(inner.next_id);
+        inner.next_id += 1;
+        id
+    }
+
+    /// Record a successful acquisition of `lock` by `thread`.
+    pub fn acquired(&self, thread: ThreadId, lock: LockId) {
+        let mut inner = self.inner.lock();
+        inner.holders.insert(lock, thread);
+        inner.waiting.remove(&thread);
+        inner.held.entry(thread).or_default().push(lock);
+    }
+
+    /// Record a release of `lock` by `thread`.
+    pub fn released(&self, thread: ThreadId, lock: LockId) {
+        let mut inner = self.inner.lock();
+        if inner.holders.get(&lock) == Some(&thread) {
+            inner.holders.remove(&lock);
+        }
+        if let Some(held) = inner.held.get_mut(&thread) {
+            if let Some(pos) = held.iter().position(|&l| l == lock) {
+                held.remove(pos);
+            }
+        }
+    }
+
+    /// Record that `thread` failed to acquire `lock` and is now waiting for
+    /// it. Returns a [`DeadlockReport`] if this wait closes a cycle in the
+    /// wait-for graph.
+    pub fn blocked_on(&self, thread: ThreadId, lock: LockId) -> Option<DeadlockReport> {
+        let mut inner = self.inner.lock();
+        inner.waiting.insert(thread, lock);
+
+        // Walk holder → waiting-for → holder … starting from `lock`, looking
+        // for a path back to a lock held by `thread` (or to `thread` itself).
+        let mut cycle = vec![lock];
+        let mut visited_threads = HashSet::new();
+        let mut current_lock = lock;
+        loop {
+            let Some(&holder) = inner.holders.get(&current_lock) else {
+                // Nobody holds it: no deadlock, the acquisition will succeed
+                // once retried.
+                return None;
+            };
+            if holder == thread {
+                // The requester already holds a lock on the path: cycle.
+                let report = DeadlockReport {
+                    thread,
+                    wanted: lock,
+                    cycle,
+                };
+                inner.reports.push(report.clone());
+                return Some(report);
+            }
+            if !visited_threads.insert(holder) {
+                // Another cycle not involving `thread`; stop walking.
+                return None;
+            }
+            let Some(&next_lock) = inner.waiting.get(&holder) else {
+                // Holder is running (not blocked): it will eventually release.
+                return None;
+            };
+            cycle.push(next_lock);
+            current_lock = next_lock;
+        }
+    }
+
+    /// Clear a previously recorded wait (the thread gave up or succeeded).
+    pub fn unblocked(&self, thread: ThreadId) {
+        self.inner.lock().waiting.remove(&thread);
+    }
+
+    /// All deadlocks reported so far.
+    pub fn reports(&self) -> Vec<DeadlockReport> {
+        self.inner.lock().reports.clone()
+    }
+
+    /// Locks currently held by `thread` (its lock chain).
+    pub fn chain_of(&self, thread: ThreadId) -> Vec<LockId> {
+        self.inner
+            .lock()
+            .held
+            .get(&thread)
+            .cloned()
+            .unwrap_or_default()
+    }
+}
+
+/// Per-thread handle mirroring the `AgileLockChain chain;` declaration in
+/// Listing 1: a thin wrapper that tags every registry call with the owning
+/// thread id.
+pub struct AgileLockChain<'r> {
+    registry: &'r LockRegistry,
+    thread: ThreadId,
+}
+
+impl<'r> AgileLockChain<'r> {
+    /// Create the chain for `thread`.
+    pub fn new(registry: &'r LockRegistry, thread: ThreadId) -> Self {
+        AgileLockChain { registry, thread }
+    }
+
+    /// The owning thread.
+    pub fn thread(&self) -> ThreadId {
+        self.thread
+    }
+
+    /// Record a successful acquisition.
+    pub fn acquired(&self, lock: LockId) {
+        self.registry.acquired(self.thread, lock);
+    }
+
+    /// Record a release.
+    pub fn released(&self, lock: LockId) {
+        self.registry.released(self.thread, lock);
+    }
+
+    /// Record a failed acquisition; returns a report if it closes a cycle.
+    pub fn blocked_on(&self, lock: LockId) -> Option<DeadlockReport> {
+        self.registry.blocked_on(self.thread, lock)
+    }
+
+    /// Clear this thread's wait edge.
+    pub fn unblocked(&self) {
+        self.registry.unblocked(self.thread);
+    }
+
+    /// The locks this thread currently holds.
+    pub fn held(&self) -> Vec<LockId> {
+        self.registry.chain_of(self.thread)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_deadlock_on_uncontended_locks() {
+        let reg = LockRegistry::new();
+        let a = reg.register_lock();
+        let chain = AgileLockChain::new(&reg, 1);
+        chain.acquired(a);
+        assert_eq!(chain.held(), vec![a]);
+        chain.released(a);
+        assert!(chain.held().is_empty());
+        assert!(reg.reports().is_empty());
+    }
+
+    #[test]
+    fn waiting_on_a_running_holder_is_not_a_deadlock() {
+        let reg = LockRegistry::new();
+        let a = reg.register_lock();
+        let t1 = AgileLockChain::new(&reg, 1);
+        let t2 = AgileLockChain::new(&reg, 2);
+        t1.acquired(a);
+        // t2 blocks on a, but t1 is not waiting on anything: no cycle.
+        assert!(t2.blocked_on(a).is_none());
+        t1.released(a);
+        t2.unblocked();
+        assert!(reg.reports().is_empty());
+    }
+
+    #[test]
+    fn classic_ab_ba_deadlock_is_detected() {
+        let reg = LockRegistry::new();
+        let a = reg.register_lock();
+        let b = reg.register_lock();
+        let t1 = AgileLockChain::new(&reg, 1);
+        let t2 = AgileLockChain::new(&reg, 2);
+        // T1 holds A, T2 holds B.
+        t1.acquired(a);
+        t2.acquired(b);
+        // T1 blocks on B — no cycle yet (T2 is still running).
+        assert!(t1.blocked_on(b).is_none());
+        // T2 blocks on A — cycle: A held by T1, which waits for B held by T2.
+        let report = t2.blocked_on(a).expect("deadlock must be reported");
+        assert_eq!(report.thread, 2);
+        assert_eq!(report.wanted, a);
+        assert!(report.cycle.contains(&a) && report.cycle.contains(&b));
+        assert_eq!(reg.reports().len(), 1);
+        let rendered = format!("{report}");
+        assert!(rendered.contains("deadlock"));
+    }
+
+    #[test]
+    fn three_party_cycle_is_detected() {
+        let reg = LockRegistry::new();
+        let locks: Vec<LockId> = (0..3).map(|_| reg.register_lock()).collect();
+        let chains: Vec<AgileLockChain<'_>> =
+            (0..3).map(|t| AgileLockChain::new(&reg, t as u64)).collect();
+        for i in 0..3 {
+            chains[i].acquired(locks[i]);
+        }
+        // 0 waits for 1's lock, 1 waits for 2's lock — no cycle yet.
+        assert!(chains[0].blocked_on(locks[1]).is_none());
+        assert!(chains[1].blocked_on(locks[2]).is_none());
+        // 2 waits for 0's lock — closes the three-party cycle.
+        let report = chains[2].blocked_on(locks[0]).expect("cycle of three");
+        assert_eq!(report.cycle.len(), 3);
+    }
+
+    #[test]
+    fn releasing_breaks_the_cycle_possibility() {
+        let reg = LockRegistry::new();
+        let a = reg.register_lock();
+        let b = reg.register_lock();
+        let t1 = AgileLockChain::new(&reg, 1);
+        let t2 = AgileLockChain::new(&reg, 2);
+        t1.acquired(a);
+        t2.acquired(b);
+        assert!(t1.blocked_on(b).is_none());
+        // T1 gives up and releases A before T2 ever waits: no deadlock.
+        t1.unblocked();
+        t1.released(a);
+        assert!(t2.blocked_on(a).is_none());
+    }
+}

@@ -1,0 +1,462 @@
+//! The AGILE service: warp-centric completion-queue polling (§3.2).
+//!
+//! A small persistent kernel runs in the background on the GPU. Its warps
+//! rotate over every registered CQ in round-robin order; on each visit a warp
+//! examines a 32-entry window of the CQ — one CQE per lane — exactly as
+//! Algorithm 1 describes:
+//!
+//! 1. load the window offset, the expected phase and the 32-bit mask of
+//!    already-seen completions;
+//! 2. every lane whose mask bit is clear probes its CQE's phase tag and sets
+//!    the bit if a new completion is present — and the service *processes*
+//!    that completion: it maps the `(SQ, CID)` back to its transaction,
+//!    releases the SQE lock (so the submission slot can be reused), completes
+//!    cache fills, clears user barriers and marks Share-Table entries ready;
+//! 3. when the whole window is processed the warp writes the CQ head doorbell
+//!    (consuming the 32 entries) and resets the mask for the next window.
+//!
+//! Because the *service* — not the issuing thread — releases SQ entries, a
+//! thread that finds every SQ full can simply retry later: the entries it is
+//! waiting for will be freed regardless of what any user thread is doing,
+//! which eliminates the deadlock of Figure 1.
+
+use crate::ctrl::AgileCtrl;
+use crate::sq_protocol::AgileSq;
+use crate::transaction::Transaction;
+use agile_sim::Cycles;
+use gpu_sim::{KernelFactory, WarpCtx, WarpKernel, WarpStep};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Poll cursor of one CQ (owned by the service).
+struct CqPollState {
+    /// Ring index of the first entry of the current 32-entry window.
+    window_start: u32,
+    /// Expected phase tag for entries in the current pass of the ring.
+    phase: bool,
+    /// Bit `i` set ⇒ entry `window_start + i` has been observed and processed.
+    mask: u32,
+}
+
+impl CqPollState {
+    fn new() -> Self {
+        CqPollState {
+            window_start: 0,
+            phase: true,
+            mask: 0,
+        }
+    }
+}
+
+/// Statistics of the service kernel.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceStats {
+    /// Completions processed.
+    pub completions: u64,
+    /// CQ head-doorbell updates (windows consumed).
+    pub cq_doorbells: u64,
+    /// Poll rounds that found no new completion.
+    pub idle_rounds: u64,
+    /// Poll rounds that found at least one completion.
+    pub busy_rounds: u64,
+}
+
+#[derive(Default)]
+struct ServiceStatCells {
+    completions: AtomicU64,
+    cq_doorbells: AtomicU64,
+    idle_rounds: AtomicU64,
+    busy_rounds: AtomicU64,
+}
+
+/// The shared service state: one poll cursor per registered CQ, across all
+/// devices.
+pub struct AgileService {
+    ctrl: Arc<AgileCtrl>,
+    /// `(device, queue-pair)` flattened list of CQs to poll.
+    targets: Vec<(usize, usize)>,
+    cursors: Vec<Mutex<CqPollState>>,
+    stats: ServiceStatCells,
+    /// Cycles a poll round costs when it found completions.
+    poll_round_cost: u64,
+    /// Cycles a warp backs off when its round found nothing (keeps the
+    /// simulation cheap without changing behaviour: an idle poll loop).
+    idle_backoff: u64,
+}
+
+impl AgileService {
+    /// Build the service over every CQ registered with the controller.
+    pub fn new(ctrl: Arc<AgileCtrl>) -> Arc<Self> {
+        let mut targets = Vec::new();
+        for dev in 0..ctrl.device_count() {
+            for q in 0..ctrl.device_queues(dev).len() {
+                targets.push((dev, q));
+            }
+        }
+        let cursors = targets.iter().map(|_| Mutex::new(CqPollState::new())).collect();
+        let poll_round_cost = ctrl.config().costs.api.agile_service_poll_round;
+        Arc::new(AgileService {
+            ctrl,
+            targets,
+            cursors,
+            stats: ServiceStatCells::default(),
+            poll_round_cost,
+            idle_backoff: 1_000,
+        })
+    }
+
+    /// Number of CQs the service is responsible for.
+    pub fn target_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            completions: self.stats.completions.load(Ordering::Relaxed),
+            cq_doorbells: self.stats.cq_doorbells.load(Ordering::Relaxed),
+            idle_rounds: self.stats.idle_rounds.load(Ordering::Relaxed),
+            busy_rounds: self.stats.busy_rounds.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Execute one warp-centric polling round on CQ `target_idx`
+    /// (Algorithm 1). Returns the number of completions processed.
+    pub fn poll_cq(&self, target_idx: usize) -> u32 {
+        let (dev, qidx) = self.targets[target_idx];
+        let sq: &Arc<AgileSq> = &self.ctrl.device_queues(dev)[qidx];
+        let cq = &sq.queue_pair().cq;
+        let depth = cq.depth();
+        let mut cursor = self.cursors[target_idx].lock();
+        let mut processed = 0u32;
+
+        // Each of the 32 "lanes" probes one entry of the window.
+        let window = 32.min(depth);
+        for lane in 0..window {
+            let bit = 1u32 << lane;
+            if cursor.mask & bit != 0 {
+                continue;
+            }
+            let idx = (cursor.window_start + lane) % depth;
+            if let Some(cqe) = cq.poll_slot(idx, cursor.phase) {
+                self.process_completion(dev, cqe.sq_id as usize, cqe.cid);
+                cursor.mask |= bit;
+                processed += 1;
+            }
+        }
+
+        // Window fully processed: ring the CQ head doorbell and move on.
+        let full_mask = if window == 32 {
+            u32::MAX
+        } else {
+            (1u32 << window) - 1
+        };
+        if cursor.mask == full_mask {
+            cq.consume(window);
+            self.stats.cq_doorbells.fetch_add(1, Ordering::Relaxed);
+            cursor.mask = 0;
+            let next = (cursor.window_start + window) % depth;
+            if next <= cursor.window_start {
+                cursor.phase = !cursor.phase;
+            }
+            cursor.window_start = next;
+        }
+        processed
+    }
+
+    /// Handle one completion: release the SQE and finish its transaction.
+    fn process_completion(&self, dev: usize, qidx: usize, cid: u16) {
+        let sq = &self.ctrl.device_queues(dev)[qidx];
+        let txn = sq
+            .transactions()
+            .take(cid)
+            .expect("completion for a command with no transaction");
+        sq.release(cid);
+        self.stats.completions.fetch_add(1, Ordering::Relaxed);
+        match txn {
+            Transaction::CacheFill { line } => {
+                self.ctrl.cache().complete_fill(line);
+                self.ctrl.cache().unpin(line);
+            }
+            Transaction::WriteBack => {}
+            Transaction::UserRead { barrier, shared } => {
+                barrier.complete();
+                if let Some(s) = shared {
+                    s.mark_ready();
+                }
+            }
+            Transaction::UserWrite { barrier } => barrier.complete(),
+            Transaction::Raw { barrier, .. } => barrier.complete(),
+        }
+    }
+
+    /// One scheduling step of a service warp: poll the next CQ in this warp's
+    /// rotation. Returns the cycle cost of the step.
+    pub fn service_step(&self, rotation: &mut usize, stride: usize, offset: usize) -> Cycles {
+        if self.targets.is_empty() {
+            return Cycles(self.idle_backoff);
+        }
+        let idx = (offset + *rotation * stride) % self.targets.len();
+        *rotation += 1;
+        let processed = self.poll_cq(idx);
+        if processed > 0 {
+            self.stats.busy_rounds.fetch_add(1, Ordering::Relaxed);
+            Cycles(self.poll_round_cost)
+        } else {
+            self.stats.idle_rounds.fetch_add(1, Ordering::Relaxed);
+            Cycles(self.poll_round_cost.max(self.idle_backoff))
+        }
+    }
+
+    /// The controller this service works for.
+    pub fn ctrl(&self) -> &Arc<AgileCtrl> {
+        &self.ctrl
+    }
+}
+
+/// Kernel factory for the persistent AGILE service kernel.
+pub struct AgileServiceKernel {
+    service: Arc<AgileService>,
+    warps_per_block: u32,
+    total_warps: u32,
+}
+
+impl AgileServiceKernel {
+    /// Create the factory; `warps_per_block`/`total_warps` must match the
+    /// launch configuration used for the service kernel.
+    pub fn new(service: Arc<AgileService>, warps_per_block: u32, total_warps: u32) -> Self {
+        AgileServiceKernel {
+            service,
+            warps_per_block,
+            total_warps: total_warps.max(1),
+        }
+    }
+}
+
+struct ServiceWarp {
+    service: Arc<AgileService>,
+    rotation: usize,
+    stride: usize,
+    offset: usize,
+}
+
+impl WarpKernel for ServiceWarp {
+    fn step(&mut self, _ctx: &WarpCtx) -> WarpStep {
+        if self.service.ctrl().service_stop_requested() {
+            return WarpStep::Done;
+        }
+        let cost = self
+            .service
+            .service_step(&mut self.rotation, self.stride, self.offset);
+        WarpStep::Busy(cost)
+    }
+}
+
+impl KernelFactory for AgileServiceKernel {
+    fn create_warp(&self, block: u32, warp: u32) -> Box<dyn WarpKernel> {
+        let flat = block * self.warps_per_block + warp;
+        Box::new(ServiceWarp {
+            service: Arc::clone(&self.service),
+            rotation: 0,
+            stride: self.total_warps as usize,
+            offset: flat as usize,
+        })
+    }
+    fn name(&self) -> &str {
+        "agile-service"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AgileConfig;
+    use crate::transaction::{AgileBuf, Barrier};
+    use nvme_sim::{DmaHandle, MemBacking, PageToken, QueuePair, SsdConfig, SsdDevice};
+
+    /// Build a ctrl + device pair wired through real queue pairs.
+    fn rig(qps: usize, depth: u32) -> (Arc<AgileCtrl>, SsdDevice) {
+        let cfg = AgileConfig::small_test()
+            .with_queue_pairs(qps)
+            .with_queue_depth(depth);
+        let mut dev = SsdDevice::new(
+            SsdConfig::new(0).with_capacity_pages(1 << 20),
+            Arc::new(MemBacking::new(0)),
+        );
+        let queues: Vec<Arc<QueuePair>> = (0..qps)
+            .map(|q| {
+                let qp = QueuePair::new(q as u16, depth);
+                dev.register_queue_pair(Arc::clone(&qp));
+                qp
+            })
+            .collect();
+        let ctrl = Arc::new(AgileCtrl::new(cfg, vec![queues]));
+        (ctrl, dev)
+    }
+
+    /// Drive device + service from `start` until the predicate holds (or panic).
+    fn drive_until_from(
+        dev: &mut SsdDevice,
+        service: &AgileService,
+        start: Cycles,
+        mut pred: impl FnMut() -> bool,
+    ) -> Cycles {
+        let mut now = start;
+        let mut rotation = 0usize;
+        for _ in 0..200_000 {
+            now += Cycles(2_000);
+            dev.advance_to(now);
+            // One service warp sweeping all CQs.
+            let _ = service.service_step(&mut rotation, 1, 0);
+            if pred() {
+                return now;
+            }
+        }
+        panic!("condition never became true");
+    }
+
+    /// Drive device + service from time zero until the predicate holds.
+    fn drive_until(
+        dev: &mut SsdDevice,
+        service: &AgileService,
+        pred: impl FnMut() -> bool,
+    ) -> Cycles {
+        drive_until_from(dev, service, Cycles(0), pred)
+    }
+
+    #[test]
+    fn service_completes_cache_fills_end_to_end() {
+        let (ctrl, mut dev) = rig(2, 64);
+        let service = AgileService::new(Arc::clone(&ctrl));
+        assert_eq!(service.target_count(), 2);
+        let (_, retry) = ctrl.prefetch_warp(0, &[(0, 11), (0, 12), (0, 13)], Cycles(0));
+        assert!(retry.is_empty());
+        let c = Arc::clone(&ctrl);
+        drive_until(&mut dev, &service, move || {
+            c.cache().peek(0, 11).is_some()
+                && c.cache().peek(0, 12).is_some()
+                && c.cache().peek(0, 13).is_some()
+        });
+        // Tokens are the device's pristine content.
+        assert_eq!(ctrl.cache().peek(0, 11), Some(PageToken::pristine(0, 11)));
+        assert_eq!(service.stats().completions, 3);
+        // All SQ entries were recycled and no pins leaked.
+        assert_eq!(ctrl.cache().total_pins(), 0);
+        let free: u32 = ctrl.device_queues(0).iter().map(|q| q.free_slots()).sum();
+        assert_eq!(free, 2 * 64);
+    }
+
+    #[test]
+    fn service_clears_user_read_barriers() {
+        let (ctrl, mut dev) = rig(1, 64);
+        let service = AgileService::new(Arc::clone(&ctrl));
+        let buf = AgileBuf::new();
+        let (_, outcome) = ctrl.async_read(3, 0, 500, &buf, Cycles(0));
+        assert_eq!(outcome, crate::ctrl::IssueOutcome::Issued);
+        let b = buf.clone();
+        drive_until(&mut dev, &service, move || b.is_ready());
+        assert_eq!(buf.token(), PageToken::pristine(0, 500));
+        // The Share Table entry is ready for other threads.
+        let other = AgileBuf::new();
+        let (_, o2) = ctrl.async_read(4, 0, 500, &other, Cycles(0));
+        assert_eq!(o2, crate::ctrl::IssueOutcome::AlreadyAvailable);
+    }
+
+    #[test]
+    fn service_recycles_sq_entries_under_pressure() {
+        // SQ depth 4, one queue pair: issue 32 raw reads, which only works if
+        // the service keeps freeing entries — the Figure 1 scenario resolved.
+        let (ctrl, mut dev) = rig(1, 4);
+        let service = AgileService::new(Arc::clone(&ctrl));
+        let barriers: Vec<Barrier> = (0..32).map(|_| Barrier::new()).collect();
+        let mut issued = 0usize;
+        let mut now = Cycles(0);
+        let mut rotation = 0usize;
+        let mut guard = 0;
+        while issued < 32 {
+            guard += 1;
+            assert!(guard < 100_000, "made no progress issuing under pressure");
+            let (_, o) = ctrl.raw_read(
+                0,
+                0,
+                1000 + issued as u64,
+                DmaHandle::new(),
+                barriers[issued].clone(),
+                now,
+            );
+            if o == crate::ctrl::IssueOutcome::Issued {
+                issued += 1;
+            }
+            now += Cycles(5_000);
+            dev.advance_to(now);
+            let _ = service.service_step(&mut rotation, 1, 0);
+        }
+        // Drain the rest.
+        let done = barriers.clone();
+        drive_until_from(&mut dev, &service, now, move || {
+            done.iter().all(|b| b.is_complete())
+        });
+        assert_eq!(service.stats().completions, 32);
+        assert!(ctrl.stats().sq_full_retries > 0, "pressure should have been observed");
+    }
+
+    #[test]
+    fn cq_windows_wrap_and_flip_phase() {
+        // Depth 64 CQ: drive > 64 completions through one queue and make sure
+        // polling keeps working across the wrap (phase flip).
+        let (ctrl, mut dev) = rig(1, 64);
+        let service = AgileService::new(Arc::clone(&ctrl));
+        let barriers: Vec<Barrier> = (0..96).map(|_| Barrier::new()).collect();
+        let mut now = Cycles(0);
+        let mut rotation = 0usize;
+        let mut issued = 0;
+        let mut guard = 0;
+        while issued < 96 {
+            guard += 1;
+            assert!(guard < 200_000);
+            let (_, o) = ctrl.raw_read(
+                0,
+                0,
+                issued as u64,
+                DmaHandle::new(),
+                barriers[issued].clone(),
+                now,
+            );
+            if o == crate::ctrl::IssueOutcome::Issued {
+                issued += 1;
+            }
+            now += Cycles(3_000);
+            dev.advance_to(now);
+            let _ = service.service_step(&mut rotation, 1, 0);
+        }
+        let done = barriers.clone();
+        drive_until_from(&mut dev, &service, now, move || {
+            done.iter().all(|b| b.is_complete())
+        });
+        assert_eq!(service.stats().completions, 96);
+        assert!(service.stats().cq_doorbells >= 2, "at least two windows consumed");
+    }
+
+    #[test]
+    fn service_kernel_factory_stops_on_request() {
+        let (ctrl, _dev) = rig(1, 16);
+        let service = AgileService::new(Arc::clone(&ctrl));
+        let factory = AgileServiceKernel::new(Arc::clone(&service), 1, 2);
+        let mut warp = factory.create_warp(0, 0);
+        let ctx = WarpCtx {
+            now: Cycles(0),
+            warp: gpu_sim::WarpId {
+                kernel: gpu_sim::KernelId(0),
+                block: 0,
+                warp: 0,
+            },
+            lanes: 32,
+            clock_ghz: 2.5,
+        };
+        assert!(matches!(warp.step(&ctx), WarpStep::Busy(_)));
+        ctrl.request_service_stop();
+        assert!(matches!(warp.step(&ctx), WarpStep::Done));
+        assert_eq!(factory.name(), "agile-service");
+    }
+}

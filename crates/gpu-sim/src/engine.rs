@@ -1,0 +1,627 @@
+//! The co-simulation engine.
+//!
+//! [`Engine`] owns the GPU state (SMs with resident warps), the launched
+//! kernels, and any external latency-bearing devices (the SSD array, wrapped
+//! behind [`ExternalDevice`]). `run()` advances virtual time event by event:
+//!
+//! 1. all external devices are advanced to the current time so their
+//!    completions (DMA writes, CQ entries) become visible to warps;
+//! 2. every resident, ready warp is stepped once;
+//! 3. finished blocks release their SM resources and pending blocks from the
+//!    dispatch queue are placed (wave scheduling);
+//! 4. the clock jumps to the next interesting time (earliest warp wake-up or
+//!    device event).
+//!
+//! The engine also watches for livelock: if no warp makes forward progress
+//! (`Busy` or `Done`) for a configurable window while kernels are still
+//! incomplete, it stops and flags the run as deadlocked — this is how the
+//! repository demonstrates the queue deadlock of paper §2.3.1 on the
+//! synchronous baseline, and its absence under AGILE.
+
+use crate::config::GpuConfig;
+use crate::kernel::{occupancy, KernelFactory, KernelId, LaunchConfig, WarpCtx, WarpId, WarpStep};
+use crate::sm::{ResidentWarp, SmState};
+use agile_sim::{Cycles, SimClock};
+use serde::{Deserialize, Serialize};
+
+/// An external device co-simulated with the GPU (in practice: the SSD array).
+pub trait ExternalDevice {
+    /// Advance the device's internal state to time `now`.
+    fn advance_to(&mut self, now: Cycles);
+    /// Earliest pending internal event, if any.
+    fn next_event_time(&mut self) -> Option<Cycles>;
+    /// True when the device has no in-flight work.
+    fn quiescent(&self) -> bool;
+}
+
+/// Per-kernel execution summary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelReport {
+    /// Kernel name (from the factory).
+    pub name: String,
+    /// Kernel id.
+    pub id: u32,
+    /// Total warps executed.
+    pub warps: u64,
+    /// Sum of busy cycles across warps.
+    pub busy_cycles: u64,
+    /// Sum of stall cycles across warps.
+    pub stall_cycles: u64,
+    /// Total `step` invocations.
+    pub steps: u64,
+    /// Time the last (non-persistent) block of the kernel retired; zero for
+    /// persistent kernels that were still running when the engine stopped.
+    pub completed_at: u64,
+    /// Whether the kernel was launched persistent.
+    pub persistent: bool,
+}
+
+/// Result of an [`Engine::run`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExecutionReport {
+    /// Simulated end-to-end time (cycles) from launch to completion of all
+    /// non-persistent kernels.
+    pub elapsed: Cycles,
+    /// The same, in seconds at the configured clock.
+    pub elapsed_secs: f64,
+    /// Per-kernel summaries, in launch order.
+    pub kernels: Vec<KernelReport>,
+    /// True when the engine detected a lack of forward progress (deadlock /
+    /// livelock) and aborted the run.
+    pub deadlocked: bool,
+    /// Number of engine scheduling rounds executed.
+    pub rounds: u64,
+}
+
+impl ExecutionReport {
+    /// Report for the kernel with the given name, if present.
+    pub fn kernel(&self, name: &str) -> Option<&KernelReport> {
+        self.kernels.iter().find(|k| k.name == name)
+    }
+}
+
+struct KernelInstance {
+    id: KernelId,
+    name: String,
+    launch: LaunchConfig,
+    factory: Box<dyn KernelFactory>,
+    blocks_retired: u32,
+    completed_at: Option<Cycles>,
+    // accumulated stats
+    warps: u64,
+    busy: Cycles,
+    stall: Cycles,
+    steps: u64,
+}
+
+impl KernelInstance {
+    fn complete(&self) -> bool {
+        self.blocks_retired == self.launch.grid_dim
+    }
+}
+
+/// The GPU + devices co-simulation engine.
+pub struct Engine {
+    gpu: GpuConfig,
+    clock: SimClock,
+    sms: Vec<SmState>,
+    kernels: Vec<KernelInstance>,
+    devices: Vec<Box<dyn ExternalDevice>>,
+    /// Pending (kernel_idx, block_idx) waiting for SM space, FIFO.
+    dispatch_queue: std::collections::VecDeque<(usize, u32)>,
+    /// Window without forward progress after which the run is declared
+    /// deadlocked.
+    deadlock_window: Cycles,
+    /// Hard wall on simulated time (safety net for tests).
+    max_cycles: Cycles,
+    rounds: u64,
+}
+
+impl Engine {
+    /// Create an engine for the given GPU.
+    pub fn new(gpu: GpuConfig) -> Self {
+        let clock = SimClock::new(gpu.clock_ghz);
+        let sms = (0..gpu.num_sms).map(SmState::new).collect();
+        Engine {
+            gpu,
+            clock,
+            sms,
+            kernels: Vec::new(),
+            devices: Vec::new(),
+            dispatch_queue: std::collections::VecDeque::new(),
+            deadlock_window: Cycles(50_000_000),
+            max_cycles: Cycles(u64::MAX / 4),
+            rounds: 0,
+        }
+    }
+
+    /// The GPU configuration.
+    pub fn gpu(&self) -> &GpuConfig {
+        &self.gpu
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Cycles {
+        self.clock.now()
+    }
+
+    /// Override the no-progress window used for deadlock detection.
+    pub fn set_deadlock_window(&mut self, window: Cycles) {
+        self.deadlock_window = window;
+    }
+
+    /// Override the hard limit on simulated cycles.
+    pub fn set_max_cycles(&mut self, max: Cycles) {
+        self.max_cycles = max;
+    }
+
+    /// Attach an external device (SSD array). Devices are advanced in the
+    /// order they were added.
+    pub fn add_device(&mut self, dev: Box<dyn ExternalDevice>) {
+        self.devices.push(dev);
+    }
+
+    /// Launch a kernel; its blocks enter the dispatch queue immediately.
+    pub fn launch(&mut self, launch: LaunchConfig, factory: Box<dyn KernelFactory>) -> KernelId {
+        assert!(launch.grid_dim > 0, "grid must contain at least one block");
+        assert!(
+            launch.block_dim % self.gpu.warp_size == 0 && launch.block_dim > 0,
+            "block_dim must be a positive warp-size multiple"
+        );
+        // Validate the launch fits the device at all.
+        let occ = occupancy(&self.gpu, &launch);
+        assert!(occ > 0, "kernel footprint too large for one SM");
+        let id = KernelId(self.kernels.len() as u32);
+        let idx = self.kernels.len();
+        self.kernels.push(KernelInstance {
+            id,
+            name: factory.name().to_string(),
+            launch,
+            factory,
+            blocks_retired: 0,
+            completed_at: None,
+            warps: 0,
+            busy: Cycles::ZERO,
+            stall: Cycles::ZERO,
+            steps: 0,
+        });
+        let grid = self.kernels[idx].launch.grid_dim;
+        for b in 0..grid {
+            self.dispatch_queue.push_back((idx, b));
+        }
+        self.fill_sms();
+        id
+    }
+
+    /// Place as many pending blocks as the SMs can hold.
+    fn fill_sms(&mut self) {
+        // Round-robin over SMs for each pending block, preserving FIFO order
+        // per the hardware's global block scheduler.
+        let mut made_progress = true;
+        while made_progress {
+            made_progress = false;
+            let Some(&(kidx, block_idx)) = self.dispatch_queue.front() else {
+                break;
+            };
+            let (warps, regs, smem) = {
+                let k = &self.kernels[kidx];
+                (
+                    k.launch.warps_per_block(&self.gpu),
+                    k.launch.registers_per_thread * k.launch.block_dim,
+                    k.launch.shared_mem_per_block,
+                )
+            };
+            // Choose the least-loaded SM that can take the block.
+            let candidate = self
+                .sms
+                .iter()
+                .enumerate()
+                .filter(|(_, sm)| sm.can_place(&self.gpu, warps, regs, smem))
+                .min_by_key(|(_, sm)| sm.used_warps)
+                .map(|(i, _)| i);
+            if let Some(sm_idx) = candidate {
+                self.dispatch_queue.pop_front();
+                self.place_block(sm_idx, kidx, block_idx, warps, regs, smem);
+                made_progress = true;
+            }
+        }
+    }
+
+    fn place_block(
+        &mut self,
+        sm_idx: usize,
+        kidx: usize,
+        block_idx: u32,
+        warps: u32,
+        regs: u32,
+        smem: u32,
+    ) {
+        let slot = self.sms[sm_idx].place_block(kidx, block_idx, warps, regs, smem);
+        let kernel_id = self.kernels[kidx].id;
+        for w in 0..warps {
+            let state = self.kernels[kidx].factory.create_warp(block_idx, w);
+            self.kernels[kidx].warps += 1;
+            self.sms[sm_idx].warps.push(ResidentWarp {
+                id: WarpId {
+                    kernel: kernel_id,
+                    block: block_idx,
+                    warp: w,
+                },
+                kernel_idx: kidx,
+                block_slot: slot,
+                state,
+                ready_at: self.clock.now(),
+                done: false,
+                busy: Cycles::ZERO,
+                stall: Cycles::ZERO,
+                steps: 0,
+            });
+        }
+    }
+
+    fn all_user_kernels_complete(&self) -> bool {
+        self.kernels
+            .iter()
+            .filter(|k| !k.launch.persistent)
+            .all(|k| k.complete())
+    }
+
+    /// Run until every non-persistent kernel has completed (or until deadlock
+    /// / the cycle limit is hit) and return the execution report.
+    pub fn run(&mut self) -> ExecutionReport {
+        let start = self.clock.now();
+        let mut last_progress = self.clock.now();
+        let mut deadlocked = false;
+
+        while !self.all_user_kernels_complete() {
+            self.rounds += 1;
+            let now = self.clock.now();
+
+            // 1. Let devices catch up so completions are visible to warps.
+            for dev in &mut self.devices {
+                dev.advance_to(now);
+            }
+
+            // 2. Step every ready warp once.
+            let mut progressed = false;
+            let mut retired_blocks: Vec<(usize, usize)> = Vec::new(); // (sm, slot)
+            for sm_idx in 0..self.sms.len() {
+                let sm = &mut self.sms[sm_idx];
+                for widx in 0..sm.warps.len() {
+                    let w = &mut sm.warps[widx];
+                    if w.done || w.ready_at > now {
+                        continue;
+                    }
+                    let ctx = WarpCtx {
+                        now,
+                        warp: w.id,
+                        lanes: self.gpu.warp_size,
+                        clock_ghz: self.gpu.clock_ghz,
+                    };
+                    w.steps += 1;
+                    self.kernels[w.kernel_idx].steps += 1;
+                    match w.state.step(&ctx) {
+                        WarpStep::Busy(c) => {
+                            let c = c.max(Cycles(1));
+                            w.ready_at = now + c;
+                            w.busy += c;
+                            self.kernels[w.kernel_idx].busy += c;
+                            progressed = true;
+                        }
+                        WarpStep::Stall { retry_after } => {
+                            let r = retry_after.max(Cycles(1));
+                            w.ready_at = now + r;
+                            w.stall += r;
+                            self.kernels[w.kernel_idx].stall += r;
+                        }
+                        WarpStep::Done => {
+                            w.done = true;
+                            progressed = true;
+                            let slot = w.block_slot;
+                            let kidx = w.kernel_idx;
+                            if sm.warp_retired(slot) {
+                                retired_blocks.push((sm_idx, slot));
+                                self.kernels[kidx].blocks_retired += 1;
+                                if self.kernels[kidx].complete() {
+                                    self.kernels[kidx].completed_at = Some(now);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            // 3. Clean up retired blocks and place pending ones.
+            if !retired_blocks.is_empty() {
+                for sm in &mut self.sms {
+                    sm.compact();
+                }
+                self.fill_sms();
+            }
+
+            if progressed {
+                last_progress = now;
+            } else if now.saturating_sub(last_progress) > self.deadlock_window {
+                deadlocked = true;
+                break;
+            }
+
+            if self.all_user_kernels_complete() {
+                break;
+            }
+
+            // 4. Advance time to the next interesting moment.
+            let next_warp = self
+                .sms
+                .iter()
+                .flat_map(|sm| sm.warps.iter())
+                .filter(|w| !w.done)
+                .map(|w| w.ready_at)
+                .filter(|&t| t > now)
+                .min();
+            let next_dev = self
+                .devices
+                .iter_mut()
+                .filter_map(|d| d.next_event_time())
+                .filter(|&t| t > now)
+                .min();
+            let next = match (next_warp, next_dev) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                // Nothing scheduled: either we are done (checked above) or
+                // every warp is ready right now — re-run immediately with a
+                // minimal time bump to guarantee forward motion of the clock.
+                (None, None) => now + Cycles(1),
+            };
+            if next <= now {
+                self.clock.advance(Cycles(1));
+            } else {
+                self.clock.advance_to(next);
+            }
+            if self.clock.now() > self.max_cycles {
+                deadlocked = true;
+                break;
+            }
+        }
+
+        // Final device sync so statistics reflect everything visible at the end.
+        let now = self.clock.now();
+        for dev in &mut self.devices {
+            dev.advance_to(now);
+        }
+
+        let elapsed = self.clock.now() - start;
+        ExecutionReport {
+            elapsed,
+            elapsed_secs: elapsed.to_secs(self.gpu.clock_ghz),
+            kernels: self
+                .kernels
+                .iter()
+                .map(|k| KernelReport {
+                    name: k.name.clone(),
+                    id: k.id.0,
+                    warps: k.warps,
+                    busy_cycles: k.busy.raw(),
+                    stall_cycles: k.stall.raw(),
+                    steps: k.steps,
+                    completed_at: k.completed_at.map(|c| c.raw()).unwrap_or(0),
+                    persistent: k.launch.persistent,
+                })
+                .collect(),
+            deadlocked,
+            rounds: self.rounds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::ComputeOnlyKernel;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn compute_only_kernel_time_matches_work() {
+        let mut eng = Engine::new(GpuConfig::tiny(2));
+        // 4 blocks × 2 warps, each warp busy for 1000 cycles in 2 steps.
+        eng.launch(
+            LaunchConfig::new(4, 64).with_registers(16),
+            Box::new(ComputeOnlyKernel {
+                cycles_per_warp: Cycles(1000),
+                steps: 2,
+            }),
+        );
+        let report = eng.run();
+        assert!(!report.deadlocked);
+        // Everything fits concurrently, so elapsed ≈ 1000 cycles (+ rounding).
+        assert!(report.elapsed.raw() >= 1000 && report.elapsed.raw() < 1100,
+            "elapsed {}", report.elapsed);
+        let k = &report.kernels[0];
+        assert_eq!(k.warps, 8);
+        assert_eq!(k.busy_cycles, 8 * 1000);
+    }
+
+    #[test]
+    fn waves_serialize_when_grid_exceeds_capacity() {
+        // tiny(1): at most 4 resident blocks per SM. Launch 16 single-warp
+        // blocks of 1000 cycles: needs four waves ⇒ elapsed ≈ 4000 cycles.
+        let mut eng = Engine::new(GpuConfig::tiny(1));
+        eng.launch(
+            LaunchConfig::new(16, 32).with_registers(16),
+            Box::new(ComputeOnlyKernel {
+                cycles_per_warp: Cycles(1000),
+                steps: 1,
+            }),
+        );
+        let report = eng.run();
+        assert!(!report.deadlocked);
+        assert!(
+            report.elapsed.raw() >= 4000 && report.elapsed.raw() < 4400,
+            "elapsed {}",
+            report.elapsed
+        );
+    }
+
+    /// A kernel whose warps wait for an external "device" to flip a flag.
+    struct WaitingKernel {
+        flag: Arc<AtomicU64>,
+    }
+    struct WaitingWarp {
+        flag: Arc<AtomicU64>,
+        issued: bool,
+    }
+    impl crate::kernel::WarpKernel for WaitingWarp {
+        fn step(&mut self, _ctx: &WarpCtx) -> WarpStep {
+            if !self.issued {
+                self.issued = true;
+                return WarpStep::Busy(Cycles(10));
+            }
+            if self.flag.load(Ordering::Acquire) == 1 {
+                WarpStep::Done
+            } else {
+                WarpStep::Stall {
+                    retry_after: Cycles(100),
+                }
+            }
+        }
+    }
+    impl KernelFactory for WaitingKernel {
+        fn create_warp(&self, _b: u32, _w: u32) -> Box<dyn crate::kernel::WarpKernel> {
+            Box::new(WaitingWarp {
+                flag: Arc::clone(&self.flag),
+                issued: false,
+            })
+        }
+        fn name(&self) -> &str {
+            "waiting"
+        }
+    }
+
+    /// Device that flips the flag at a fixed time.
+    struct FlagDevice {
+        flag: Arc<AtomicU64>,
+        at: Cycles,
+        fired: bool,
+    }
+    impl ExternalDevice for FlagDevice {
+        fn advance_to(&mut self, now: Cycles) {
+            if !self.fired && now >= self.at {
+                self.flag.store(1, Ordering::Release);
+                self.fired = true;
+            }
+        }
+        fn next_event_time(&mut self) -> Option<Cycles> {
+            (!self.fired).then_some(self.at)
+        }
+        fn quiescent(&self) -> bool {
+            self.fired
+        }
+    }
+
+    #[test]
+    fn warps_wake_when_device_event_fires() {
+        let flag = Arc::new(AtomicU64::new(0));
+        let mut eng = Engine::new(GpuConfig::tiny(1));
+        eng.add_device(Box::new(FlagDevice {
+            flag: Arc::clone(&flag),
+            at: Cycles(50_000),
+            fired: false,
+        }));
+        eng.launch(
+            LaunchConfig::new(2, 32).with_registers(16),
+            Box::new(WaitingKernel { flag }),
+        );
+        let report = eng.run();
+        assert!(!report.deadlocked);
+        // Completion should land shortly after the device event.
+        assert!(
+            report.elapsed.raw() >= 50_000 && report.elapsed.raw() < 51_000,
+            "elapsed {}",
+            report.elapsed
+        );
+        let k = &report.kernels[0];
+        assert!(k.stall_cycles > 0, "warps should have recorded stall time");
+    }
+
+    #[test]
+    fn deadlock_is_detected_when_no_progress_is_possible() {
+        // Flag never flips and there is no device: warps stall forever.
+        let flag = Arc::new(AtomicU64::new(0));
+        let mut eng = Engine::new(GpuConfig::tiny(1));
+        eng.set_deadlock_window(Cycles(100_000));
+        eng.launch(
+            LaunchConfig::new(1, 32).with_registers(16),
+            Box::new(WaitingKernel { flag }),
+        );
+        let report = eng.run();
+        assert!(report.deadlocked);
+    }
+
+    #[test]
+    fn persistent_kernel_does_not_gate_completion() {
+        struct Forever;
+        struct ForeverWarp;
+        impl crate::kernel::WarpKernel for ForeverWarp {
+            fn step(&mut self, _ctx: &WarpCtx) -> WarpStep {
+                WarpStep::Busy(Cycles(500))
+            }
+        }
+        impl KernelFactory for Forever {
+            fn create_warp(&self, _b: u32, _w: u32) -> Box<dyn crate::kernel::WarpKernel> {
+                Box::new(ForeverWarp)
+            }
+            fn name(&self) -> &str {
+                "service"
+            }
+        }
+        let mut eng = Engine::new(GpuConfig::tiny(2));
+        eng.launch(
+            LaunchConfig::new(1, 32).with_registers(16).persistent(),
+            Box::new(Forever),
+        );
+        eng.launch(
+            LaunchConfig::new(2, 32).with_registers(16),
+            Box::new(ComputeOnlyKernel {
+                cycles_per_warp: Cycles(2000),
+                steps: 2,
+            }),
+        );
+        let report = eng.run();
+        assert!(!report.deadlocked);
+        assert!(report.elapsed.raw() < 3000);
+        let service = report.kernel("service").unwrap();
+        assert!(service.persistent);
+        assert_eq!(service.completed_at, 0);
+        assert!(service.busy_cycles > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "footprint too large")]
+    fn launch_rejects_impossible_footprint() {
+        let mut eng = Engine::new(GpuConfig::tiny(1));
+        eng.launch(
+            LaunchConfig::new(1, 256).with_registers(255),
+            Box::new(ComputeOnlyKernel {
+                cycles_per_warp: Cycles(10),
+                steps: 1,
+            }),
+        );
+    }
+
+    #[test]
+    fn report_lookup_by_name() {
+        let mut eng = Engine::new(GpuConfig::tiny(1));
+        eng.launch(
+            LaunchConfig::new(1, 32).with_registers(16),
+            Box::new(ComputeOnlyKernel {
+                cycles_per_warp: Cycles(10),
+                steps: 1,
+            }),
+        );
+        let report = eng.run();
+        assert!(report.kernel("compute-only").is_some());
+        assert!(report.kernel("missing").is_none());
+    }
+}

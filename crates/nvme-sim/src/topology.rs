@@ -1,0 +1,176 @@
+//! Multi-SSD topology.
+//!
+//! The paper's scaling experiments (Figures 5 and 6) attach up to three SSDs
+//! to the host and stripe requests across them in an interleaved fashion
+//! ("requests 0, 2, 4, … are issued to SSD1, while requests 1, 3, 5, … are
+//! directed to SSD2"). [`SsdArray`] owns the devices and provides the
+//! interleaving helpers plus a combined advance/quiescence interface for the
+//! co-simulation engine.
+
+use crate::backing::{MemBacking, PageBacking};
+use crate::device::{SsdConfig, SsdDevice};
+use crate::queue::QueuePair;
+use crate::spec::{Lba, QueueId};
+use agile_sim::Cycles;
+use std::sync::Arc;
+
+/// A set of SSDs addressed by device index.
+pub struct SsdArray {
+    devices: Vec<SsdDevice>,
+}
+
+impl SsdArray {
+    /// Build `count` devices with default configuration and token-only memory
+    /// backings.
+    pub fn new(count: usize) -> Self {
+        let devices = (0..count)
+            .map(|i| {
+                SsdDevice::new(
+                    SsdConfig::new(i as u32),
+                    Arc::new(MemBacking::new(i as u32)) as Arc<dyn PageBacking>,
+                )
+            })
+            .collect();
+        SsdArray { devices }
+    }
+
+    /// Build from explicit (config, backing) pairs.
+    pub fn from_parts(parts: Vec<(SsdConfig, Arc<dyn PageBacking>)>) -> Self {
+        let devices = parts
+            .into_iter()
+            .map(|(cfg, backing)| SsdDevice::new(cfg, backing))
+            .collect();
+        SsdArray { devices }
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// True when the array holds no devices.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Access a device.
+    pub fn device(&self, idx: usize) -> &SsdDevice {
+        &self.devices[idx]
+    }
+
+    /// Mutable access to a device (registration, advancing).
+    pub fn device_mut(&mut self, idx: usize) -> &mut SsdDevice {
+        &mut self.devices[idx]
+    }
+
+    /// Iterate over devices.
+    pub fn iter(&self) -> impl Iterator<Item = &SsdDevice> {
+        self.devices.iter()
+    }
+
+    /// Register `queues_per_device` queue pairs of `depth` entries on every
+    /// device and return them grouped by device.
+    pub fn register_queues(
+        &mut self,
+        queues_per_device: usize,
+        depth: u32,
+    ) -> Vec<Vec<Arc<QueuePair>>> {
+        self.devices
+            .iter_mut()
+            .map(|dev| {
+                (0..queues_per_device)
+                    .map(|q| {
+                        let qp = QueuePair::new(q as QueueId, depth);
+                        dev.register_queue_pair(Arc::clone(&qp));
+                        qp
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Advance every device to `now`.
+    pub fn advance_to(&mut self, now: Cycles) {
+        for dev in &mut self.devices {
+            dev.advance_to(now);
+        }
+    }
+
+    /// Earliest pending event across all devices.
+    pub fn next_event_time(&mut self) -> Option<Cycles> {
+        self.devices
+            .iter_mut()
+            .filter_map(|d| d.next_event_time())
+            .min()
+    }
+
+    /// True when every device is idle.
+    pub fn quiescent(&self) -> bool {
+        self.devices.iter().all(|d| d.quiescent())
+    }
+
+    /// Interleaved placement used by the scaling experiments: request `i`
+    /// goes to device `i % n` at the same LBA it would use on a single
+    /// device divided by the stripe width.
+    pub fn interleave(&self, request_idx: u64, lba_space: u64) -> (usize, Lba) {
+        let n = self.devices.len() as u64;
+        let dev = (request_idx % n) as usize;
+        let lba = (request_idx / n) % lba_space.max(1);
+        (dev, lba)
+    }
+
+    /// Sum of bytes read across devices.
+    pub fn total_bytes_read(&self) -> u64 {
+        self.devices.iter().map(|d| d.stats().bytes_read).sum()
+    }
+
+    /// Sum of bytes written across devices.
+    pub fn total_bytes_written(&self) -> u64 {
+        self.devices.iter().map(|d| d.stats().bytes_written).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_registration() {
+        let mut arr = SsdArray::new(3);
+        assert_eq!(arr.len(), 3);
+        assert!(!arr.is_empty());
+        let qps = arr.register_queues(4, 64);
+        assert_eq!(qps.len(), 3);
+        assert_eq!(qps[0].len(), 4);
+        assert_eq!(arr.device(0).queue_pair_count(), 4);
+        assert!(arr.quiescent());
+        assert_eq!(arr.next_event_time(), None);
+    }
+
+    #[test]
+    fn interleaving_round_robins_devices() {
+        let arr = SsdArray::new(3);
+        let (d0, l0) = arr.interleave(0, 1000);
+        let (d1, l1) = arr.interleave(1, 1000);
+        let (d2, _) = arr.interleave(2, 1000);
+        let (d3, l3) = arr.interleave(3, 1000);
+        assert_eq!((d0, d1, d2, d3), (0, 1, 2, 0));
+        assert_eq!(l0, 0);
+        assert_eq!(l1, 0);
+        assert_eq!(l3, 1);
+    }
+
+    #[test]
+    fn interleaving_wraps_lba_space() {
+        let arr = SsdArray::new(2);
+        let (_, lba) = arr.interleave(2 * 500 + 1, 500);
+        assert!(lba < 500);
+    }
+
+    #[test]
+    fn totals_start_at_zero() {
+        let arr = SsdArray::new(2);
+        assert_eq!(arr.total_bytes_read(), 0);
+        assert_eq!(arr.total_bytes_written(), 0);
+    }
+}

@@ -1,0 +1,36 @@
+//! # agile-sim — discrete-event simulation substrate
+//!
+//! This crate provides the foundational pieces every other crate in the AGILE
+//! reproduction builds on:
+//!
+//! * a virtual clock measured in GPU [`Cycles`] with conversions to wall time
+//!   ([`clock`]),
+//! * a deterministic event wheel for scheduling future device activity
+//!   ([`events`]),
+//! * deterministic, seedable random number generation plus a Zipf sampler used
+//!   by the synthetic workload generators ([`rng`]),
+//! * lightweight statistics containers used by the benchmark harnesses
+//!   ([`stats`]),
+//! * the single, documented table of cost-model constants used by the GPU and
+//!   SSD simulators ([`costs`]), and
+//! * size/time unit helpers ([`units`]).
+//!
+//! Everything here is pure, `no_std`-friendly in spirit (though we use `std`),
+//! and deterministic: two runs with the same seed and parameters produce
+//! bit-identical results. That determinism is what makes the paper's figures
+//! reproducible as tests.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod clock;
+pub mod costs;
+pub mod events;
+pub mod rng;
+pub mod stats;
+pub mod units;
+
+pub use clock::{Cycles, Nanos, SimClock, DEFAULT_GPU_CLOCK_GHZ};
+pub use events::{EventId, EventWheel};
+pub use rng::{SimRng, ZipfSampler};
+pub use stats::{Counter, Histogram, RunningStats};

@@ -1,0 +1,355 @@
+//! Lightweight statistics containers.
+//!
+//! The simulators and the figure harnesses accumulate three kinds of data:
+//!
+//! * monotonically increasing event counts ([`Counter`]),
+//! * latency / size distributions ([`Histogram`], log2-bucketed), and
+//! * running mean/min/max/variance summaries ([`RunningStats`]).
+//!
+//! All three are plain values (no interior mutability) so ownership makes the
+//! accounting thread-safe by construction; concurrent producers each keep
+//! their own instance and merge at the end.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A named monotonically increasing counter.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// New counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.value += 1;
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+
+    /// Merge another counter into this one.
+    pub fn merge(&mut self, other: &Counter) {
+        self.value += other.value;
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.value)
+    }
+}
+
+/// A log2-bucketed histogram of `u64` samples (bucket `i` holds values in
+/// `[2^i, 2^(i+1))`, bucket 0 holds 0 and 1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// New, empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = if value <= 1 { 0 } else { 64 - value.leading_zeros() as usize };
+        self.buckets[idx.min(64)] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded samples (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Minimum recorded sample (None if empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum recorded sample (None if empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Approximate quantile (by bucket upper bound), `q` in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                // Upper bound of bucket i.
+                return Some(if i == 0 { 1 } else { (1u64 << i).saturating_mul(2).saturating_sub(1) });
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Running mean / variance / extrema over `f64` samples (Welford's algorithm).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// New, empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample variance (0 if fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum sample (None if empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Maximum sample (None if empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Merge another accumulator into this one (parallel Welford merge).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let mut d = Counter::new();
+        d.add(10);
+        c.merge(&d);
+        assert_eq!(c.get(), 15);
+        assert_eq!(format!("{c}"), "15");
+    }
+
+    #[test]
+    fn histogram_mean_min_max() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 4, 8, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(1000));
+        assert!((h.mean() - 203.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantile_monotone() {
+        let mut h = Histogram::new();
+        for v in 0..1000u64 {
+            h.record(v);
+        }
+        let q50 = h.quantile(0.5).unwrap();
+        let q99 = h.quantile(0.99).unwrap();
+        assert!(q50 <= q99);
+        assert!(q99 >= 512);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in 0..100 {
+            a.record(v);
+        }
+        for v in 100..200 {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 200);
+        assert_eq!(a.min(), Some(0));
+        assert_eq!(a.max(), Some(199));
+    }
+
+    #[test]
+    fn running_stats_matches_closed_form() {
+        let mut s = RunningStats::new();
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        for &x in &xs {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn running_stats_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = RunningStats::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let mut left = RunningStats::new();
+        let mut right = RunningStats::new();
+        for &x in &xs[..400] {
+            left.record(x);
+        }
+        for &x in &xs[400..] {
+            right.record(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.variance() - whole.variance()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn running_stats_empty_merge() {
+        let mut a = RunningStats::new();
+        let b = RunningStats::new();
+        a.merge(&b);
+        assert_eq!(a.count(), 0);
+        let mut c = RunningStats::new();
+        c.record(3.0);
+        a.merge(&c);
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.mean(), 3.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Figure 4: asynchronous vs synchronous I/O across CTC ratios.
+//!
+//! One thread block of 1024 threads issues `requests_per_thread` NVMe reads
+//! per thread and computes on the data. The sweep first measures the
+//! communication-only time (zero compute) of the synchronous mode, derives
+//! the per-iteration communication time from it, and then — for each target
+//! CTC ratio — sets the per-iteration compute time to `ctc ×
+//! per_iteration_communication` and measures both modes. The ideal-speedup
+//! column comes from Equation 1.
+
+use crate::experiments::testbed::agile_testbed;
+use crate::microbench::{ideal_speedup, MicrobenchKernel, MicrobenchParams};
+use agile_core::AgileConfig;
+use agile_sim::units::MIB;
+use gpu_sim::LaunchConfig;
+use serde::{Deserialize, Serialize};
+
+/// One point of the Figure 4 sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CtcRow {
+    /// Target computation-to-communication ratio.
+    pub ctc: f64,
+    /// End-to-end cycles of the synchronous mode.
+    pub sync_cycles: u64,
+    /// End-to-end cycles of the asynchronous mode.
+    pub async_cycles: u64,
+    /// Measured speedup (sync / async).
+    pub speedup: f64,
+    /// Ideal speedup from Equation 1.
+    pub ideal: f64,
+}
+
+fn microbench_config() -> AgileConfig {
+    AgileConfig::paper_default()
+        .with_queue_pairs(16)
+        .with_queue_depth(256)
+        .with_cache_bytes(256 * MIB)
+}
+
+/// Run one micro-benchmark configuration and return its end-to-end cycles.
+fn run_once(requests_per_thread: u32, compute_cycles: u64, asynchronous: bool) -> u64 {
+    let mut host = agile_testbed(microbench_config(), 1, 1 << 23);
+    let ctrl = host.ctrl();
+    let params = MicrobenchParams {
+        requests_per_thread,
+        compute_cycles,
+        pages_per_dev: 1 << 22,
+        asynchronous,
+    };
+    // 1024 threads in one block, as in the paper.
+    let report = host.run_kernel(
+        LaunchConfig::new(1, 1024).with_registers(48),
+        Box::new(MicrobenchKernel::new(ctrl, params)),
+    );
+    assert!(!report.deadlocked, "micro-benchmark deadlocked");
+    report.elapsed.raw()
+}
+
+/// Run the Figure 4 sweep over the given CTC ratios.
+pub fn run_ctc_sweep(ctc_points: &[f64], requests_per_thread: u32) -> Vec<CtcRow> {
+    // Step 1: communication-only synchronous run to calibrate the
+    // per-iteration communication time.
+    let comm_only = run_once(requests_per_thread, 0, false);
+    let per_iter_comm = (comm_only / requests_per_thread as u64).max(1);
+
+    // Step 2: sweep.
+    ctc_points
+        .iter()
+        .map(|&ctc| {
+            let compute = (ctc * per_iter_comm as f64).round() as u64;
+            let sync_cycles = run_once(requests_per_thread, compute, false);
+            let async_cycles = run_once(requests_per_thread, compute, true);
+            CtcRow {
+                ctc,
+                sync_cycles,
+                async_cycles,
+                speedup: sync_cycles as f64 / async_cycles as f64,
+                ideal: ideal_speedup(ctc),
+            }
+        })
+        .collect()
+}
+
+/// The CTC ratios the paper sweeps (0 → 2).
+pub fn paper_ctc_points() -> Vec<f64> {
+    vec![0.0, 0.25, 0.5, 0.75, 0.9, 1.0, 1.25, 1.5, 1.75, 2.0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_points_cover_zero_to_two() {
+        let pts = paper_ctc_points();
+        assert_eq!(pts.first(), Some(&0.0));
+        assert_eq!(pts.last(), Some(&2.0));
+        assert!(pts.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,20 @@
+//! Figure 12: per-thread register usage of BaM vs AGILE kernels.
+
+use crate::registers::{figure12_rows, service_kernel_registers, RegisterRow};
+
+/// The Figure 12 table plus the AGILE service kernel's register count.
+pub fn run_register_table() -> (Vec<RegisterRow>, u32) {
+    (figure12_rows(), service_kernel_registers())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_shape() {
+        let (rows, service) = run_register_table();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(service, 37);
+    }
+}

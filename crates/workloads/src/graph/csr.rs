@@ -1,0 +1,241 @@
+//! Compressed sparse row graphs and their SSD page layout.
+//!
+//! The algorithmic data (offsets, neighbour indices, edge values) lives in
+//! host memory — it is what the warp kernels traverse — while the *placement*
+//! of those arrays on the simulated SSD defines which pages each traversal
+//! step must pull through the storage stack. This mirrors how the real system
+//! works: the CSR arrays live on flash, and the kernels' access pattern over
+//! them is what stresses the cache and queue APIs (DESIGN.md §2 records this
+//! substitution).
+
+use agile_sim::units::SSD_PAGE_SIZE;
+use nvme_sim::Lba;
+use serde::{Deserialize, Serialize};
+
+/// Elements (u32 indices or f32 values) per 4 KiB page.
+pub const ELEMS_PER_PAGE: u64 = SSD_PAGE_SIZE / 4;
+
+/// Where a graph's arrays live on the SSD array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GraphLayout {
+    /// Device holding the column-index array.
+    pub col_dev: u32,
+    /// First page of the column-index array.
+    pub col_base: Lba,
+    /// Device holding the edge-value array (SpMV only).
+    pub val_dev: u32,
+    /// First page of the edge-value array.
+    pub val_base: Lba,
+}
+
+impl Default for GraphLayout {
+    fn default() -> Self {
+        GraphLayout {
+            col_dev: 0,
+            col_base: 0,
+            val_dev: 0,
+            val_base: 1 << 20,
+        }
+    }
+}
+
+/// A CSR graph with single-precision edge values.
+#[derive(Debug, Clone)]
+pub struct CsrGraph {
+    /// `row_ptr[v] .. row_ptr[v+1]` indexes `col_idx` for vertex `v`.
+    pub row_ptr: Vec<u64>,
+    /// Neighbour indices.
+    pub col_idx: Vec<u32>,
+    /// Edge values (same length as `col_idx`).
+    pub values: Vec<f32>,
+    /// SSD placement.
+    pub layout: GraphLayout,
+}
+
+impl CsrGraph {
+    /// Build from an edge list (directed; duplicates allowed and preserved).
+    pub fn from_edges(num_vertices: usize, edges: &[(u32, u32)], layout: GraphLayout) -> Self {
+        let mut degree = vec![0u64; num_vertices];
+        for &(src, _) in edges {
+            degree[src as usize] += 1;
+        }
+        let mut row_ptr = vec![0u64; num_vertices + 1];
+        for v in 0..num_vertices {
+            row_ptr[v + 1] = row_ptr[v] + degree[v];
+        }
+        let mut cursor = row_ptr.clone();
+        let mut col_idx = vec![0u32; edges.len()];
+        let mut values = vec![0f32; edges.len()];
+        for &(src, dst) in edges {
+            let pos = cursor[src as usize] as usize;
+            col_idx[pos] = dst;
+            // Deterministic, non-trivial edge weight for SpMV verification.
+            values[pos] = ((src as f32 * 31.0 + dst as f32 * 17.0) % 97.0) / 97.0 + 0.5;
+            cursor[src as usize] += 1;
+        }
+        CsrGraph {
+            row_ptr,
+            col_idx,
+            values,
+            layout,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Number of (directed) edges.
+    pub fn num_edges(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Neighbours of `v`.
+    pub fn neighbours(&self, v: u32) -> &[u32] {
+        let lo = self.row_ptr[v as usize] as usize;
+        let hi = self.row_ptr[v as usize + 1] as usize;
+        &self.col_idx[lo..hi]
+    }
+
+    /// Edge values of `v`'s adjacency list.
+    pub fn edge_values(&self, v: u32) -> &[f32] {
+        let lo = self.row_ptr[v as usize] as usize;
+        let hi = self.row_ptr[v as usize + 1] as usize;
+        &self.values[lo..hi]
+    }
+
+    /// The column-index pages vertex `v`'s adjacency list spans.
+    pub fn col_pages_of(&self, v: u32) -> Vec<(u32, Lba)> {
+        let lo = self.row_ptr[v as usize];
+        let hi = self.row_ptr[v as usize + 1];
+        if lo == hi {
+            return Vec::new();
+        }
+        let first = lo / ELEMS_PER_PAGE;
+        let last = (hi - 1) / ELEMS_PER_PAGE;
+        (first..=last)
+            .map(|p| (self.layout.col_dev, self.layout.col_base + p))
+            .collect()
+    }
+
+    /// The value pages vertex `v`'s adjacency list spans (SpMV).
+    pub fn val_pages_of(&self, v: u32) -> Vec<(u32, Lba)> {
+        let lo = self.row_ptr[v as usize];
+        let hi = self.row_ptr[v as usize + 1];
+        if lo == hi {
+            return Vec::new();
+        }
+        let first = lo / ELEMS_PER_PAGE;
+        let last = (hi - 1) / ELEMS_PER_PAGE;
+        (first..=last)
+            .map(|p| (self.layout.val_dev, self.layout.val_base + p))
+            .collect()
+    }
+
+    /// Every page the whole graph occupies (for cache preloading and sizing).
+    pub fn all_pages(&self, include_values: bool) -> Vec<(u32, Lba)> {
+        let col_pages = (self.num_edges() as u64 + ELEMS_PER_PAGE - 1) / ELEMS_PER_PAGE;
+        let mut pages: Vec<(u32, Lba)> = (0..col_pages)
+            .map(|p| (self.layout.col_dev, self.layout.col_base + p))
+            .collect();
+        if include_values {
+            pages.extend((0..col_pages).map(|p| (self.layout.val_dev, self.layout.val_base + p)));
+        }
+        pages
+    }
+
+    /// Reference (host) BFS distances from `source` (u32::MAX = unreachable).
+    pub fn reference_bfs(&self, source: u32) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; self.num_vertices()];
+        let mut queue = std::collections::VecDeque::new();
+        dist[source as usize] = 0;
+        queue.push_back(source);
+        while let Some(v) = queue.pop_front() {
+            let d = dist[v as usize];
+            for &n in self.neighbours(v) {
+                if dist[n as usize] == u32::MAX {
+                    dist[n as usize] = d + 1;
+                    queue.push_back(n);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Reference (host) SpMV: `y = A · x`.
+    pub fn reference_spmv(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.num_vertices());
+        (0..self.num_vertices() as u32)
+            .map(|v| {
+                self.neighbours(v)
+                    .iter()
+                    .zip(self.edge_values(v))
+                    .map(|(&c, &w)| w * x[c as usize])
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> CsrGraph {
+        // 0 → 1, 0 → 2, 1 → 3, 2 → 3
+        CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)], GraphLayout::default())
+    }
+
+    #[test]
+    fn csr_construction() {
+        let g = diamond();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.neighbours(0), &[1, 2]);
+        assert_eq!(g.neighbours(1), &[3]);
+        assert_eq!(g.neighbours(3), &[] as &[u32]);
+    }
+
+    #[test]
+    fn page_mapping_spans_edges() {
+        let g = diamond();
+        let pages = g.col_pages_of(0);
+        assert_eq!(pages, vec![(0, 0)]);
+        assert!(g.col_pages_of(3).is_empty());
+        // Value pages live in a separate region.
+        assert_eq!(g.val_pages_of(0), vec![(0, g.layout.val_base)]);
+        assert_eq!(g.all_pages(true).len(), 2);
+    }
+
+    #[test]
+    fn page_mapping_crosses_page_boundaries() {
+        // One vertex with more neighbours than fit in a page.
+        let n = (ELEMS_PER_PAGE + 10) as u32;
+        let edges: Vec<(u32, u32)> = (0..n).map(|i| (0u32, (i % 100) + 1)).collect();
+        let g = CsrGraph::from_edges(200, &edges, GraphLayout::default());
+        let pages = g.col_pages_of(0);
+        assert_eq!(pages.len(), 2);
+        assert_eq!(pages[0].1 + 1, pages[1].1);
+    }
+
+    #[test]
+    fn reference_bfs_distances() {
+        let g = diamond();
+        let d = g.reference_bfs(0);
+        assert_eq!(d, vec![0, 1, 1, 2]);
+        let d3 = g.reference_bfs(3);
+        assert_eq!(d3, vec![u32::MAX, u32::MAX, u32::MAX, 0]);
+    }
+
+    #[test]
+    fn reference_spmv_matches_manual() {
+        let g = diamond();
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let y = g.reference_spmv(&x);
+        let w01 = g.edge_values(0)[0];
+        let w02 = g.edge_values(0)[1];
+        assert!((y[0] - (w01 * 2.0 + w02 * 3.0)).abs() < 1e-6);
+        assert_eq!(y[3], 0.0);
+    }
+}

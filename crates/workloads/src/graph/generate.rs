@@ -1,0 +1,96 @@
+//! Graph generators: uniform random and Kronecker (R-MAT), following the
+//! GAP benchmark suite's generators (§4.5: "We use GAP Benchmark Suite to
+//! generate the uniform random graphs and Kronecker graphs").
+
+use super::csr::{CsrGraph, GraphLayout};
+use agile_sim::SimRng;
+
+/// Uniform (Erdős–Rényi-style) random graph: `num_vertices` vertices, each
+/// with `avg_degree` out-edges to uniformly random destinations.
+pub fn generate_uniform(num_vertices: usize, avg_degree: usize, seed: u64) -> CsrGraph {
+    let mut rng = SimRng::new(seed);
+    let mut edges = Vec::with_capacity(num_vertices * avg_degree);
+    for src in 0..num_vertices as u32 {
+        for _ in 0..avg_degree {
+            let dst = rng.gen_range(num_vertices as u64) as u32;
+            edges.push((src, dst));
+        }
+    }
+    CsrGraph::from_edges(num_vertices, &edges, GraphLayout::default())
+}
+
+/// Kronecker / R-MAT graph with the GAP parameters (A=0.57, B=0.19, C=0.19):
+/// `2^scale` vertices and `edge_factor × 2^scale` edges, giving the skewed
+/// degree distribution the paper's "-K" graphs have.
+pub fn generate_kronecker(scale: u32, edge_factor: usize, seed: u64) -> CsrGraph {
+    let num_vertices = 1usize << scale;
+    let num_edges = num_vertices * edge_factor;
+    let (a, b, c) = (0.57, 0.19, 0.19);
+    let mut rng = SimRng::new(seed);
+    let mut edges = Vec::with_capacity(num_edges);
+    for _ in 0..num_edges {
+        let mut src = 0u32;
+        let mut dst = 0u32;
+        for bit in (0..scale).rev() {
+            let r = rng.gen_f64();
+            let (sbit, dbit) = if r < a {
+                (0, 0)
+            } else if r < a + b {
+                (0, 1)
+            } else if r < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            src |= sbit << bit;
+            dst |= dbit << bit;
+        }
+        edges.push((src, dst));
+    }
+    CsrGraph::from_edges(num_vertices, &edges, GraphLayout::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_graph_has_expected_shape() {
+        let g = generate_uniform(1000, 8, 42);
+        assert_eq!(g.num_vertices(), 1000);
+        assert_eq!(g.num_edges(), 8000);
+        // Degrees are fixed per source in this generator.
+        for v in 0..1000u32 {
+            assert_eq!(g.neighbours(v).len(), 8);
+        }
+    }
+
+    #[test]
+    fn kronecker_graph_is_skewed() {
+        let g = generate_kronecker(12, 8, 7);
+        assert_eq!(g.num_vertices(), 4096);
+        assert_eq!(g.num_edges(), 4096 * 8);
+        let mut degrees: Vec<usize> = (0..g.num_vertices() as u32)
+            .map(|v| g.neighbours(v).len())
+            .collect();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        // The hottest vertex should have far more than the average degree,
+        // and a large fraction of vertices should have no out-edges at all —
+        // the hallmark of the R-MAT distribution.
+        assert!(degrees[0] > 8 * 8, "max degree {} too small", degrees[0]);
+        let isolated = degrees.iter().filter(|&&d| d == 0).count();
+        assert!(isolated > g.num_vertices() / 10);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = generate_uniform(500, 4, 3);
+        let b = generate_uniform(500, 4, 3);
+        assert_eq!(a.col_idx, b.col_idx);
+        let k1 = generate_kronecker(10, 4, 3);
+        let k2 = generate_kronecker(10, 4, 3);
+        assert_eq!(k1.col_idx, k2.col_idx);
+        let k3 = generate_kronecker(10, 4, 4);
+        assert_ne!(k1.col_idx, k3.col_idx);
+    }
+}

@@ -1,0 +1,23 @@
+//! Graph workloads: CSR storage, generators, BFS and SpMV (§4.5, Figure 11).
+//!
+//! The paper evaluates API overhead on two graph kernels — breadth-first
+//! search and sparse matrix-vector multiplication — over two graph families
+//! from the GAP benchmark suite: uniform random graphs ("U") and Kronecker
+//! graphs with a skewed degree distribution ("K"). Graphs are stored in
+//! compressed sparse row (CSR) format on the SSDs; the GPU kernels stream the
+//! adjacency/value arrays through the storage stack under test.
+//!
+//! * [`csr`] — the CSR container and its page-level SSD layout;
+//! * [`generate`] — uniform and Kronecker (R-MAT) generators;
+//! * [`bfs`] — level-synchronous BFS (one kernel launch per level);
+//! * [`spmv`] — row-parallel SpMV with real floating-point verification.
+
+pub mod bfs;
+pub mod csr;
+pub mod generate;
+pub mod spmv;
+
+pub use bfs::{run_bfs, BfsLevelKernel, BfsState};
+pub use csr::{CsrGraph, GraphLayout};
+pub use generate::{generate_kronecker, generate_uniform};
+pub use spmv::{SpmvKernel, SpmvState};

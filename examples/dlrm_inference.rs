@@ -1,0 +1,29 @@
+//! DLRM inference over SSD-resident embedding tables: BaM vs AGILE sync vs
+//! AGILE async (a scaled-down version of the paper's §4.4 evaluation).
+//!
+//! ```text
+//! cargo run --release --example dlrm_inference [epochs] [batch]
+//! ```
+
+use agile_repro::workloads::dlrm::model::DlrmConfig;
+use agile_repro::workloads::experiments::dlrm_figs::{run_dlrm_point, DlrmStackParams};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let epochs: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let batch: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1024);
+
+    println!("DLRM Config-1 inference, batch {batch}, {epochs} epochs");
+    println!("(embedding tables on 2 simulated SSDs, 2 GiB software cache)");
+    let cfg = DlrmConfig::config1(batch, epochs);
+    let stack = DlrmStackParams::default();
+    let rows = run_dlrm_point("config-1", &cfg, &stack);
+    println!("{:<14} {:>16} {:>10}", "mode", "cycles", "vs BaM");
+    for r in &rows {
+        println!(
+            "{:<14} {:>16} {:>9.2}x",
+            r.mode, r.elapsed_cycles, r.speedup_vs_bam
+        );
+    }
+    println!("(paper, full scale: AGILE sync 1.30x, AGILE async 1.48x over BaM)");
+}

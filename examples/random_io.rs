@@ -1,0 +1,25 @@
+//! 4 KiB random-read bandwidth scaling across 1–3 simulated SSDs (a
+//! scaled-down Figure 5).
+//!
+//! ```text
+//! cargo run --release --example random_io [requests_per_ssd]
+//! ```
+
+use agile_repro::workloads::experiments::fig05_06::run_bandwidth_point;
+use agile_repro::workloads::randio::IoDirection;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let requests: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8_192);
+
+    println!("AGILE 4 KiB random reads, {requests} requests per SSD");
+    println!("{:>6} {:>12} {:>14}", "SSDs", "requests", "bandwidth");
+    for ssds in 1..=3usize {
+        let row = run_bandwidth_point(IoDirection::Read, ssds, requests);
+        println!(
+            "{:>6} {:>12} {:>11.2} GB/s",
+            row.ssds, row.requests_per_ssd, row.gbps
+        );
+    }
+    println!("(paper saturation: 3.7 / 7.4 / 11.1 GB/s for 1 / 2 / 3 SSDs)");
+}
