@@ -10,16 +10,17 @@
 //! critical sections).
 
 use agile_cache::{CacheConfig, CacheLookup, ClockPolicy, SoftwareCache};
+use agile_core::coalesce::coalesce_warp;
 use agile_core::sq_protocol::AgileSq;
 use agile_core::transaction::{Barrier, Transaction};
-use agile_core::coalesce::coalesce_warp;
 use agile_sim::costs::CostModel;
+use agile_sim::trace::{TraceEvent, TraceEventKind, TraceSink};
 use agile_sim::Cycles;
-use nvme_sim::{DmaHandle, Lba, NvmeCommand, PageToken, QueuePair};
+use nvme_sim::{DmaHandle, Lba, NvmeCommand, Opcode, PageToken, QueuePair};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// BaM system configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -123,6 +124,9 @@ pub struct BamCtrl {
     queues: Vec<Vec<Arc<AgileSq>>>,
     cq_cursors: Vec<Vec<Mutex<CqCursor>>>,
     stats: StatCells,
+    /// Optional trace recorder (same hook as the AGILE controller, so replay
+    /// comparisons capture both systems identically).
+    trace: OnceLock<Arc<dyn TraceSink>>,
 }
 
 impl BamCtrl {
@@ -134,7 +138,11 @@ impl BamCtrl {
         );
         let queues: Vec<Vec<Arc<AgileSq>>> = device_queues
             .into_iter()
-            .map(|qps| qps.into_iter().map(|qp| Arc::new(AgileSq::new(qp))).collect())
+            .map(|qps| {
+                qps.into_iter()
+                    .map(|qp| Arc::new(AgileSq::new(qp)))
+                    .collect()
+            })
             .collect();
         let cq_cursors = queues
             .iter()
@@ -155,7 +163,16 @@ impl BamCtrl {
             queues,
             cq_cursors,
             stats: StatCells::default(),
+            trace: OnceLock::new(),
         }
+    }
+
+    /// Install a trace sink on the submit path, the user-thread completion
+    /// path, and the software cache. Returns `false` if a sink was already
+    /// installed (the first one wins).
+    pub fn set_trace_sink(&self, sink: Arc<dyn TraceSink>) -> bool {
+        self.cache.set_trace_sink(Arc::clone(&sink));
+        self.trace.set(sink).is_ok()
     }
 
     /// The configuration.
@@ -215,15 +232,39 @@ impl BamCtrl {
                     if receipt.rang_doorbell {
                         cost += Cycles(gpu.doorbell_write);
                     }
-                    cost += Cycles(gpu.poll_iteration) * (receipt.attempts.saturating_sub(1)) as u64;
-                    self.stats.io_cycles.fetch_add(cost.raw(), Ordering::Relaxed);
+                    cost +=
+                        Cycles(gpu.poll_iteration) * (receipt.attempts.saturating_sub(1)) as u64;
+                    self.stats
+                        .io_cycles
+                        .fetch_add(cost.raw(), Ordering::Relaxed);
+                    if let Some(sink) = self.trace.get() {
+                        let cmd = build(receipt.cid);
+                        let qid = sq.queue_pair().id();
+                        sink.record(
+                            TraceEvent::new(TraceEventKind::Submit, now.raw())
+                                .target(dev as u32, cmd.slba)
+                                .queue(qid, receipt.cid)
+                                .tenant(warp as u32)
+                                .write(cmd.opcode == Opcode::Write),
+                        );
+                        if receipt.rang_doorbell {
+                            sink.record(
+                                TraceEvent::new(TraceEventKind::Doorbell, now.raw())
+                                    .target(dev as u32, cmd.slba)
+                                    .queue(qid, receipt.cid)
+                                    .tenant(warp as u32),
+                            );
+                        }
+                    }
                     return (cost, true);
                 }
                 None => cost += Cycles(gpu.poll_iteration),
             }
         }
         self.stats.sq_full_retries.fetch_add(1, Ordering::Relaxed);
-        self.stats.io_cycles.fetch_add(cost.raw(), Ordering::Relaxed);
+        self.stats
+            .io_cycles
+            .fetch_add(cost.raw(), Ordering::Relaxed);
         (cost, false)
     }
 
@@ -237,6 +278,7 @@ impl BamCtrl {
         now: Cycles,
     ) -> (Cycles, Option<Vec<PageToken>>) {
         self.stats.read_calls.fetch_add(1, Ordering::Relaxed);
+        self.cache.set_time_hint(now.raw());
         let api = &self.cfg.costs.api;
         let gpu = &self.cfg.costs.gpu;
         let coalesced = coalesce_warp(requests);
@@ -298,7 +340,9 @@ impl BamCtrl {
                 }
             }
         }
-        self.stats.cache_cycles.fetch_add(cost.raw(), Ordering::Relaxed);
+        self.stats
+            .cache_cycles
+            .fetch_add(cost.raw(), Ordering::Relaxed);
         if all_ready {
             let per_lane = coalesced
                 .lane_to_unique
@@ -316,7 +360,17 @@ impl BamCtrl {
     /// completions it finds (releasing SQEs, finishing cache fills), then
     /// advances the shared cursor. Returns the cycles spent and the number of
     /// completions processed.
+    ///
+    /// Completion processing is recorded through the trace sink (when
+    /// installed) with timestamp zero: BaM's user threads poll at whatever
+    /// simulated time the caller happens to be at, so callers that need
+    /// timed completion events should use [`BamCtrl::poll_once_at`].
     pub fn poll_once(&self, warp: u64, dev: usize) -> (Cycles, u32) {
+        self.poll_once_at(warp, dev, Cycles(0))
+    }
+
+    /// [`BamCtrl::poll_once`] with an explicit sim time for trace records.
+    pub fn poll_once_at(&self, warp: u64, dev: usize, now: Cycles) -> (Cycles, u32) {
         let api = &self.cfg.costs.api;
         let qidx = (warp as usize) % self.queues[dev].len();
         let sq = &self.queues[dev][qidx];
@@ -337,6 +391,14 @@ impl BamCtrl {
                 .take(cqe.cid)
                 .expect("completion without transaction");
             sq.release(cqe.cid);
+            if let Some(sink) = self.trace.get() {
+                sink.record(
+                    TraceEvent::new(TraceEventKind::ServiceCompletion, now.raw())
+                        .target(dev as u32, 0)
+                        .queue(qidx as u16, cqe.cid)
+                        .tenant(warp as u32),
+                );
+            }
             match txn {
                 Transaction::CacheFill { line } => {
                     self.cache.complete_fill(line);
@@ -364,8 +426,70 @@ impl BamCtrl {
             .completions
             .fetch_add(processed as u64, Ordering::Relaxed);
         let cost = Cycles(api.bam_cq_poll) + Cycles(api.bam_cq_poll) * processed as u64;
-        self.stats.io_cycles.fetch_add(cost.raw(), Ordering::Relaxed);
+        self.stats
+            .io_cycles
+            .fetch_add(cost.raw(), Ordering::Relaxed);
         (cost, processed)
+    }
+
+    /// Store one page through the software cache (write-allocate, marked
+    /// dirty; the write-back happens on eviction), mirroring
+    /// [`agile_core::AgileCtrl::write_warp`] at BaM's per-call costs.
+    /// Returns the cost and whether the store landed (false = retry later).
+    pub fn write_warp_sync(
+        &self,
+        warp: u64,
+        dev: u32,
+        lba: Lba,
+        token: PageToken,
+        now: Cycles,
+    ) -> (Cycles, bool) {
+        self.cache.set_time_hint(now.raw());
+        let api = &self.cfg.costs.api;
+        let (cost, ok) = match self.cache.lookup_or_reserve(dev, lba) {
+            CacheLookup::Hit { line, .. } => {
+                self.cache.store(line, token);
+                self.cache.unpin(line);
+                (Cycles(api.bam_cache_hit), true)
+            }
+            CacheLookup::Miss {
+                line, writeback, ..
+            } => {
+                let mut cost = Cycles(api.bam_cache_miss);
+                let mut ok = true;
+                // The victim held dirty data: write it back before the line
+                // is reused, or the modification is lost.
+                if let Some((wb_dev, wb_lba, wb_token)) = writeback {
+                    let snapshot = DmaHandle::with_token(wb_token);
+                    let (wb_cost, issued) = self.issue(
+                        wb_dev as usize,
+                        warp,
+                        |cid| NvmeCommand::write(cid, wb_lba, snapshot.clone()),
+                        Transaction::WriteBack,
+                        now,
+                    );
+                    cost += wb_cost;
+                    ok = issued;
+                }
+                if ok {
+                    self.cache.complete_fill(line);
+                    self.cache.store(line, token);
+                    self.cache.unpin(line);
+                } else {
+                    // Could not write the victim back: abandon the
+                    // reservation and let the caller retry.
+                    self.cache.abort_fill(line);
+                }
+                (cost, ok)
+            }
+            CacheLookup::Busy { .. } | CacheLookup::NoLineAvailable => {
+                (Cycles(api.bam_cache_miss), false)
+            }
+        };
+        self.stats
+            .cache_cycles
+            .fetch_add(cost.raw(), Ordering::Relaxed);
+        (cost, ok)
     }
 
     /// Issue a raw (cache-bypassing) read; the caller polls until `barrier`
@@ -383,6 +507,28 @@ impl BamCtrl {
             dev as usize,
             warp,
             |cid| NvmeCommand::read(cid, lba, dma.clone()),
+            Transaction::Raw { barrier, lba },
+            now,
+        )
+    }
+
+    /// Issue a raw (cache-bypassing) write of `token`; the caller polls until
+    /// `barrier` completes. Mirrors [`agile_core::AgileCtrl::raw_write`] so
+    /// trace replay drives both systems with the same op stream.
+    pub fn raw_write(
+        &self,
+        warp: u64,
+        dev: u32,
+        lba: Lba,
+        token: PageToken,
+        barrier: Barrier,
+        now: Cycles,
+    ) -> (Cycles, bool) {
+        let dma = DmaHandle::with_token(token);
+        self.issue(
+            dev as usize,
+            warp,
+            |cid| NvmeCommand::write(cid, lba, dma.clone()),
             Transaction::Raw { barrier, lba },
             now,
         )
@@ -407,7 +553,9 @@ mod tests {
             })
             .collect();
         let ctrl = BamCtrl::new(
-            BamConfig::small_test().with_queue_pairs(qps).with_queue_depth(depth),
+            BamConfig::small_test()
+                .with_queue_pairs(qps)
+                .with_queue_depth(depth),
             vec![queues],
         );
         (ctrl, dev)

@@ -86,6 +86,16 @@ impl BamHost {
         Arc::clone(self.ctrl.as_ref().expect("init_nvme not called"))
     }
 
+    /// Install one trace sink across the BaM stack (controller submit path,
+    /// software cache, every SSD's completion path), mirroring
+    /// [`agile_core::host::AgileHost::set_trace_sink`]. Call after
+    /// [`BamHost::init_nvme`]; the first sink installed wins.
+    pub fn set_trace_sink(&self, sink: Arc<dyn agile_sim::trace::TraceSink>) -> bool {
+        let ctrl_fresh = self.ctrl().set_trace_sink(Arc::clone(&sink));
+        let dev_fresh = self.ssd_array().lock().set_trace_sink(&sink);
+        ctrl_fresh && dev_fresh
+    }
+
     /// The shared SSD array.
     pub fn ssd_array(&self) -> Arc<Mutex<SsdArray>> {
         Arc::clone(self.array.as_ref().expect("init_nvme not called"))
@@ -122,7 +132,10 @@ impl BamHost {
 
     /// Current simulated time.
     pub fn now(&self) -> Cycles {
-        self.engine.as_ref().map(|e| e.now()).unwrap_or(Cycles::ZERO)
+        self.engine
+            .as_ref()
+            .map(|e| e.now())
+            .unwrap_or(Cycles::ZERO)
     }
 }
 
@@ -140,7 +153,12 @@ mod tests {
         let ctrl = host.ctrl();
         let report = host.run_kernel(
             LaunchConfig::new(2, 64).with_registers(56),
-            Box::new(SyncReadComputeKernel::new(Arc::clone(&ctrl), 3, 2_000, 50_000)),
+            Box::new(SyncReadComputeKernel::new(
+                Arc::clone(&ctrl),
+                3,
+                2_000,
+                50_000,
+            )),
         );
         assert!(!report.deadlocked);
         let s = ctrl.stats();

@@ -25,5 +25,8 @@ fn main() {
         ]);
     }
     let peak = rows.iter().cloned().fold(0.0f64, |m, r| m.max(r.speedup));
-    println!("  -> peak measured speedup: {} (paper: up to 1.88x)", fmt_ratio(peak));
+    println!(
+        "  -> peak measured speedup: {} (paper: up to 1.88x)",
+        fmt_ratio(peak)
+    );
 }

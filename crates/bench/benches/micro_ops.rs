@@ -44,13 +44,11 @@ fn bench_cache_miss_reserve(c: &mut Criterion) {
         let mut lba = 0u64;
         b.iter(|| {
             lba += 1;
-            match cache.lookup_or_reserve(0, black_box(lba)) {
-                CacheLookup::Miss { line, dma, .. } => {
-                    dma.store(PageToken(lba));
-                    cache.complete_fill(line);
-                    cache.unpin(line);
-                }
-                _ => {}
+            if let CacheLookup::Miss { line, dma, .. } = cache.lookup_or_reserve(0, black_box(lba))
+            {
+                dma.store(PageToken(lba));
+                cache.complete_fill(line);
+                cache.unpin(line);
             }
         })
     });

@@ -1,0 +1,49 @@
+//! Trace replay: latency percentiles (p50/p95/p99) and throughput for
+//! synthetic traces through AGILE and the BaM baseline.
+//!
+//! Three workload shapes (uniform, zipfian hot-set, multi-tenant mix) run on
+//! both systems; each row reports the latency distribution a serving stack
+//! would see, not just aggregate bandwidth.
+
+use agile_bench::{print_header, print_row, quick_mode};
+use agile_trace::TraceSpec;
+use agile_workloads::experiments::trace_replay::{run_trace_replay, ReplayConfig, ReplaySystem};
+use agile_workloads::trace_replay::ReplayPath;
+
+fn main() {
+    print_header(
+        "Trace replay",
+        "latency percentiles + throughput, AGILE vs BaM, raw and cached paths",
+    );
+    let ops: u64 = if quick_mode() { 2_048 } else { 16_384 };
+    let lba_space = 1u64 << 18;
+    let seed = 0xA61E;
+    let traces = [
+        TraceSpec::uniform("uniform", seed, 2, lba_space, ops).generate(),
+        TraceSpec::zipfian("zipf-0.99", seed, 2, lba_space, ops, 0.99).generate(),
+        TraceSpec::multi_tenant("multi-tenant", seed, 2, lba_space, ops).generate(),
+    ];
+    for path in [ReplayPath::Raw, ReplayPath::Cached] {
+        let cfg = ReplayConfig {
+            path,
+            ..ReplayConfig::default()
+        };
+        for trace in &traces {
+            for system in [ReplaySystem::Agile, ReplaySystem::Bam] {
+                let r = run_trace_replay(trace, system, &cfg);
+                print_row(&[
+                    ("trace", r.trace_name.clone()),
+                    ("path", format!("{path:?}").to_lowercase()),
+                    ("system", r.system.to_string()),
+                    ("ops", r.ops.to_string()),
+                    ("p50_us", format!("{:.2}", r.p50_us)),
+                    ("p95_us", format!("{:.2}", r.p95_us)),
+                    ("p99_us", format!("{:.2}", r.p99_us)),
+                    ("iops", format!("{:.0}", r.iops)),
+                    ("gbps", format!("{:.3}", r.gbps)),
+                    ("deadlocked", r.deadlocked.to_string()),
+                ]);
+            }
+        }
+    }
+}

@@ -20,7 +20,9 @@ use std::fmt::Display;
 /// Scale selector for the figure harnesses: set `AGILE_BENCH_QUICK=1` to run
 /// the scaled-down (CI-friendly) versions of every figure.
 pub fn quick_mode() -> bool {
-    std::env::var("AGILE_BENCH_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("AGILE_BENCH_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Print a figure header.
@@ -33,10 +35,7 @@ pub fn print_header(figure: &str, caption: &str) {
 
 /// Print one row of `(label, value)` pairs as an aligned table row.
 pub fn print_row<L: Display, V: Display>(cells: &[(L, V)]) {
-    let rendered: Vec<String> = cells
-        .iter()
-        .map(|(l, v)| format!("{l}={v}"))
-        .collect();
+    let rendered: Vec<String> = cells.iter().map(|(l, v)| format!("{l}={v}")).collect();
     println!("  {}", rendered.join("  "));
 }
 

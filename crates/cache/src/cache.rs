@@ -19,11 +19,13 @@
 
 use crate::line::{LineState, Way};
 use crate::policy::CachePolicy;
+use agile_sim::trace::{TraceEvent, TraceEventKind, TraceSink};
 use agile_sim::units::SSD_PAGE_SIZE;
 use nvme_sim::{DmaHandle, Lba, PageToken};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// Identifies one cache line (global way index).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -135,6 +137,12 @@ pub struct SoftwareCache {
     assoc: usize,
     policy: Box<dyn CachePolicy>,
     stats: StatsCells,
+    /// Optional trace recorder; one atomic load when disabled.
+    trace: OnceLock<Arc<dyn TraceSink>>,
+    /// Latest sim time reported by a caller (the cache's lookup API carries
+    /// no clock, so controllers publish it before lookups — see
+    /// [`SoftwareCache::set_time_hint`]).
+    trace_now: AtomicU64,
 }
 
 impl SoftwareCache {
@@ -161,6 +169,31 @@ impl SoftwareCache {
             policy,
             stats: StatsCells::default(),
             cfg,
+            trace: OnceLock::new(),
+            trace_now: AtomicU64::new(0),
+        }
+    }
+
+    /// Install a trace sink recording every lookup outcome. Returns `false`
+    /// if a sink was already installed (the first one wins). Recording is
+    /// effectively free when no sink is installed.
+    pub fn set_trace_sink(&self, sink: Arc<dyn TraceSink>) -> bool {
+        self.trace.set(sink).is_ok()
+    }
+
+    /// Publish the current sim time for trace timestamps. Controllers call
+    /// this at API entry so cache events carry meaningful clocks; the store
+    /// is relaxed and costs one instruction.
+    #[inline]
+    pub fn set_time_hint(&self, now: u64) {
+        self.trace_now.store(now, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn trace_lookup(&self, kind: TraceEventKind, dev: u32, lba: Lba) {
+        if let Some(sink) = self.trace.get() {
+            let at = self.trace_now.load(Ordering::Relaxed);
+            sink.record(TraceEvent::new(kind, at).target(dev, lba));
         }
     }
 
@@ -222,6 +255,7 @@ impl SoftwareCache {
                         way.pin();
                         self.policy.on_access(set_idx, way_idx);
                         self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                        self.trace_lookup(TraceEventKind::CacheHit, dev, lba);
                         CacheLookup::Hit {
                             line: self.line_id(set_idx, way_idx),
                             token: way.data.load(),
@@ -229,6 +263,7 @@ impl SoftwareCache {
                     }
                     LineState::Busy => {
                         self.stats.busy_hits.fetch_add(1, Ordering::Relaxed);
+                        self.trace_lookup(TraceEventKind::CacheBusy, dev, lba);
                         CacheLookup::Busy {
                             line: self.line_id(set_idx, way_idx),
                         }
@@ -239,6 +274,7 @@ impl SoftwareCache {
                         way.pin();
                         self.policy.on_fill(set_idx, way_idx);
                         self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                        self.trace_lookup(TraceEventKind::CacheMiss, dev, lba);
                         CacheLookup::Miss {
                             line: self.line_id(set_idx, way_idx),
                             dma: way.data.clone(),
@@ -257,6 +293,7 @@ impl SoftwareCache {
             way.pin();
             self.policy.on_fill(set_idx, way_idx);
             self.stats.misses.fetch_add(1, Ordering::Relaxed);
+            self.trace_lookup(TraceEventKind::CacheMiss, dev, lba);
             return CacheLookup::Miss {
                 line: self.line_id(set_idx, way_idx),
                 dma: way.data.clone(),
@@ -270,6 +307,7 @@ impl SoftwareCache {
             .collect();
         let Some(victim) = self.policy.choose_victim(set_idx, &evictable) else {
             self.stats.no_line.fetch_add(1, Ordering::Relaxed);
+            self.trace_lookup(TraceEventKind::CacheNoLine, dev, lba);
             return CacheLookup::NoLineAvailable;
         };
         debug_assert!(evictable[victim], "policy chose a non-evictable way");
@@ -278,12 +316,16 @@ impl SoftwareCache {
         let writeback = match way.state() {
             LineState::Modified => {
                 self.stats.writebacks.fetch_add(1, Ordering::Relaxed);
+                if let Some((d, l)) = old_tag {
+                    self.trace_lookup(TraceEventKind::Writeback, d, l);
+                }
                 old_tag.map(|(d, l)| (d, l, way.data.load()))
             }
             _ => None,
         };
         self.stats.evictions.fetch_add(1, Ordering::Relaxed);
         self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        self.trace_lookup(TraceEventKind::CacheMiss, dev, lba);
         meta.tags[victim] = Some((dev, lba));
         way.set_state(LineState::Busy);
         way.pin();
@@ -406,18 +448,30 @@ mod tests {
     #[test]
     fn miss_then_fill_then_hit() {
         let c = small_cache();
-        let CacheLookup::Miss { line, dma, writeback } = c.lookup_or_reserve(0, 42) else {
+        let CacheLookup::Miss {
+            line,
+            dma,
+            writeback,
+        } = c.lookup_or_reserve(0, 42)
+        else {
             panic!("expected miss");
         };
         assert!(writeback.is_none());
         assert_eq!(c.state(line), LineState::Busy);
         // Second requester while the fill is in flight coalesces.
-        assert!(matches!(c.lookup_or_reserve(0, 42), CacheLookup::Busy { .. }));
+        assert!(matches!(
+            c.lookup_or_reserve(0, 42),
+            CacheLookup::Busy { .. }
+        ));
         // SSD DMA lands, fill completes.
         dma.store(PageToken(777));
         c.complete_fill(line);
         c.unpin(line);
-        let CacheLookup::Hit { line: hit_line, token } = c.lookup_or_reserve(0, 42) else {
+        let CacheLookup::Hit {
+            line: hit_line,
+            token,
+        } = c.lookup_or_reserve(0, 42)
+        else {
             panic!("expected hit");
         };
         assert_eq!(hit_line, line);
@@ -525,11 +579,9 @@ mod tests {
         let mut handles = Vec::new();
         for _ in 0..8 {
             let c = Arc::clone(&c);
-            handles.push(thread::spawn(move || {
-                match c.lookup_or_reserve(0, 123) {
-                    CacheLookup::Miss { .. } => 1u32,
-                    _ => 0u32,
-                }
+            handles.push(thread::spawn(move || match c.lookup_or_reserve(0, 123) {
+                CacheLookup::Miss { .. } => 1u32,
+                _ => 0u32,
             }));
         }
         let owners: u32 = handles.into_iter().map(|h| h.join().unwrap()).sum();

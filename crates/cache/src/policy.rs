@@ -292,7 +292,7 @@ mod tests {
         p.on_access(0, 2);
         p.on_access(0, 3);
         // Way 1 is now the least recently used.
-        assert_eq!(p.choose_victim(0, &[true; 4].to_vec()), Some(1));
+        assert_eq!(p.choose_victim(0, [true; 4].as_ref()), Some(1));
     }
 
     #[test]
@@ -304,7 +304,7 @@ mod tests {
         // Hits on way 0 must not save it: it was filled first.
         p.on_access(0, 0);
         p.on_access(0, 0);
-        assert_eq!(p.choose_victim(0, &[true; 4].to_vec()), Some(0));
+        assert_eq!(p.choose_victim(0, [true; 4].as_ref()), Some(0));
     }
 
     #[test]

@@ -368,7 +368,11 @@ mod tests {
         assert_eq!(a.refs(), 2);
 
         assert_eq!(st.release(0, 10), ReleaseOutcome::StillShared);
-        assert_eq!(a.state(), BufState::Exclusive, "downgrades when one ref remains");
+        assert_eq!(
+            a.state(),
+            BufState::Exclusive,
+            "downgrades when one ref remains"
+        );
         assert_eq!(st.release(0, 10), ReleaseOutcome::Dropped);
         assert!(st.is_empty());
         let s = st.stats();
@@ -398,9 +402,16 @@ mod tests {
     #[test]
     fn duplicate_registration_shares_the_pointer() {
         let st = ShareTable::new();
-        let a = st.register(1, 3, DmaHandle::with_token(PageToken(9)), 1).unwrap();
-        let b = st.register(1, 3, DmaHandle::with_token(PageToken(10)), 2).unwrap();
-        assert!(Arc::ptr_eq(&a, &b), "second registration must not duplicate data");
+        let a = st
+            .register(1, 3, DmaHandle::with_token(PageToken(9)), 1)
+            .unwrap();
+        let b = st
+            .register(1, 3, DmaHandle::with_token(PageToken(10)), 2)
+            .unwrap();
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "second registration must not duplicate data"
+        );
         // The original buffer's data wins; the second thread's private copy is unused.
         assert_eq!(a.token(), PageToken(9));
         assert_eq!(a.refs(), 2);

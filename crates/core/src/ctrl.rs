@@ -33,11 +33,12 @@ use agile_cache::{
     CacheLookup, CachePolicy, ClockPolicy, FifoPolicy, LruPolicy, RandomPolicy, ShareTable,
     SoftwareCache,
 };
+use agile_sim::trace::{TraceEvent, TraceEventKind, TraceSink};
 use agile_sim::Cycles;
-use nvme_sim::{DmaHandle, Lba, NvmeCommand, PageToken, QueuePair};
+use nvme_sim::{DmaHandle, Lba, NvmeCommand, Opcode, PageToken, QueuePair};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Outcome of an asynchronous issue (`asyncRead` / `asyncWrite` / raw I/O).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,6 +123,8 @@ pub struct AgileCtrl {
     lock_registry: Option<LockRegistry>,
     stop_service: AtomicBool,
     stats: ApiStatCells,
+    /// Optional trace recorder for the submit/doorbell/completion paths.
+    trace: OnceLock<Arc<dyn TraceSink>>,
 }
 
 fn build_policy(kind: CachePolicyKind) -> Box<dyn CachePolicy> {
@@ -146,7 +149,10 @@ impl AgileCtrl {
         let devices = device_queues
             .into_iter()
             .map(|qps| DeviceQueues {
-                sqs: qps.into_iter().map(|qp| Arc::new(AgileSq::new(qp))).collect(),
+                sqs: qps
+                    .into_iter()
+                    .map(|qp| Arc::new(AgileSq::new(qp)))
+                    .collect(),
             })
             .collect();
         AgileCtrl {
@@ -157,7 +163,23 @@ impl AgileCtrl {
             lock_registry,
             stop_service: AtomicBool::new(false),
             stats: ApiStatCells::default(),
+            trace: OnceLock::new(),
         }
+    }
+
+    /// Install a trace sink on the controller's submit/doorbell path and the
+    /// software cache's lookup path. Returns `false` if a sink was already
+    /// installed (the first one wins). When no sink is installed the hooks
+    /// cost a single atomic load.
+    pub fn set_trace_sink(&self, sink: Arc<dyn TraceSink>) -> bool {
+        self.cache.set_trace_sink(Arc::clone(&sink));
+        self.trace.set(sink).is_ok()
+    }
+
+    /// The installed trace sink, if any (used by the AGILE service to record
+    /// the completions it processes).
+    pub fn trace_sink(&self) -> Option<&Arc<dyn TraceSink>> {
+        self.trace.get()
     }
 
     /// The configuration this controller was built with.
@@ -242,7 +264,31 @@ impl AgileCtrl {
                     // Extra serialization attempts burn polling cycles.
                     cost +=
                         Cycles(gpu.poll_iteration) * (receipt.attempts.saturating_sub(1)) as u64;
-                    self.stats.io_cycles.fetch_add(cost.raw(), Ordering::Relaxed);
+                    self.stats
+                        .io_cycles
+                        .fetch_add(cost.raw(), Ordering::Relaxed);
+                    if let Some(sink) = self.trace.get() {
+                        // Rebuild the command for its lba/opcode; `build` is a
+                        // cheap constructor and this path only runs when
+                        // tracing is enabled.
+                        let cmd = build(receipt.cid);
+                        let qid = sq.queue_pair().id();
+                        sink.record(
+                            TraceEvent::new(TraceEventKind::Submit, now.raw())
+                                .target(dev as u32, cmd.slba)
+                                .queue(qid, receipt.cid)
+                                .tenant(warp as u32)
+                                .write(cmd.opcode == Opcode::Write),
+                        );
+                        if receipt.rang_doorbell {
+                            sink.record(
+                                TraceEvent::new(TraceEventKind::Doorbell, now.raw())
+                                    .target(dev as u32, cmd.slba)
+                                    .queue(qid, receipt.cid)
+                                    .tenant(warp as u32),
+                            );
+                        }
+                    }
                     return (cost, true);
                 }
                 None => {
@@ -253,7 +299,9 @@ impl AgileCtrl {
             }
         }
         self.stats.sq_full_retries.fetch_add(1, Ordering::Relaxed);
-        self.stats.io_cycles.fetch_add(cost.raw(), Ordering::Relaxed);
+        self.stats
+            .io_cycles
+            .fetch_add(cost.raw(), Ordering::Relaxed);
         (cost, false)
     }
 
@@ -277,6 +325,7 @@ impl AgileCtrl {
         now: Cycles,
     ) -> (Cycles, Vec<(u32, Lba)>) {
         self.stats.prefetch_calls.fetch_add(1, Ordering::Relaxed);
+        self.cache.set_time_hint(now.raw());
         let api = &self.cfg.costs.api;
         let gpu = &self.cfg.costs.gpu;
         let coalesced = coalesce_warp(requests);
@@ -363,6 +412,7 @@ impl AgileCtrl {
         now: Cycles,
     ) -> (Cycles, ReadOutcome) {
         self.stats.read_calls.fetch_add(1, Ordering::Relaxed);
+        self.cache.set_time_hint(now.raw());
         let api = &self.cfg.costs.api;
         let gpu = &self.cfg.costs.gpu;
         let coalesced = coalesce_warp(requests);
@@ -445,16 +495,18 @@ impl AgileCtrl {
 
     /// Store one page through the software cache (array-like write): the
     /// line is updated (write-allocate) and marked dirty; the write-back to
-    /// flash happens on eviction. Returns the cost and whether the store
-    /// landed (false = retry later).
+    /// flash happens on eviction. Evicting a dirty victim issues its
+    /// write-back NVMe command first, exactly like the read path. Returns
+    /// the cost and whether the store landed (false = retry later).
     pub fn write_warp(
         &self,
-        _warp: u64,
+        warp: u64,
         dev: u32,
         lba: Lba,
         token: PageToken,
-        _now: Cycles,
+        now: Cycles,
     ) -> (Cycles, bool) {
+        self.cache.set_time_hint(now.raw());
         let api = &self.cfg.costs.api;
         match self.cache.lookup_or_reserve(dev, lba) {
             CacheLookup::Hit { line, .. } => {
@@ -463,13 +515,36 @@ impl AgileCtrl {
                 self.bump_cache(api.agile_cache_hit);
                 (Cycles(api.agile_cache_hit), true)
             }
-            CacheLookup::Miss { line, .. } => {
+            CacheLookup::Miss {
+                line, writeback, ..
+            } => {
+                let mut cost = Cycles(api.agile_cache_miss);
+                // The victim held dirty data: write it back (from a
+                // snapshot) before the line is reused, or the modification
+                // is lost.
+                if let Some((wb_dev, wb_lba, wb_token)) = writeback {
+                    self.stats.writebacks.fetch_add(1, Ordering::Relaxed);
+                    let snapshot = DmaHandle::with_token(wb_token);
+                    let (wb_cost, ok) = self.issue_to_device(
+                        wb_dev as usize,
+                        warp,
+                        |cid| NvmeCommand::write(cid, wb_lba, snapshot.clone()),
+                        Transaction::WriteBack,
+                        now,
+                    );
+                    cost += wb_cost;
+                    if !ok {
+                        self.cache.abort_fill(line);
+                        self.bump_cache(cost.raw());
+                        return (cost, false);
+                    }
+                }
                 // Write-allocate without fetching the old contents.
                 self.cache.complete_fill(line);
                 self.cache.store(line, token);
                 self.cache.unpin(line);
-                self.bump_cache(api.agile_cache_miss);
-                (Cycles(api.agile_cache_miss), true)
+                self.bump_cache(cost.raw());
+                (cost, true)
             }
             CacheLookup::Busy { .. } | CacheLookup::NoLineAvailable => {
                 self.bump_cache(api.agile_cache_miss);
@@ -498,6 +573,7 @@ impl AgileCtrl {
         now: Cycles,
     ) -> (Cycles, IssueOutcome) {
         self.stats.async_calls.fetch_add(1, Ordering::Relaxed);
+        self.cache.set_time_hint(now.raw());
         let api = &self.cfg.costs.api;
         buf.barrier.reset();
         let mut cost = Cycles(api.agile_barrier_probe);
@@ -630,7 +706,14 @@ impl AgileCtrl {
             Transaction::Raw { barrier, lba },
             now,
         );
-        (cost, if ok { IssueOutcome::Issued } else { IssueOutcome::Retry })
+        (
+            cost,
+            if ok {
+                IssueOutcome::Issued
+            } else {
+                IssueOutcome::Retry
+            },
+        )
     }
 
     /// Issue a raw 4 KiB write that bypasses the software cache (Figure 6).
@@ -652,7 +735,14 @@ impl AgileCtrl {
             Transaction::Raw { barrier, lba },
             now,
         );
-        (cost, if ok { IssueOutcome::Issued } else { IssueOutcome::Retry })
+        (
+            cost,
+            if ok {
+                IssueOutcome::Issued
+            } else {
+                IssueOutcome::Retry
+            },
+        )
     }
 
     /// Poll a transaction barrier (`buf.wait()` single probe). Returns the
@@ -711,7 +801,11 @@ mod tests {
         assert_eq!(s.cache_misses, 1);
         assert_eq!(s.warp_coalesced, 31);
         // The command reached an SQ ring.
-        let total_inflight: usize = ctrl.device_queues(0).iter().map(|q| q.transactions().in_flight()).sum();
+        let total_inflight: usize = ctrl
+            .device_queues(0)
+            .iter()
+            .map(|q| q.transactions().in_flight())
+            .sum();
         assert_eq!(total_inflight, 1);
     }
 
@@ -736,7 +830,10 @@ mod tests {
         for sq in ctrl.device_queues(0) {
             for cid in 0..sq.depth() as u16 {
                 if let Some(Transaction::CacheFill { line }) = sq.transactions().take(cid) {
-                    ctrl.cache().way(line).data.store(PageToken(100 + cid as u64));
+                    ctrl.cache()
+                        .way(line)
+                        .data
+                        .store(PageToken(100 + cid as u64));
                     ctrl.cache().complete_fill(line);
                     ctrl.cache().unpin(line);
                     sq.release(cid);

@@ -25,7 +25,9 @@ use crate::ctrl::AgileCtrl;
 use crate::service::{AgileService, AgileServiceKernel};
 use agile_sim::Cycles;
 use gpu_sim::registers::agile_footprints;
-use gpu_sim::{occupancy, Engine, ExecutionReport, ExternalDevice, GpuConfig, KernelFactory, LaunchConfig};
+use gpu_sim::{
+    occupancy, Engine, ExecutionReport, ExternalDevice, GpuConfig, KernelFactory, LaunchConfig,
+};
 use nvme_sim::{MemBacking, PageBacking, QueuePair, SsdArray, SsdConfig};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -158,6 +160,17 @@ impl AgileHost {
         Arc::clone(self.ctrl.as_ref().expect("init_nvme not called"))
     }
 
+    /// Install one trace sink across the whole stack: the controller's
+    /// submit/doorbell path, the software cache's lookup path, and every
+    /// SSD's completion path. Call after [`AgileHost::init_nvme`]; the first
+    /// sink installed wins (returns `false` if one was already present).
+    /// Recording costs one atomic load per hook when enabled-but-absent.
+    pub fn set_trace_sink(&self, sink: Arc<dyn agile_sim::trace::TraceSink>) -> bool {
+        let ctrl_fresh = self.ctrl().set_trace_sink(Arc::clone(&sink));
+        let dev_fresh = self.ssd_array().lock().set_trace_sink(&sink);
+        ctrl_fresh && dev_fresh
+    }
+
     /// The AGILE service (available after [`AgileHost::start_agile`]).
     pub fn service(&self) -> Arc<AgileService> {
         Arc::clone(self.service.as_ref().expect("start_agile not called"))
@@ -192,7 +205,7 @@ impl AgileHost {
 
         let blocks = self.config.service_blocks.max(1);
         let total_warps = self.config.service_warps.max(1);
-        let warps_per_block = (total_warps + blocks - 1) / blocks;
+        let warps_per_block = total_warps.div_ceil(blocks);
         let launch = LaunchConfig::new(blocks, warps_per_block * self.gpu.warp_size)
             .with_registers(agile_footprints::SERVICE_KERNEL_REGISTERS)
             .persistent();
@@ -248,7 +261,10 @@ impl AgileHost {
 
     /// Current simulated time of the engine (zero before `start_agile`).
     pub fn now(&self) -> Cycles {
-        self.engine.as_ref().map(|e| e.now()).unwrap_or(Cycles::ZERO)
+        self.engine
+            .as_ref()
+            .map(|e| e.now())
+            .unwrap_or(Cycles::ZERO)
     }
 }
 

@@ -35,7 +35,6 @@ impl PrefetchComputeKernel {
             compute_cycles,
         }
     }
-
 }
 
 enum PipelinePhase {
@@ -64,9 +63,8 @@ struct PipelineWarpCtx {
 fn default_pages(ctx: &PipelineWarpCtx, iter: u32, lanes: u32) -> Vec<(u32, Lba)> {
     (0..lanes as u64)
         .map(|lane| {
-            let idx = ctx.warp_flat * ctx.iters as u64 * lanes as u64
-                + iter as u64 * lanes as u64
-                + lane;
+            let idx =
+                ctx.warp_flat * ctx.iters as u64 * lanes as u64 + iter as u64 * lanes as u64 + lane;
             ((idx % ctx.ndev) as u32, (idx / ctx.ndev) % 50_000)
         })
         .collect()
@@ -201,7 +199,9 @@ impl WarpKernel for RmwWarp {
         let (dev, lba) = self.target();
         match self.phase {
             RmwPhase::IssueRead => {
-                let (cost, outcome) = self.ctrl.async_read(self.warp_flat, dev, lba, &self.buf, ctx.now);
+                let (cost, outcome) =
+                    self.ctrl
+                        .async_read(self.warp_flat, dev, lba, &self.buf, ctx.now);
                 match outcome {
                     crate::ctrl::IssueOutcome::Issued => {
                         self.phase = RmwPhase::WaitRead;
@@ -230,8 +230,11 @@ impl WarpKernel for RmwWarp {
             RmwPhase::WriteBack => {
                 // "Modify" the page: derive a new token from the old one.
                 let old = self.buf.token();
-                self.buf.store(nvme_sim::PageToken(old.0 ^ 0xFFFF_0000_0000_FFFF));
-                let (cost, outcome) = self.ctrl.async_write(self.warp_flat, dev, lba, &self.buf, ctx.now);
+                self.buf
+                    .store(nvme_sim::PageToken(old.0 ^ 0xFFFF_0000_0000_FFFF));
+                let (cost, outcome) =
+                    self.ctrl
+                        .async_write(self.warp_flat, dev, lba, &self.buf, ctx.now);
                 match outcome {
                     crate::ctrl::IssueOutcome::Retry => WarpStep::Stall {
                         retry_after: Cycles(IO_POLL_INTERVAL),
@@ -286,7 +289,10 @@ mod tests {
         let stats = ctrl.stats();
         assert!(stats.prefetch_calls > 0);
         assert!(stats.read_calls > 0);
-        assert!(stats.cache_hits > 0, "prefetched data should be hit on read");
+        assert!(
+            stats.cache_hits > 0,
+            "prefetched data should be hit on read"
+        );
     }
 
     #[test]
@@ -302,7 +308,10 @@ mod tests {
         );
         assert!(!report.deadlocked);
         let stats = ctrl.stats();
-        assert!(stats.async_calls >= 4, "each warp does ≥2 reads and 2 writes");
+        assert!(
+            stats.async_calls >= 4,
+            "each warp does ≥2 reads and 2 writes"
+        );
         // Writes were actually applied to the devices.
         let array = host.ssd_array();
         assert!(array.lock().total_bytes_written() > 0);

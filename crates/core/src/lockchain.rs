@@ -263,8 +263,9 @@ mod tests {
     fn three_party_cycle_is_detected() {
         let reg = LockRegistry::new();
         let locks: Vec<LockId> = (0..3).map(|_| reg.register_lock()).collect();
-        let chains: Vec<AgileLockChain<'_>> =
-            (0..3).map(|t| AgileLockChain::new(&reg, t as u64)).collect();
+        let chains: Vec<AgileLockChain<'_>> = (0..3)
+            .map(|t| AgileLockChain::new(&reg, t as u64))
+            .collect();
         for i in 0..3 {
             chains[i].acquired(locks[i]);
         }

@@ -94,7 +94,10 @@ impl AgileService {
                 targets.push((dev, q));
             }
         }
-        let cursors = targets.iter().map(|_| Mutex::new(CqPollState::new())).collect();
+        let cursors = targets
+            .iter()
+            .map(|_| Mutex::new(CqPollState::new()))
+            .collect();
         let poll_round_cost = ctrl.config().costs.api.agile_service_poll_round;
         Arc::new(AgileService {
             ctrl,
@@ -122,8 +125,9 @@ impl AgileService {
     }
 
     /// Execute one warp-centric polling round on CQ `target_idx`
-    /// (Algorithm 1). Returns the number of completions processed.
-    pub fn poll_cq(&self, target_idx: usize) -> u32 {
+    /// (Algorithm 1) at sim time `now`. Returns the number of completions
+    /// processed.
+    pub fn poll_cq(&self, target_idx: usize, now: Cycles) -> u32 {
         let (dev, qidx) = self.targets[target_idx];
         let sq: &Arc<AgileSq> = &self.ctrl.device_queues(dev)[qidx];
         let cq = &sq.queue_pair().cq;
@@ -140,7 +144,7 @@ impl AgileService {
             }
             let idx = (cursor.window_start + lane) % depth;
             if let Some(cqe) = cq.poll_slot(idx, cursor.phase) {
-                self.process_completion(dev, cqe.sq_id as usize, cqe.cid);
+                self.process_completion(dev, cqe.sq_id as usize, cqe.cid, now);
                 cursor.mask |= bit;
                 processed += 1;
             }
@@ -166,7 +170,7 @@ impl AgileService {
     }
 
     /// Handle one completion: release the SQE and finish its transaction.
-    fn process_completion(&self, dev: usize, qidx: usize, cid: u16) {
+    fn process_completion(&self, dev: usize, qidx: usize, cid: u16, now: Cycles) {
         let sq = &self.ctrl.device_queues(dev)[qidx];
         let txn = sq
             .transactions()
@@ -174,6 +178,16 @@ impl AgileService {
             .expect("completion for a command with no transaction");
         sq.release(cid);
         self.stats.completions.fetch_add(1, Ordering::Relaxed);
+        if let Some(sink) = self.ctrl.trace_sink() {
+            sink.record(
+                agile_sim::trace::TraceEvent::new(
+                    agile_sim::trace::TraceEventKind::ServiceCompletion,
+                    now.raw(),
+                )
+                .target(dev as u32, 0)
+                .queue(qidx as u16, cid),
+            );
+        }
         match txn {
             Transaction::CacheFill { line } => {
                 self.ctrl.cache().complete_fill(line);
@@ -191,15 +205,21 @@ impl AgileService {
         }
     }
 
-    /// One scheduling step of a service warp: poll the next CQ in this warp's
-    /// rotation. Returns the cycle cost of the step.
-    pub fn service_step(&self, rotation: &mut usize, stride: usize, offset: usize) -> Cycles {
+    /// One scheduling step of a service warp at sim time `now`: poll the next
+    /// CQ in this warp's rotation. Returns the cycle cost of the step.
+    pub fn service_step(
+        &self,
+        rotation: &mut usize,
+        stride: usize,
+        offset: usize,
+        now: Cycles,
+    ) -> Cycles {
         if self.targets.is_empty() {
             return Cycles(self.idle_backoff);
         }
         let idx = (offset + *rotation * stride) % self.targets.len();
         *rotation += 1;
-        let processed = self.poll_cq(idx);
+        let processed = self.poll_cq(idx, now);
         if processed > 0 {
             self.stats.busy_rounds.fetch_add(1, Ordering::Relaxed);
             Cycles(self.poll_round_cost)
@@ -242,13 +262,13 @@ struct ServiceWarp {
 }
 
 impl WarpKernel for ServiceWarp {
-    fn step(&mut self, _ctx: &WarpCtx) -> WarpStep {
+    fn step(&mut self, ctx: &WarpCtx) -> WarpStep {
         if self.service.ctrl().service_stop_requested() {
             return WarpStep::Done;
         }
         let cost = self
             .service
-            .service_step(&mut self.rotation, self.stride, self.offset);
+            .service_step(&mut self.rotation, self.stride, self.offset, ctx.now);
         WarpStep::Busy(cost)
     }
 }
@@ -308,7 +328,7 @@ mod tests {
             now += Cycles(2_000);
             dev.advance_to(now);
             // One service warp sweeping all CQs.
-            let _ = service.service_step(&mut rotation, 1, 0);
+            let _ = service.service_step(&mut rotation, 1, 0, now);
             if pred() {
                 return now;
             }
@@ -390,7 +410,7 @@ mod tests {
             }
             now += Cycles(5_000);
             dev.advance_to(now);
-            let _ = service.service_step(&mut rotation, 1, 0);
+            let _ = service.service_step(&mut rotation, 1, 0, now);
         }
         // Drain the rest.
         let done = barriers.clone();
@@ -398,7 +418,10 @@ mod tests {
             done.iter().all(|b| b.is_complete())
         });
         assert_eq!(service.stats().completions, 32);
-        assert!(ctrl.stats().sq_full_retries > 0, "pressure should have been observed");
+        assert!(
+            ctrl.stats().sq_full_retries > 0,
+            "pressure should have been observed"
+        );
     }
 
     #[test]
@@ -428,14 +451,17 @@ mod tests {
             }
             now += Cycles(3_000);
             dev.advance_to(now);
-            let _ = service.service_step(&mut rotation, 1, 0);
+            let _ = service.service_step(&mut rotation, 1, 0, now);
         }
         let done = barriers.clone();
         drive_until_from(&mut dev, &service, now, move || {
             done.iter().all(|b| b.is_complete())
         });
         assert_eq!(service.stats().completions, 96);
-        assert!(service.stats().cq_doorbells >= 2, "at least two windows consumed");
+        assert!(
+            service.stats().cq_doorbells >= 2,
+            "at least two windows consumed"
+        );
     }
 
     #[test]

@@ -156,8 +156,7 @@ impl AgileSq {
                 .is_ok()
             {
                 // We own this slot index exclusively; mark it claimed.
-                self.states[slot as usize]
-                    .store(SqeState::Claimed as u32, Ordering::Release);
+                self.states[slot as usize].store(SqeState::Claimed as u32, Ordering::Release);
                 break slot;
             }
             // Lost the cursor race; retry with the new cursor.
@@ -273,7 +272,9 @@ mod tests {
     fn queue_full_returns_none_without_blocking() {
         let q = sq(4);
         for i in 0..4 {
-            let r = q.try_issue(read_cmd, Transaction::WriteBack, Cycles(0)).unwrap();
+            let r = q
+                .try_issue(read_cmd, Transaction::WriteBack, Cycles(0))
+                .unwrap();
             assert_eq!(r.cid, i as u16);
         }
         assert_eq!(q.free_slots(), 0);
@@ -287,7 +288,9 @@ mod tests {
         let _ = q.queue_pair().sq.take_slot(0); // device-side fetch
         let _ = q.transactions().take(0);
         q.release(0);
-        let r = q.try_issue(read_cmd, Transaction::WriteBack, Cycles(0)).unwrap();
+        let r = q
+            .try_issue(read_cmd, Transaction::WriteBack, Cycles(0))
+            .unwrap();
         assert_eq!(r.cid, 0, "cursor wrapped to the first freed slot");
         // The ring is full again (slot 1 is still ISSUED), so the next issue
         // is rejected without blocking.
@@ -302,7 +305,8 @@ mod tests {
         // Issue three commands; each issue call promotes everything pending,
         // so the doorbell value always reflects the full batch.
         for _ in 0..3 {
-            q.try_issue(read_cmd, Transaction::WriteBack, Cycles(0)).unwrap();
+            q.try_issue(read_cmd, Transaction::WriteBack, Cycles(0))
+                .unwrap();
         }
         assert_eq!(q.queue_pair().sq_doorbell.value(), 3);
         let drained = q.queue_pair().sq_doorbell.drain();
@@ -314,10 +318,16 @@ mod tests {
     #[test]
     fn release_resets_state_for_reuse() {
         let q = sq(2);
-        let a = q.try_issue(read_cmd, Transaction::WriteBack, Cycles(0)).unwrap();
-        let b = q.try_issue(read_cmd, Transaction::WriteBack, Cycles(0)).unwrap();
+        let a = q
+            .try_issue(read_cmd, Transaction::WriteBack, Cycles(0))
+            .unwrap();
+        let b = q
+            .try_issue(read_cmd, Transaction::WriteBack, Cycles(0))
+            .unwrap();
         assert_ne!(a.cid, b.cid);
-        assert!(q.try_issue(read_cmd, Transaction::WriteBack, Cycles(0)).is_none());
+        assert!(q
+            .try_issue(read_cmd, Transaction::WriteBack, Cycles(0))
+            .is_none());
         // Simulate the device fetching both entries, then their completions.
         let _ = q.queue_pair().sq.take_slot(a.cid as u32);
         let _ = q.queue_pair().sq.take_slot(b.cid as u32);
@@ -326,7 +336,9 @@ mod tests {
         let _ = q.transactions().take(a.cid);
         let _ = q.transactions().take(b.cid);
         assert_eq!(q.free_slots(), 2);
-        assert!(q.try_issue(read_cmd, Transaction::WriteBack, Cycles(0)).is_some());
+        assert!(q
+            .try_issue(read_cmd, Transaction::WriteBack, Cycles(0))
+            .is_some());
     }
 
     #[test]
@@ -339,9 +351,7 @@ mod tests {
                 thread::spawn(move || {
                     let mut cids = Vec::new();
                     for _ in 0..8 {
-                        if let Some(r) =
-                            q.try_issue(read_cmd, Transaction::WriteBack, Cycles(0))
-                        {
+                        if let Some(r) = q.try_issue(read_cmd, Transaction::WriteBack, Cycles(0)) {
                             cids.push(r.cid);
                         }
                     }

@@ -165,7 +165,7 @@ impl Engine {
     pub fn launch(&mut self, launch: LaunchConfig, factory: Box<dyn KernelFactory>) -> KernelId {
         assert!(launch.grid_dim > 0, "grid must contain at least one block");
         assert!(
-            launch.block_dim % self.gpu.warp_size == 0 && launch.block_dim > 0,
+            launch.block_dim.is_multiple_of(self.gpu.warp_size) && launch.block_dim > 0,
             "block_dim must be a positive warp-size multiple"
         );
         // Validate the launch fits the device at all.
@@ -436,8 +436,11 @@ mod tests {
         let report = eng.run();
         assert!(!report.deadlocked);
         // Everything fits concurrently, so elapsed ≈ 1000 cycles (+ rounding).
-        assert!(report.elapsed.raw() >= 1000 && report.elapsed.raw() < 1100,
-            "elapsed {}", report.elapsed);
+        assert!(
+            report.elapsed.raw() >= 1000 && report.elapsed.raw() < 1100,
+            "elapsed {}",
+            report.elapsed
+        );
         let k = &report.kernels[0];
         assert_eq!(k.warps, 8);
         assert_eq!(k.busy_cycles, 8 * 1000);

@@ -31,7 +31,8 @@ impl WarpId {
     /// or selecting NVMe queues, as the paper does "based on its thread
     /// index").
     pub fn flat(&self, warps_per_block: u32) -> u64 {
-        (self.kernel.0 as u64) << 48 | (self.block as u64 * warps_per_block as u64 + self.warp as u64)
+        (self.kernel.0 as u64) << 48
+            | (self.block as u64 * warps_per_block as u64 + self.warp as u64)
     }
 }
 
@@ -107,23 +108,21 @@ pub fn occupancy(gpu: &GpuConfig, launch: &LaunchConfig) -> u32 {
         gpu.max_threads_per_block
     );
     assert!(
-        launch.block_dim % gpu.warp_size == 0,
+        launch.block_dim.is_multiple_of(gpu.warp_size),
         "block_dim must be a warp-size multiple"
     );
     let warps_per_block = launch.block_dim / gpu.warp_size;
     let by_blocks = gpu.max_blocks_per_sm;
     let by_warps = gpu.max_warps_per_sm / warps_per_block.max(1);
     let regs_per_block = launch.registers_per_thread * launch.block_dim;
-    let by_regs = if regs_per_block == 0 {
-        u32::MAX
-    } else {
-        gpu.registers_per_sm / regs_per_block
-    };
-    let by_smem = if launch.shared_mem_per_block == 0 {
-        u32::MAX
-    } else {
-        gpu.shared_mem_per_sm / launch.shared_mem_per_block
-    };
+    let by_regs = gpu
+        .registers_per_sm
+        .checked_div(regs_per_block)
+        .unwrap_or(u32::MAX);
+    let by_smem = gpu
+        .shared_mem_per_sm
+        .checked_div(launch.shared_mem_per_block)
+        .unwrap_or(u32::MAX);
     by_blocks.min(by_warps).min(by_regs).min(by_smem)
 }
 

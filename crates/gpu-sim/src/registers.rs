@@ -128,8 +128,7 @@ mod tests {
             .with(RegisterFootprint::new("b", 5));
         assert_eq!(m.total(), 35);
 
-        let big = KernelRegisterModel::new("k", 200)
-            .with(RegisterFootprint::new("a", 100));
+        let big = KernelRegisterModel::new("k", 200).with(RegisterFootprint::new("a", 100));
         assert_eq!(big.total(), MAX_REGISTERS_PER_THREAD);
     }
 
@@ -149,7 +148,10 @@ mod tests {
         ]
         .iter()
         .sum();
-        assert!(agile < bam, "AGILE footprint {agile} must be below BaM {bam}");
+        assert!(
+            agile < bam,
+            "AGILE footprint {agile} must be below BaM {bam}"
+        );
     }
 
     #[test]

@@ -101,7 +101,9 @@ impl MemBacking {
 
     /// Fetch the byte payload stored at `lba`, if any.
     pub fn read_payload(&self, lba: Lba) -> Option<Bytes> {
-        self.payloads.as_ref().and_then(|p| p.read().get(&lba).cloned())
+        self.payloads
+            .as_ref()
+            .and_then(|p| p.read().get(&lba).cloned())
     }
 }
 

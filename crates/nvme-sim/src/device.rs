@@ -22,10 +22,11 @@ use crate::backing::PageBacking;
 use crate::queue::QueuePair;
 use crate::spec::{CmdStatus, NvmeCommand, NvmeCompletion, Opcode, PageToken, QueueId};
 use agile_sim::costs::SsdCosts;
+use agile_sim::trace::{TraceEvent, TraceEventKind, TraceSink};
 use agile_sim::{Cycles, EventWheel};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Static configuration of one simulated SSD.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -128,6 +129,10 @@ struct PendingCompletion {
     status: CmdStatus,
     /// For reads: token to DMA into the command's destination before posting.
     dma_token: Option<(crate::spec::DmaHandle, PageToken)>,
+    /// Target page, kept for trace records.
+    lba: u64,
+    /// True when the command was a write (trace records).
+    write: bool,
 }
 
 /// Internal device events.
@@ -150,6 +155,8 @@ pub struct SsdDevice {
     events: EventWheel<DeviceEvent>,
     stats: DeviceStats,
     now: Cycles,
+    /// Optional trace recorder for the completion path.
+    trace: OnceLock<Arc<dyn TraceSink>>,
 }
 
 impl SsdDevice {
@@ -166,7 +173,14 @@ impl SsdDevice {
             events: EventWheel::new(),
             stats: DeviceStats::default(),
             now: Cycles::ZERO,
+            trace: OnceLock::new(),
         }
+    }
+
+    /// Install a trace sink recording every posted completion. Returns
+    /// `false` if a sink was already installed (the first one wins).
+    pub fn set_trace_sink(&self, sink: Arc<dyn TraceSink>) -> bool {
+        self.trace.set(sink).is_ok()
     }
 
     /// Device configuration.
@@ -355,6 +369,8 @@ impl SsdDevice {
                 sq_head,
                 status,
                 dma_token: if status.is_ok() { dma_token } else { None },
+                lba: cmd.slba,
+                write: cmd.opcode == Opcode::Write,
             }),
         );
 
@@ -405,16 +421,20 @@ impl SsdDevice {
             cursor.tail = 0;
             cursor.phase = !cursor.phase;
         }
+        if let Some(sink) = self.trace.get() {
+            sink.record(
+                TraceEvent::new(TraceEventKind::DeviceCompletion, self.now.raw())
+                    .target(self.cfg.id, pending.lba)
+                    .queue(pending.qid, pending.cid)
+                    .write(pending.write),
+            );
+        }
     }
 
     fn drain_parked(&mut self) {
         for qid in 0..self.qps.len() {
-            loop {
-                let Some(pending) = self.cq_cursors[qid].parked.pop_front() else {
-                    break;
-                };
-                let cq_full = self.qps[qid].cq.is_full();
-                if cq_full {
+            while let Some(pending) = self.cq_cursors[qid].parked.pop_front() {
+                if self.qps[qid].cq.is_full() {
                     self.cq_cursors[qid].parked.push_front(pending);
                     break;
                 }
@@ -432,10 +452,7 @@ mod tests {
 
     fn make_device(qp_depth: u32) -> (SsdDevice, Arc<QueuePair>) {
         let backing = Arc::new(MemBacking::new(0));
-        let mut dev = SsdDevice::new(
-            SsdConfig::new(0).with_capacity_pages(1 << 20),
-            backing,
-        );
+        let mut dev = SsdDevice::new(SsdConfig::new(0).with_capacity_pages(1 << 20), backing);
         let qp = QueuePair::new(0, qp_depth);
         dev.register_queue_pair(Arc::clone(&qp));
         (dev, qp)
@@ -522,7 +539,12 @@ mod tests {
         // Submit 4 commands; CQ depth is 4 so nothing needs to park yet, but
         // we don't consume, then submit 2 more after tail wraps.
         for i in 0..4u32 {
-            submit(&qp, i, NvmeCommand::read(i as u16, i as u64, DmaHandle::new()), Cycles(0));
+            submit(
+                &qp,
+                i,
+                NvmeCommand::read(i as u16, i as u64, DmaHandle::new()),
+                Cycles(0),
+            );
         }
         let mut now = Cycles(0);
         for _ in 0..10_000 {
@@ -538,8 +560,12 @@ mod tests {
         // Two more commands; their completions must park.
         // SQ slots 0..3 were consumed by the device, so reuse slot 0 and 1;
         // the tail doorbell keeps increasing in ring order.
-        assert!(qp.sq.write_slot(0, NvmeCommand::read(10, 100, DmaHandle::new())));
-        assert!(qp.sq.write_slot(1, NvmeCommand::read(11, 101, DmaHandle::new())));
+        assert!(qp
+            .sq
+            .write_slot(0, NvmeCommand::read(10, 100, DmaHandle::new())));
+        assert!(qp
+            .sq
+            .write_slot(1, NvmeCommand::read(11, 101, DmaHandle::new())));
         qp.sq_doorbell.ring(2, now);
         for _ in 0..200 {
             now += Cycles(10_000);
@@ -583,7 +609,11 @@ mod tests {
             while issued < total && batch < 64 && !qp.sq.slot_occupied(next_slot) {
                 assert!(qp.sq.write_slot(
                     next_slot,
-                    NvmeCommand::read((issued % 65_536) as u16, issued % 1_000_000, DmaHandle::new())
+                    NvmeCommand::read(
+                        (issued % 65_536) as u16,
+                        issued % 1_000_000,
+                        DmaHandle::new()
+                    )
                 ));
                 next_slot = (next_slot + 1) % qp.depth();
                 issued += 1;

@@ -89,6 +89,17 @@ impl SsdArray {
             .collect()
     }
 
+    /// Install a trace sink on every device's completion path (see
+    /// [`SsdDevice::set_trace_sink`]). Returns `false` if any device already
+    /// had a sink.
+    pub fn set_trace_sink(&self, sink: &Arc<dyn agile_sim::trace::TraceSink>) -> bool {
+        let mut all_fresh = true;
+        for dev in &self.devices {
+            all_fresh &= dev.set_trace_sink(Arc::clone(sink));
+        }
+        all_fresh
+    }
+
     /// Advance every device to `now`.
     pub fn advance_to(&mut self, now: Cycles) {
         for dev in &mut self.devices {

@@ -21,11 +21,15 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 pub const DEFAULT_GPU_CLOCK_GHZ: f64 = 2.5;
 
 /// A duration or point in simulated time, measured in GPU core cycles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Cycles(pub u64);
 
 /// A duration in nanoseconds of simulated wall time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Nanos(pub u64);
 
 impl Cycles {

@@ -28,9 +28,11 @@ pub mod costs;
 pub mod events;
 pub mod rng;
 pub mod stats;
+pub mod trace;
 pub mod units;
 
 pub use clock::{Cycles, Nanos, SimClock, DEFAULT_GPU_CLOCK_GHZ};
 pub use events::{EventId, EventWheel};
 pub use rng::{SimRng, ZipfSampler};
 pub use stats::{Counter, Histogram, RunningStats};
+pub use trace::{NullSink, TraceEvent, TraceEventKind, TraceSink};

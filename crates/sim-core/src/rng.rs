@@ -57,10 +57,7 @@ impl SimRng {
     /// Next raw 64-bit value.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -276,7 +273,10 @@ mod tests {
             counts[rng.gen_range(buckets as u64) as usize] += 1.0;
         }
         let expected = samples as f64 / buckets as f64;
-        let chi2: f64 = counts.iter().map(|c| (c - expected).powi(2) / expected).sum();
+        let chi2: f64 = counts
+            .iter()
+            .map(|c| (c - expected).powi(2) / expected)
+            .sum();
         // 15 degrees of freedom; 99.9th percentile ≈ 37.7.
         assert!(chi2 < 45.0, "chi-square too large: {chi2}");
     }

@@ -86,7 +86,11 @@ impl Histogram {
 
     /// Record one sample.
     pub fn record(&mut self, value: u64) {
-        let idx = if value <= 1 { 0 } else { 64 - value.leading_zeros() as usize };
+        let idx = if value <= 1 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        };
         self.buckets[idx.min(64)] += 1;
         self.count += 1;
         self.sum += value as u128;
@@ -129,7 +133,11 @@ impl Histogram {
             seen += c;
             if seen >= target.max(1) {
                 // Upper bound of bucket i.
-                return Some(if i == 0 { 1 } else { (1u64 << i).saturating_mul(2).saturating_sub(1) });
+                return Some(if i == 0 {
+                    1
+                } else {
+                    (1u64 << i).saturating_mul(2).saturating_sub(1)
+                });
             }
         }
         Some(self.max)

@@ -30,7 +30,7 @@ pub fn gb_per_sec(bytes: u64, secs: f64) -> f64 {
 /// Integer ceiling division.
 #[inline]
 pub const fn div_ceil(a: u64, b: u64) -> u64 {
-    (a + b - 1) / b
+    a.div_ceil(b)
 }
 
 /// Round `a` up to the next multiple of `b`.

@@ -1,0 +1,117 @@
+//! Concrete [`TraceSink`] implementations used for capture.
+
+use agile_sim::trace::{TraceEvent, TraceEventKind, TraceSink};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A sink that buffers every recorded event in memory, in record order.
+///
+/// Producers append under a short mutex; the simulator's hot paths only reach
+/// the sink when tracing is explicitly enabled, so the lock is not on any
+/// default path. Events can be drained ([`MemorySink::take_events`]) or
+/// copied out ([`MemorySink::events`]) once the run finishes.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl MemorySink {
+    /// New, empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Copy the buffered events out, leaving the buffer intact.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.lock().clone()
+    }
+
+    /// Drain the buffered events.
+    pub fn take_events(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.lock())
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<TraceEvent>> {
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&self, ev: TraceEvent) {
+        self.lock().push(ev);
+    }
+}
+
+/// A sink that keeps only per-kind event counts (constant memory, lock-free).
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    counts: [AtomicU64; TraceEventKind::ALL.len()],
+}
+
+impl CountingSink {
+    /// New sink with all counters at zero.
+    pub fn new() -> Self {
+        CountingSink::default()
+    }
+
+    /// Events recorded of `kind`.
+    pub fn count(&self, kind: TraceEventKind) -> u64 {
+        self.counts[kind.as_u8() as usize].load(Ordering::Relaxed)
+    }
+
+    /// Total events recorded across all kinds.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+}
+
+impl TraceSink for CountingSink {
+    fn record(&self, ev: TraceEvent) {
+        self.counts[ev.kind.as_u8() as usize].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_sink_buffers_in_order() {
+        let sink = MemorySink::new();
+        assert!(sink.is_empty());
+        for at in 0..10u64 {
+            sink.record(TraceEvent::new(TraceEventKind::Submit, at));
+        }
+        assert_eq!(sink.len(), 10);
+        let evs = sink.events();
+        assert_eq!(evs.len(), 10);
+        assert!(evs.windows(2).all(|w| w[0].at < w[1].at));
+        let drained = sink.take_events();
+        assert_eq!(drained, evs);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn counting_sink_counts_by_kind() {
+        let sink = CountingSink::new();
+        sink.record(TraceEvent::new(TraceEventKind::CacheHit, 1));
+        sink.record(TraceEvent::new(TraceEventKind::CacheHit, 2));
+        sink.record(TraceEvent::new(TraceEventKind::Doorbell, 3));
+        assert_eq!(sink.count(TraceEventKind::CacheHit), 2);
+        assert_eq!(sink.count(TraceEventKind::Doorbell), 1);
+        assert_eq!(sink.count(TraceEventKind::Submit), 0);
+        assert_eq!(sink.total(), 3);
+    }
+}

@@ -1,0 +1,368 @@
+//! Deterministic synthetic trace generation.
+//!
+//! A [`TraceSpec`] describes a workload as a set of tenants, each with its
+//! own address distribution, read/write mix, pacing, and optional on/off
+//! burst profile. [`TraceSpec::generate`] expands every tenant into a
+//! virtual-time-stamped request stream (each driven by an independent fork of
+//! `agile-sim`'s seeded RNG) and merges the streams into one ordered
+//! [`Trace`]. The same spec and seed always produce the byte-identical
+//! trace, which is what makes replay runs comparable across systems and
+//! sessions.
+
+use crate::format::{Trace, TraceMeta, TraceOp};
+use agile_sim::{SimRng, ZipfSampler};
+
+/// How a tenant picks page addresses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AddressPattern {
+    /// Uniform over the LBA space.
+    Uniform,
+    /// Zipf-distributed popularity with exponent `theta` (rank 0 hottest);
+    /// ranks are scattered over the LBA space by a fixed bijective hash so
+    /// hot pages are not physically clustered.
+    Zipf {
+        /// Skew exponent (`0.99` ≈ classic YCSB hot-set).
+        theta: f64,
+    },
+    /// Sequential scan starting at `start`, wrapping at the LBA space.
+    Sequential {
+        /// First page of the scan.
+        start: u64,
+    },
+}
+
+/// On/off burst shaping for a tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BurstProfile {
+    /// Requests issued back-to-back per burst.
+    pub on_ops: u32,
+    /// Idle cycles inserted between bursts.
+    pub idle_cycles: u32,
+}
+
+/// One tenant of a (possibly multi-tenant) synthetic workload.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Requests this tenant issues.
+    pub ops: u64,
+    /// Fraction of requests that are writes (`0.0..=1.0`).
+    pub write_fraction: f64,
+    /// Address distribution.
+    pub pattern: AddressPattern,
+    /// Mean think-time cycles between this tenant's requests (within a
+    /// burst, when a burst profile is set).
+    pub mean_gap: u32,
+    /// Optional on/off burst shaping.
+    pub burst: Option<BurstProfile>,
+}
+
+impl TenantSpec {
+    /// A steady tenant with the given pattern and mix.
+    pub fn new(ops: u64, pattern: AddressPattern, write_fraction: f64, mean_gap: u32) -> Self {
+        TenantSpec {
+            ops,
+            write_fraction,
+            pattern,
+            mean_gap,
+            burst: None,
+        }
+    }
+
+    /// Add an on/off burst profile.
+    pub fn with_burst(mut self, on_ops: u32, idle_cycles: u32) -> Self {
+        self.burst = Some(BurstProfile {
+            on_ops: on_ops.max(1),
+            idle_cycles,
+        });
+        self
+    }
+}
+
+/// A full synthetic workload description.
+#[derive(Debug, Clone)]
+pub struct TraceSpec {
+    /// Trace name recorded into the metadata.
+    pub name: String,
+    /// Master RNG seed; every tenant derives an independent stream from it.
+    pub seed: u64,
+    /// Number of target devices (requests are spread uniformly).
+    pub devices: u32,
+    /// Pages per device the addresses are drawn from.
+    pub lba_space: u64,
+    /// The tenants.
+    pub tenants: Vec<TenantSpec>,
+}
+
+/// Fibonacci-hash scatter: bijective over `u64`, used to spread Zipf ranks
+/// and sequential offsets across the LBA space deterministically.
+fn scatter(x: u64, space: u64) -> u64 {
+    (x.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (x >> 31)) % space.max(1)
+}
+
+impl TraceSpec {
+    /// A single uniform-random tenant (the classic 4 KiB random I/O floor).
+    pub fn uniform(name: &str, seed: u64, devices: u32, lba_space: u64, ops: u64) -> Self {
+        TraceSpec {
+            name: name.to_string(),
+            seed,
+            devices,
+            lba_space,
+            tenants: vec![TenantSpec::new(ops, AddressPattern::Uniform, 0.0, 200)],
+        }
+    }
+
+    /// A single Zipf(θ) read-only tenant (hot-set skew).
+    pub fn zipfian(
+        name: &str,
+        seed: u64,
+        devices: u32,
+        lba_space: u64,
+        ops: u64,
+        theta: f64,
+    ) -> Self {
+        TraceSpec {
+            name: name.to_string(),
+            seed,
+            devices,
+            lba_space,
+            tenants: vec![TenantSpec::new(
+                ops,
+                AddressPattern::Zipf { theta },
+                0.0,
+                200,
+            )],
+        }
+    }
+
+    /// A single bursty mixed read/write tenant.
+    pub fn bursty(
+        name: &str,
+        seed: u64,
+        devices: u32,
+        lba_space: u64,
+        ops: u64,
+        on_ops: u32,
+        idle_cycles: u32,
+    ) -> Self {
+        TraceSpec {
+            name: name.to_string(),
+            seed,
+            devices,
+            lba_space,
+            tenants: vec![TenantSpec::new(ops, AddressPattern::Uniform, 0.3, 50)
+                .with_burst(on_ops, idle_cycles)],
+        }
+    }
+
+    /// The canonical multi-tenant mixture: a Zipf hot-set reader, a uniform
+    /// mixed reader/writer, and a bursty write-heavy tenant, splitting
+    /// `total_ops` 50/30/20.
+    pub fn multi_tenant(
+        name: &str,
+        seed: u64,
+        devices: u32,
+        lba_space: u64,
+        total_ops: u64,
+    ) -> Self {
+        let hot = total_ops / 2;
+        let mixed = total_ops * 3 / 10;
+        let bursty = total_ops - hot - mixed;
+        TraceSpec {
+            name: name.to_string(),
+            seed,
+            devices,
+            lba_space,
+            tenants: vec![
+                TenantSpec::new(hot, AddressPattern::Zipf { theta: 0.99 }, 0.0, 150),
+                TenantSpec::new(mixed, AddressPattern::Uniform, 0.2, 250),
+                TenantSpec::new(bursty, AddressPattern::Uniform, 0.8, 40).with_burst(64, 40_000),
+            ],
+        }
+    }
+
+    /// Expand the spec into a replayable [`Trace`]. Deterministic: the same
+    /// spec and seed always produce the identical trace.
+    pub fn generate(&self) -> Trace {
+        assert!(self.devices >= 1, "trace needs at least one device");
+        assert!(self.lba_space >= 1, "trace needs a non-empty LBA space");
+        let root = SimRng::new(self.seed);
+        // (absolute virtual time, tenant, op-with-zero-gap)
+        let mut timeline: Vec<(u64, u32, TraceOp)> = Vec::new();
+
+        for (tid, tenant) in self.tenants.iter().enumerate() {
+            let tid = tid as u32;
+            let mut rng = root.fork(0x7E4A_4E57 ^ tid as u64);
+            let zipf = match tenant.pattern {
+                AddressPattern::Zipf { theta } => Some(ZipfSampler::new(self.lba_space, theta)),
+                _ => None,
+            };
+            let mut now = 0u64;
+            let mut in_burst = 0u32;
+            for k in 0..tenant.ops {
+                // Pacing: jittered think time in [0, 2*mean_gap], mean = mean_gap.
+                let gap = if tenant.mean_gap == 0 {
+                    0
+                } else {
+                    rng.gen_range(2 * tenant.mean_gap as u64 + 1)
+                };
+                now += gap;
+                if let Some(burst) = tenant.burst {
+                    if in_burst >= burst.on_ops {
+                        now += burst.idle_cycles as u64;
+                        in_burst = 0;
+                    }
+                    in_burst += 1;
+                }
+                let lba = match tenant.pattern {
+                    AddressPattern::Uniform => rng.gen_range(self.lba_space),
+                    AddressPattern::Zipf { .. } => {
+                        let rank = zipf.as_ref().expect("zipf sampler").sample(&mut rng);
+                        scatter(rank, self.lba_space)
+                    }
+                    AddressPattern::Sequential { start } => (start + k) % self.lba_space,
+                };
+                let dev = if self.devices == 1 {
+                    0
+                } else {
+                    rng.gen_range(self.devices as u64) as u32
+                };
+                let write = tenant.write_fraction > 0.0 && rng.gen_bool(tenant.write_fraction);
+                timeline.push((
+                    now,
+                    tid,
+                    TraceOp {
+                        lba,
+                        gap: 0,
+                        tenant: tid,
+                        dev,
+                        write,
+                    },
+                ));
+            }
+        }
+
+        // Merge tenant streams into one deterministic order: by virtual time,
+        // tenant id breaking ties.
+        timeline.sort_by_key(|&(at, tid, _)| (at, tid));
+        let mut ops = Vec::with_capacity(timeline.len());
+        let mut last_at = 0u64;
+        for (at, _, mut op) in timeline {
+            op.gap = (at - last_at).min(u32::MAX as u64) as u32;
+            last_at = at;
+            ops.push(op);
+        }
+
+        Trace {
+            meta: TraceMeta {
+                name: self.name.clone(),
+                seed: self.seed,
+                lba_space: self.lba_space,
+                devices: self.devices,
+                tenants: self.tenants.len() as u32,
+            },
+            ops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = TraceSpec::multi_tenant("mt", 1234, 2, 1 << 16, 3_000);
+        let a = spec.generate();
+        let b = spec.generate();
+        assert_eq!(a, b);
+        assert_eq!(a.to_bytes(), b.to_bytes());
+        let c = TraceSpec::multi_tenant("mt", 1235, 2, 1 << 16, 3_000).generate();
+        assert_ne!(a.ops, c.ops, "different seeds must differ");
+    }
+
+    #[test]
+    fn uniform_covers_devices_and_space() {
+        let trace = TraceSpec::uniform("u", 7, 3, 1024, 5_000).generate();
+        assert_eq!(trace.ops.len(), 5_000);
+        assert!(trace.ops.iter().all(|o| o.dev < 3 && o.lba < 1024));
+        for dev in 0..3u32 {
+            let share = trace.ops.iter().filter(|o| o.dev == dev).count();
+            assert!(share > 1_000, "device {dev} starved: {share}");
+        }
+        assert_eq!(trace.writes(), 0);
+    }
+
+    #[test]
+    fn zipf_skews_toward_a_hot_set() {
+        let trace = TraceSpec::zipfian("z", 42, 1, 100_000, 20_000, 0.99).generate();
+        let mut counts = std::collections::HashMap::<u64, u64>::new();
+        for op in &trace.ops {
+            *counts.entry(op.lba).or_default() += 1;
+        }
+        let mut freq: Vec<u64> = counts.values().copied().collect();
+        freq.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: u64 = freq.iter().take(10).sum();
+        assert!(
+            top10 as f64 > 0.2 * trace.ops.len() as f64,
+            "top-10 pages should dominate a zipf(0.99) trace, got {top10}"
+        );
+        // Distinct pages << ops: the hot set is real.
+        assert!(counts.len() < trace.ops.len() / 2);
+    }
+
+    #[test]
+    fn bursty_traces_alternate_dense_and_idle() {
+        let trace = TraceSpec::bursty("b", 5, 1, 4096, 1_000, 32, 100_000).generate();
+        let long_gaps = trace.ops.iter().filter(|o| o.gap >= 100_000).count();
+        let expected_bursts = 1_000 / 32;
+        assert!(
+            (long_gaps as i64 - expected_bursts as i64).abs() <= 2,
+            "expected ≈{expected_bursts} idle gaps, got {long_gaps}"
+        );
+        assert!(trace.writes() > 0, "bursty tenant mixes writes in");
+    }
+
+    #[test]
+    fn multi_tenant_splits_ops_and_interleaves() {
+        let trace = TraceSpec::multi_tenant("mt", 9, 2, 1 << 16, 10_000).generate();
+        assert_eq!(trace.ops.len(), 10_000);
+        assert_eq!(trace.meta.tenants, 3);
+        let per_tenant: Vec<usize> = (0..3)
+            .map(|t| trace.ops.iter().filter(|o| o.tenant == t).count())
+            .collect();
+        assert_eq!(per_tenant, vec![5_000, 3_000, 2_000]);
+        // Streams are interleaved, not concatenated: tenant of consecutive
+        // ops changes often.
+        let switches = trace
+            .ops
+            .windows(2)
+            .filter(|w| w[0].tenant != w[1].tenant)
+            .count();
+        assert!(
+            switches > 1_000,
+            "streams were not merged: {switches} switches"
+        );
+        // Mixed read/write.
+        assert!(trace.writes() > 0 && trace.reads() > trace.writes());
+    }
+
+    #[test]
+    fn sequential_pattern_wraps() {
+        let spec = TraceSpec {
+            name: "seq".into(),
+            seed: 1,
+            devices: 1,
+            lba_space: 100,
+            tenants: vec![TenantSpec::new(
+                250,
+                AddressPattern::Sequential { start: 90 },
+                0.0,
+                0,
+            )],
+        };
+        let trace = spec.generate();
+        assert_eq!(trace.ops[0].lba, 90);
+        assert_eq!(trace.ops[10].lba, 0);
+        assert!(trace.ops.iter().all(|o| o.lba < 100));
+    }
+}

@@ -123,7 +123,7 @@ impl DlrmWarp {
     /// This warp's slice of an epoch's requests.
     fn slice<'t>(&self, trace: &'t DlrmTrace, epoch: usize) -> &'t [(u32, Lba)] {
         let all = trace.epoch_requests(epoch);
-        let per_warp = (all.len() as u64 + self.total_warps - 1) / self.total_warps;
+        let per_warp = (all.len() as u64).div_ceil(self.total_warps);
         let start = (self.warp_flat * per_warp).min(all.len() as u64) as usize;
         let end = ((self.warp_flat + 1) * per_warp).min(all.len() as u64) as usize;
         &all[start..end]

@@ -46,7 +46,7 @@ impl EmbeddingLayout {
 
     /// Number of pages the table occupies.
     pub fn pages(&self) -> u64 {
-        (self.rows + self.rows_per_page() - 1) / self.rows_per_page()
+        self.rows.div_ceil(self.rows_per_page())
     }
 
     /// The `(device, LBA)` holding `row`.

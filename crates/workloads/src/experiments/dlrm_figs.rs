@@ -58,8 +58,7 @@ impl Default for DlrmStackParams {
 }
 
 fn dlrm_launch(total_warps: u64) -> (LaunchConfig, u64) {
-    let blocks = ((total_warps + DLRM_WARPS_PER_BLOCK as u64 - 1) / DLRM_WARPS_PER_BLOCK as u64)
-        .max(1) as u32;
+    let blocks = total_warps.div_ceil(DLRM_WARPS_PER_BLOCK as u64).max(1) as u32;
     let total = blocks as u64 * DLRM_WARPS_PER_BLOCK as u64;
     (
         LaunchConfig::new(blocks, DLRM_WARPS_PER_BLOCK * 32).with_registers(48),

@@ -43,7 +43,7 @@ pub fn run_bandwidth_point(
     // Scale the warp count with the request count (the paper saturates the
     // GPU with threads; tiny request counts need only a few warps).
     let total_warps = (total_requests / 64).clamp(1, 1024);
-    let blocks = ((total_warps + 7) / 8).max(1) as u32;
+    let blocks = total_warps.div_ceil(8).max(1) as u32;
     let total_warps = blocks as u64 * 8;
     let params = RandIoParams {
         requests_per_ssd,

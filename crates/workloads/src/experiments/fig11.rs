@@ -130,7 +130,9 @@ fn run_kernel_only(app: App, graph: &Arc<CsrGraph>) -> u64 {
             total
         }
         App::Spmv => {
-            let x: Vec<f32> = (0..graph.num_vertices()).map(|i| (i % 7) as f32 + 0.5).collect();
+            let x: Vec<f32> = (0..graph.num_vertices())
+                .map(|i| (i % 7) as f32 + 0.5)
+                .collect();
             let state = SpmvState::new(Arc::clone(graph), x);
             let kernel = SpmvKernel::new(state, accessor, GRAPH_WARPS);
             let mut engine = Engine::new(experiment_gpu());
@@ -148,7 +150,9 @@ fn run_agile(app: App, graph: &Arc<CsrGraph>, preload: bool) -> u64 {
     let ctrl = host.ctrl();
     if preload {
         for (dev, lba) in graph.all_pages(app == App::Spmv) {
-            assert!(ctrl.cache().preload(dev, lba, PageToken::pristine(dev, lba)));
+            assert!(ctrl
+                .cache()
+                .preload(dev, lba, PageToken::pristine(dev, lba)));
         }
     }
     let accessor: Arc<dyn PageAccessor> = Arc::new(AgileAccessor::new(Arc::clone(&ctrl)));
@@ -163,10 +167,14 @@ fn run_agile(app: App, graph: &Arc<CsrGraph>, preload: bool) -> u64 {
             total
         }
         App::Spmv => {
-            let x: Vec<f32> = (0..graph.num_vertices()).map(|i| (i % 7) as f32 + 0.5).collect();
+            let x: Vec<f32> = (0..graph.num_vertices())
+                .map(|i| (i % 7) as f32 + 0.5)
+                .collect();
             let state = SpmvState::new(Arc::clone(graph), x);
             let kernel = SpmvKernel::new(state, accessor, GRAPH_WARPS);
-            host.run_kernel(graph_launch(), Box::new(kernel)).elapsed.raw()
+            host.run_kernel(graph_launch(), Box::new(kernel))
+                .elapsed
+                .raw()
         }
     }
 }
@@ -179,7 +187,9 @@ fn run_bam(app: App, graph: &Arc<CsrGraph>, preload: bool) -> u64 {
     let ctrl = host.ctrl();
     if preload {
         for (dev, lba) in graph.all_pages(app == App::Spmv) {
-            assert!(ctrl.cache().preload(dev, lba, PageToken::pristine(dev, lba)));
+            assert!(ctrl
+                .cache()
+                .preload(dev, lba, PageToken::pristine(dev, lba)));
         }
     }
     let accessor: Arc<dyn PageAccessor> = Arc::new(BamAccessor::new(Arc::clone(&ctrl)));
@@ -194,10 +204,14 @@ fn run_bam(app: App, graph: &Arc<CsrGraph>, preload: bool) -> u64 {
             total
         }
         App::Spmv => {
-            let x: Vec<f32> = (0..graph.num_vertices()).map(|i| (i % 7) as f32 + 0.5).collect();
+            let x: Vec<f32> = (0..graph.num_vertices())
+                .map(|i| (i % 7) as f32 + 0.5)
+                .collect();
             let state = SpmvState::new(Arc::clone(graph), x);
             let kernel = SpmvKernel::new(state, accessor, GRAPH_WARPS);
-            host.run_kernel(graph_launch(), Box::new(kernel)).elapsed.raw()
+            host.run_kernel(graph_launch(), Box::new(kernel))
+                .elapsed
+                .raw()
         }
     }
 }

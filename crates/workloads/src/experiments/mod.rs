@@ -24,6 +24,7 @@ pub mod fig05_06;
 pub mod fig11;
 pub mod fig12;
 pub mod testbed;
+pub mod trace_replay;
 
 pub use dlrm_figs::{
     run_fig10_cache_sweep, run_fig7_configs, run_fig8_batch_sweep, run_fig9_queue_sweep, DlrmRow,
@@ -33,3 +34,8 @@ pub use fig05_06::{run_bandwidth_sweep, BandwidthRow};
 pub use fig11::{run_graph_breakdown, BreakdownRow, GraphScale};
 pub use fig12::run_register_table;
 pub use testbed::{agile_testbed, bam_testbed, TestbedScale};
+pub use trace_replay::{
+    run_trace_replay, run_trace_replay_with_sink, ReplayConfig, ReplayReport, ReplaySystem,
+};
+
+pub use crate::trace_replay::ReplayPath;

@@ -44,7 +44,10 @@ impl BfsState {
 
     /// Distances as a plain vector (after the search finishes).
     pub fn distances(&self) -> Vec<u32> {
-        self.dist.iter().map(|d| d.load(Ordering::Relaxed)).collect()
+        self.dist
+            .iter()
+            .map(|d| d.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Swap in the next frontier; returns its size.
@@ -101,7 +104,7 @@ struct BfsWarp {
 impl BfsWarp {
     fn my_slice_len(&self) -> usize {
         let len = self.state.frontier.lock().len();
-        let per = (len as u64 + self.total_warps - 1) / self.total_warps;
+        let per = (len as u64).div_ceil(self.total_warps);
         let start = (self.warp_flat * per).min(len as u64);
         let end = ((self.warp_flat + 1) * per).min(len as u64);
         (end - start) as usize
@@ -109,7 +112,7 @@ impl BfsWarp {
 
     fn vertex_at(&self, idx: usize) -> u32 {
         let frontier = self.state.frontier.lock();
-        let per = (frontier.len() as u64 + self.total_warps - 1) / self.total_warps;
+        let per = (frontier.len() as u64).div_ceil(self.total_warps);
         let start = (self.warp_flat * per).min(frontier.len() as u64) as usize;
         frontier[start + idx]
     }
@@ -119,10 +122,7 @@ impl WarpKernel for BfsWarp {
     fn step(&mut self, ctx: &WarpCtx) -> WarpStep {
         if self.pos >= self.my_slice_len() {
             if !self.discovered.is_empty() {
-                self.state
-                    .next_frontier
-                    .lock()
-                    .append(&mut self.discovered);
+                self.state.next_frontier.lock().append(&mut self.discovered);
             }
             return WarpStep::Done;
         }
@@ -223,7 +223,10 @@ mod tests {
         let accessor: Arc<dyn PageAccessor> = Arc::new(HbmAccessor::new());
         let (dist, levels) = run_bfs(Arc::clone(&graph), 0, accessor, 16, |kernel| {
             let mut engine = Engine::new(GpuConfig::tiny(4));
-            engine.launch(LaunchConfig::new(2, 256).with_registers(32), Box::new(kernel));
+            engine.launch(
+                LaunchConfig::new(2, 256).with_registers(32),
+                Box::new(kernel),
+            );
             engine.run()
         });
         assert_eq!(dist, reference);

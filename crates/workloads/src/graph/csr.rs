@@ -135,7 +135,7 @@ impl CsrGraph {
 
     /// Every page the whole graph occupies (for cache preloading and sizing).
     pub fn all_pages(&self, include_values: bool) -> Vec<(u32, Lba)> {
-        let col_pages = (self.num_edges() as u64 + ELEMS_PER_PAGE - 1) / ELEMS_PER_PAGE;
+        let col_pages = (self.num_edges() as u64).div_ceil(ELEMS_PER_PAGE);
         let mut pages: Vec<(u32, Lba)> = (0..col_pages)
             .map(|p| (self.layout.col_dev, self.layout.col_base + p))
             .collect();

@@ -181,7 +181,10 @@ mod tests {
         let accessor: Arc<dyn PageAccessor> = Arc::new(HbmAccessor::new());
         let kernel = SpmvKernel::new(Arc::clone(&state), accessor, 16);
         let mut engine = Engine::new(GpuConfig::tiny(4));
-        engine.launch(LaunchConfig::new(2, 256).with_registers(32), Box::new(kernel));
+        engine.launch(
+            LaunchConfig::new(2, 256).with_registers(32),
+            Box::new(kernel),
+        );
         let report = engine.run();
         assert!(!report.deadlocked);
         let y = state.result();

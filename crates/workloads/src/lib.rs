@@ -17,8 +17,12 @@
 //!   same application kernels run over AGILE, BaM, or plain HBM (the
 //!   "Kernel time" baseline of §4.5);
 //! * [`registers`] — the per-kernel register models behind Figure 12;
-//! * [`experiments`] — one callable experiment runner per figure, used by the
-//!   benchmark harness, the integration tests and the examples.
+//! * [`trace_replay`] — deterministic replay of captured or synthetic
+//!   [`agile_trace::Trace`]s through AGILE and BaM, with per-request latency
+//!   percentiles (p50/p95/p99);
+//! * [`experiments`] — one callable experiment runner per figure (plus trace
+//!   replay), used by the benchmark harness, the integration tests and the
+//!   examples.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -30,4 +34,5 @@ pub mod graph;
 pub mod microbench;
 pub mod randio;
 pub mod registers;
+pub mod trace_replay;
 pub mod vector_mean;

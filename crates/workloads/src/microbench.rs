@@ -93,7 +93,10 @@ impl MicrobenchWarp {
                 let idx = self.warp_flat * self.params.requests_per_thread as u64 * lanes as u64
                     + iter as u64 * lanes as u64
                     + lane;
-                ((idx % ndev) as u32, (idx / ndev) % self.params.pages_per_dev)
+                (
+                    (idx % ndev) as u32,
+                    (idx / ndev) % self.params.pages_per_dev,
+                )
             })
             .collect()
     }

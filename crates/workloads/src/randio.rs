@@ -162,7 +162,7 @@ impl KernelFactory for RandIoKernel {
         // Launches use 256-thread blocks (8 warps per block).
         let warp_flat = block as u64 * 8 + warp as u64;
         let total_requests = self.params.requests_per_ssd * self.params.ssd_count as u64;
-        let quota = (total_requests + self.params.total_warps - 1) / self.params.total_warps;
+        let quota = total_requests.div_ceil(self.params.total_warps);
         Box::new(RandIoWarp {
             ctrl: Arc::clone(&self.ctrl),
             params: self.params,
@@ -197,7 +197,7 @@ mod tests {
             seed: 1,
         };
         let total = params.requests_per_ssd * params.ssd_count as u64;
-        let quota = (total + params.total_warps - 1) / params.total_warps;
+        let quota = total.div_ceil(params.total_warps);
         assert!(quota * params.total_warps >= total);
     }
 }

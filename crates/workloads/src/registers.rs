@@ -71,13 +71,15 @@ pub fn bam_model(name: &str, base: u32, sites: u32) -> KernelRegisterModel {
 pub fn figure12_rows() -> Vec<RegisterRow> {
     kernel_shapes()
         .into_iter()
-        .map(|(name, base, sites, (paper_bam, paper_agile))| RegisterRow {
-            kernel: name.to_string(),
-            bam_registers: bam_model(name, base, sites).total(),
-            agile_registers: agile_model(name, base, sites).total(),
-            paper_bam,
-            paper_agile,
-        })
+        .map(
+            |(name, base, sites, (paper_bam, paper_agile))| RegisterRow {
+                kernel: name.to_string(),
+                bam_registers: bam_model(name, base, sites).total(),
+                agile_registers: agile_model(name, base, sites).total(),
+                paper_bam,
+                paper_agile,
+            },
+        )
         .collect()
 }
 
@@ -122,9 +124,10 @@ mod tests {
     #[test]
     fn modelled_values_are_in_the_paper_ballpark() {
         for row in figure12_rows() {
-            let bam_err = (row.bam_registers as f64 - row.paper_bam as f64).abs() / row.paper_bam as f64;
-            let agile_err =
-                (row.agile_registers as f64 - row.paper_agile as f64).abs() / row.paper_agile as f64;
+            let bam_err =
+                (row.bam_registers as f64 - row.paper_bam as f64).abs() / row.paper_bam as f64;
+            let agile_err = (row.agile_registers as f64 - row.paper_agile as f64).abs()
+                / row.paper_agile as f64;
             assert!(bam_err < 0.35, "{}: BaM model too far off", row.kernel);
             assert!(agile_err < 0.35, "{}: AGILE model too far off", row.kernel);
         }

@@ -57,7 +57,7 @@ impl VectorMeanState {
 
     /// Total pages the vector occupies.
     pub fn pages(&self) -> u64 {
-        (self.len + ELEMS_PER_PAGE - 1) / ELEMS_PER_PAGE
+        self.len.div_ceil(ELEMS_PER_PAGE)
     }
 
     /// All pages (for preloading).
@@ -171,7 +171,10 @@ mod tests {
         let accessor: Arc<dyn PageAccessor> = Arc::new(HbmAccessor::new());
         let kernel = VectorMeanKernel::new(Arc::clone(&state), accessor, 16);
         let mut engine = Engine::new(GpuConfig::tiny(2));
-        engine.launch(LaunchConfig::new(2, 256).with_registers(32), Box::new(kernel));
+        engine.launch(
+            LaunchConfig::new(2, 256).with_registers(32),
+            Box::new(kernel),
+        );
         let report = engine.run();
         assert!(!report.deadlocked);
         let expected = expected_mean(len);

@@ -10,6 +10,9 @@
 //! * [`bam`] — the synchronous GPU-centric baseline (BaM model);
 //! * [`workloads`] — the paper's evaluation workloads and the per-figure
 //!   experiment runners;
+//! * [`trace`] — I/O trace capture, versioned serialization, synthetic
+//!   generation (uniform / zipfian / bursty / multi-tenant) and the latency
+//!   histogram behind the trace-replay workload;
 //! * [`gpu`] / [`nvme`] / [`cache`] / [`sim`] — the simulation substrates
 //!   (SIMT GPU model, NVMe SSD model, HBM software cache, discrete-event
 //!   core).
@@ -22,6 +25,7 @@
 pub use agile_cache as cache;
 pub use agile_core as agile;
 pub use agile_sim as sim;
+pub use agile_trace as trace;
 pub use agile_workloads as workloads;
 pub use bam_baseline as bam;
 pub use gpu_sim as gpu;

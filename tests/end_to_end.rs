@@ -31,7 +31,10 @@ fn prefetch_pipeline_runs_and_hits_cache() {
     assert!(!report.deadlocked);
     let stats = ctrl.stats();
     assert!(stats.prefetch_calls > 0);
-    assert!(stats.cache_hits > 0, "prefetched pages must be consumed as hits");
+    assert!(
+        stats.cache_hits > 0,
+        "prefetched pages must be consumed as hits"
+    );
     assert_eq!(ctrl.cache().total_pins(), 0, "no cache pins may leak");
     // Every SQ entry must be recycled by the service.
     for dev in 0..ctrl.device_count() {
@@ -63,7 +66,10 @@ fn async_read_modify_write_updates_ssd_contents() {
     let modified = (0..4096u64)
         .filter(|&lba| backing.read(lba) != PageToken::pristine(0, lba))
         .count();
-    assert!(modified > 0, "at least one page must have been durably modified");
+    assert!(
+        modified > 0,
+        "at least one page must have been durably modified"
+    );
 }
 
 #[test]
@@ -75,7 +81,9 @@ fn naive_async_deadlocks_on_bam_but_agile_completes_the_same_load() {
     // BaM-style protocol without completion processing: deadlock.
     let mut bam = BamHost::new(
         GpuConfig::tiny(2),
-        BamConfig::small_test().with_queue_pairs(1).with_queue_depth(32),
+        BamConfig::small_test()
+            .with_queue_pairs(1)
+            .with_queue_depth(32),
     );
     bam.add_nvme_dev(1 << 20);
     bam.init_nvme();
@@ -100,7 +108,11 @@ fn naive_async_deadlocks_on_bam_but_agile_completes_the_same_load() {
     let ctrl = agile.ctrl();
     let report = agile.run_kernel(
         LaunchConfig::new(4, 64).with_registers(40),
-        Box::new(PrefetchComputeKernel::new(ctrl.clone(), requests_per_warp, 100)),
+        Box::new(PrefetchComputeKernel::new(
+            ctrl.clone(),
+            requests_per_warp,
+            100,
+        )),
     );
     assert!(
         !report.deadlocked,

@@ -3,11 +3,13 @@
 //! the simulated cache + NVMe path.
 
 use agile_repro::agile::config::AgileConfig;
+use agile_repro::bam::BamConfig;
 use agile_repro::gpu::LaunchConfig;
 use agile_repro::workloads::accessor::{AgileAccessor, BamAccessor, PageAccessor};
 use agile_repro::workloads::experiments::testbed::{agile_testbed, bam_testbed};
-use agile_repro::workloads::graph::{generate_kronecker, generate_uniform, run_bfs, SpmvKernel, SpmvState};
-use agile_repro::bam::BamConfig;
+use agile_repro::workloads::graph::{
+    generate_kronecker, generate_uniform, run_bfs, SpmvKernel, SpmvState,
+};
 use std::sync::Arc;
 
 const WARPS: u64 = 64;
@@ -40,7 +42,9 @@ fn bfs_through_agile_matches_reference() {
 #[test]
 fn spmv_through_agile_matches_reference() {
     let graph = Arc::new(generate_kronecker(11, 8, 33));
-    let x: Vec<f32> = (0..graph.num_vertices()).map(|i| ((i * 7) % 23) as f32 * 0.125).collect();
+    let x: Vec<f32> = (0..graph.num_vertices())
+        .map(|i| ((i * 7) % 23) as f32 * 0.125)
+        .collect();
     let reference = graph.reference_spmv(&x);
     let config = AgileConfig::small_test()
         .with_queue_pairs(8)
@@ -66,7 +70,9 @@ fn spmv_through_bam_matches_reference_too() {
     // The baseline must be functionally correct as well — the comparison in
     // Figure 11 is about overhead, not correctness.
     let graph = Arc::new(generate_uniform(2_000, 8, 44));
-    let x: Vec<f32> = (0..graph.num_vertices()).map(|i| (i % 5) as f32 + 0.25).collect();
+    let x: Vec<f32> = (0..graph.num_vertices())
+        .map(|i| (i % 5) as f32 + 0.25)
+        .collect();
     let reference = graph.reference_spmv(&x);
     let config = BamConfig::small_test()
         .with_queue_pairs(8)
@@ -85,5 +91,8 @@ fn spmv_through_bam_matches_reference_too() {
     for (got, want) in y.iter().zip(reference.iter()) {
         assert!((got - want).abs() < 1e-4, "{got} vs {want}");
     }
-    assert!(ctrl.stats().completions > 0, "BaM user threads processed completions");
+    assert!(
+        ctrl.stats().completions > 0,
+        "BaM user threads processed completions"
+    );
 }

@@ -1,9 +1,11 @@
 //! Property-based tests (proptest) over the core data structures' invariants:
 //! the software cache, the Share Table and the SQE lock protocol.
 
-use agile_repro::cache::{CacheConfig, CacheLookup, ClockPolicy, LruPolicy, ShareTable, SoftwareCache};
 use agile_repro::agile::sq_protocol::{AgileSq, SqeState};
 use agile_repro::agile::transaction::Transaction;
+use agile_repro::cache::{
+    CacheConfig, CacheLookup, ClockPolicy, LruPolicy, ShareTable, SoftwareCache,
+};
 use agile_repro::nvme::{DmaHandle, NvmeCommand, PageToken, QueuePair};
 use agile_repro::sim::Cycles;
 use proptest::prelude::*;
