@@ -1,0 +1,273 @@
+//! One builder for both hosts.
+//!
+//! The paper's Listing-1 flow (`new` → `add_nvme_dev*` → `init_nvme` →
+//! `start*`) is order-sensitive, and the AGILE and BaM hosts each used to
+//! expose their own near-duplicate copy of it. [`HostBuilder`] replaces both
+//! call sequences with a single declarative construction API whose invalid
+//! orders are unrepresentable — `build()` runs the flow in the only valid
+//! order and returns a started host:
+//!
+//! ```
+//! use bam_baseline::HostBuilder;
+//! use agile_core::{AgileConfig, GpuStorageHost};
+//! use gpu_sim::GpuConfig;
+//!
+//! let mut host = HostBuilder::agile(AgileConfig::small_test())
+//!     .gpu(GpuConfig::tiny(4))
+//!     .devices(2, 1 << 16)  // two SSDs of 2^16 pages
+//!     .shards(2)            // lock-partitioned ShardedArray topology
+//!     .build();
+//! assert_eq!(host.topology().shard_count(), 2);
+//! # let _ = &mut host;
+//! ```
+//!
+//! `HostBuilder::bam(config)` builds the synchronous baseline the same way;
+//! the result of either constructor implements
+//! [`agile_core::host::GpuStorageHost`], so harness code compares the two
+//! systems without duplicating setup.
+
+use crate::ctrl::BamConfig;
+use crate::host::BamHost;
+use agile_core::config::AgileConfig;
+use agile_core::host::{AgileHost, GpuStorageHost};
+use agile_sim::trace::TraceSink;
+use gpu_sim::GpuConfig;
+use nvme_sim::PageBacking;
+use std::sync::Arc;
+
+/// One device to be created at build time.
+struct DeviceSpec {
+    pages: u64,
+    backing: Option<Arc<dyn PageBacking>>,
+}
+
+/// Selects which system a [`HostBuilder`] constructs. Implemented by
+/// [`AgileSystem`] and [`BamSystem`]; not meant to be implemented outside
+/// this crate.
+pub trait HostSystem {
+    /// The system's configuration type.
+    type Config;
+    /// The host type `build()` returns.
+    type Host: GpuStorageHost;
+}
+
+/// Marker for [`HostBuilder::agile`].
+pub struct AgileSystem;
+impl HostSystem for AgileSystem {
+    type Config = AgileConfig;
+    type Host = AgileHost;
+}
+
+/// Marker for [`HostBuilder::bam`].
+pub struct BamSystem;
+impl HostSystem for BamSystem {
+    type Config = BamConfig;
+    type Host = BamHost;
+}
+
+/// Declarative construction of an AGILE or BaM host (see the module docs).
+pub struct HostBuilder<S: HostSystem> {
+    gpu: GpuConfig,
+    config: S::Config,
+    devices: Vec<DeviceSpec>,
+    shards: usize,
+    sink: Option<Arc<dyn TraceSink>>,
+}
+
+impl HostBuilder<AgileSystem> {
+    /// Build an AGILE host (background service, asynchronous I/O API).
+    pub fn agile(config: AgileConfig) -> Self {
+        HostBuilder {
+            gpu: GpuConfig::rtx_5000_ada(),
+            config,
+            devices: Vec::new(),
+            shards: 0,
+            sink: None,
+        }
+    }
+}
+
+impl HostBuilder<BamSystem> {
+    /// Build a BaM baseline host (no service, synchronous issue-then-poll).
+    pub fn bam(config: BamConfig) -> Self {
+        HostBuilder {
+            gpu: GpuConfig::rtx_5000_ada(),
+            config,
+            devices: Vec::new(),
+            shards: 0,
+            sink: None,
+        }
+    }
+}
+
+impl<S: HostSystem> HostBuilder<S> {
+    /// Simulated GPU to run on (default: the paper's RTX 5000 Ada).
+    pub fn gpu(mut self, gpu: GpuConfig) -> Self {
+        self.gpu = gpu;
+        self
+    }
+
+    /// Add `count` SSDs of `pages` 4 KiB pages each with default in-memory
+    /// backings. May be called repeatedly; devices accumulate.
+    pub fn devices(mut self, count: usize, pages: u64) -> Self {
+        for _ in 0..count {
+            self.devices.push(DeviceSpec {
+                pages,
+                backing: None,
+            });
+        }
+        self
+    }
+
+    /// Add one SSD of `pages` pages with a caller-supplied page backing
+    /// (synthetic content, payload-carrying, …).
+    pub fn backing(mut self, pages: u64, backing: Arc<dyn PageBacking>) -> Self {
+        self.devices.push(DeviceSpec {
+            pages,
+            backing: Some(backing),
+        });
+        self
+    }
+
+    /// Partition the storage into `shards` lock shards
+    /// ([`nvme_sim::ShardedArray`]); without this call the topology is the
+    /// single-lock [`nvme_sim::FlatArray`]. `shards(1)` behaves identically
+    /// to the flat array but exercises the sharded code path.
+    pub fn shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "shards(0) is the flat array; pass ≥ 1");
+        self.shards = shards;
+        self
+    }
+
+    /// Install a trace sink across the whole stack before the first kernel
+    /// runs, so capture covers every event from time zero.
+    pub fn trace_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+}
+
+impl HostBuilder<AgileSystem> {
+    /// Construct, initialise and start the AGILE host (devices + queues
+    /// built, controller created, trace sink installed, service launched).
+    pub fn build(self) -> AgileHost {
+        assert!(
+            !self.devices.is_empty(),
+            "HostBuilder needs at least one device — call .devices(n, pages)"
+        );
+        let mut host = AgileHost::new(self.gpu, self.config);
+        for dev in self.devices {
+            match dev.backing {
+                Some(backing) => host.add_nvme_dev_with_backing(dev.pages, backing),
+                None => host.add_nvme_dev(dev.pages),
+            };
+        }
+        if self.shards > 0 {
+            host.set_shards(self.shards);
+        }
+        host.init_nvme();
+        if let Some(sink) = self.sink {
+            host.set_trace_sink(sink);
+        }
+        host.start_agile();
+        host
+    }
+}
+
+impl HostBuilder<BamSystem> {
+    /// Construct, initialise and start the BaM host (devices + queues built,
+    /// controller created, trace sink installed, engine ready).
+    pub fn build(self) -> BamHost {
+        assert!(
+            !self.devices.is_empty(),
+            "HostBuilder needs at least one device — call .devices(n, pages)"
+        );
+        let mut host = BamHost::new(self.gpu, self.config);
+        for dev in self.devices {
+            match dev.backing {
+                Some(backing) => host.add_nvme_dev_with_backing(dev.pages, backing),
+                None => host.add_nvme_dev(dev.pages),
+            };
+        }
+        if self.shards > 0 {
+            host.set_shards(self.shards);
+        }
+        host.init_nvme();
+        if let Some(sink) = self.sink {
+            host.set_trace_sink(sink);
+        }
+        host.start();
+        host
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agile_sim::trace::{TraceEvent, TraceEventKind};
+    use gpu_sim::LaunchConfig;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[derive(Default)]
+    struct SubmitCounter(AtomicU64);
+    impl TraceSink for SubmitCounter {
+        fn record(&self, ev: TraceEvent) {
+            if ev.kind == TraceEventKind::Submit {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    #[test]
+    fn builds_a_started_agile_host() {
+        let host = HostBuilder::agile(AgileConfig::small_test())
+            .gpu(GpuConfig::tiny(2))
+            .devices(2, 1 << 14)
+            .build();
+        assert_eq!(host.ctrl().device_count(), 2);
+        assert_eq!(host.topology().shard_count(), 1);
+        // start_agile already ran: the engine exists and reports time.
+        assert_eq!(host.now().raw(), 0);
+    }
+
+    #[test]
+    fn builds_a_sharded_bam_host_with_sink() {
+        let sink = Arc::new(SubmitCounter::default());
+        let mut host = HostBuilder::bam(BamConfig::small_test())
+            .gpu(GpuConfig::tiny(2))
+            .devices(4, 1 << 12)
+            .shards(4)
+            .trace_sink(sink.clone() as Arc<_>)
+            .build();
+        assert_eq!(host.topology().shard_count(), 4);
+        let ctrl = host.ctrl();
+        let report = host.run_kernel(
+            LaunchConfig::new(1, 64).with_registers(56),
+            Box::new(crate::kernels::SyncReadComputeKernel::new(
+                ctrl, 2, 1_000, 50_000,
+            )),
+        );
+        assert!(!report.deadlocked);
+        assert!(sink.0.load(Ordering::Relaxed) > 0, "sink was installed");
+    }
+
+    #[test]
+    fn mixed_backings_accumulate_in_order() {
+        use nvme_sim::{MemBacking, PageToken};
+        let custom = Arc::new(MemBacking::new(7));
+        custom.write(3, PageToken(0xC0FFEE));
+        let host = HostBuilder::agile(AgileConfig::small_test())
+            .gpu(GpuConfig::tiny(1))
+            .devices(1, 1 << 12)
+            .backing(1 << 12, custom)
+            .build();
+        assert_eq!(host.ctrl().device_count(), 2);
+        assert_eq!(host.backing(1).read(3), PageToken(0xC0FFEE));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn refuses_to_build_without_devices() {
+        let _ = HostBuilder::agile(AgileConfig::small_test()).build();
+    }
+}

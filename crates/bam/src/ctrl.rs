@@ -16,7 +16,7 @@ use agile_core::transaction::{Barrier, Transaction};
 use agile_sim::costs::CostModel;
 use agile_sim::trace::{TraceEvent, TraceEventKind, TraceSink};
 use agile_sim::Cycles;
-use nvme_sim::{DmaHandle, Lba, NvmeCommand, Opcode, PageToken, QueuePair};
+use nvme_sim::{DmaHandle, Lba, NvmeCommand, Opcode, PageToken, QueuePair, StorageTopology};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -122,6 +122,9 @@ pub struct BamCtrl {
     cache: SoftwareCache,
     /// Per device, per queue pair.
     queues: Vec<Vec<Arc<AgileSq>>>,
+    /// The storage topology behind the queues (striping map + modeled array
+    /// lock). `None` in bare-queue unit rigs: submissions pay no lock cost.
+    topology: Option<Arc<dyn StorageTopology>>,
     cq_cursors: Vec<Vec<Mutex<CqCursor>>>,
     stats: StatCells,
     /// Optional trace recorder (same hook as the AGILE controller, so replay
@@ -130,8 +133,29 @@ pub struct BamCtrl {
 }
 
 impl BamCtrl {
-    /// Build the controller over the registered queue pairs.
+    /// Build the controller over the registered queue pairs with no attached
+    /// topology (bare-queue unit rigs). Production construction goes through
+    /// [`BamCtrl::with_topology`] (see [`crate::HostBuilder`]).
     pub fn new(cfg: BamConfig, device_queues: Vec<Vec<Arc<QueuePair>>>) -> Self {
+        BamCtrl::build(cfg, device_queues, None)
+    }
+
+    /// Build a controller whose submissions are charged the topology's array
+    /// lock and whose striped page space is resolvable through
+    /// [`BamCtrl::resolve_page`].
+    pub fn with_topology(
+        cfg: BamConfig,
+        device_queues: Vec<Vec<Arc<QueuePair>>>,
+        topology: Arc<dyn StorageTopology>,
+    ) -> Self {
+        BamCtrl::build(cfg, device_queues, Some(topology))
+    }
+
+    fn build(
+        cfg: BamConfig,
+        device_queues: Vec<Vec<Arc<QueuePair>>>,
+        topology: Option<Arc<dyn StorageTopology>>,
+    ) -> Self {
         let cache = SoftwareCache::new(
             CacheConfig::with_capacity(cfg.cache_bytes),
             Box::new(ClockPolicy::new()),
@@ -161,6 +185,7 @@ impl BamCtrl {
             cfg,
             cache,
             queues,
+            topology,
             cq_cursors,
             stats: StatCells::default(),
             trace: OnceLock::new(),
@@ -188,6 +213,23 @@ impl BamCtrl {
     /// Number of devices.
     pub fn device_count(&self) -> usize {
         self.queues.len()
+    }
+
+    /// The attached storage topology, if any.
+    pub fn topology(&self) -> Option<&Arc<dyn StorageTopology>> {
+        self.topology.as_ref()
+    }
+
+    /// Resolve a page of the striped global page space to a concrete
+    /// `(device, device-local LBA)` through the topology's striping layer.
+    /// Panics when no topology is attached (bare-queue unit rigs).
+    pub fn resolve_page(&self, global: u64) -> (u32, Lba) {
+        let loc = self
+            .topology
+            .as_ref()
+            .expect("resolve_page requires an attached topology")
+            .map_page(global);
+        (loc.device, loc.page)
     }
 
     /// Statistics snapshot.
@@ -225,6 +267,11 @@ impl BamCtrl {
         let n = sqs.len();
         let start = (warp as usize) % n;
         let mut cost = Cycles(api.bam_issue);
+        // The array lock guarding SQ-slot allocation + doorbell update (same
+        // model as the AGILE controller, so topology comparisons are fair).
+        if let Some(topology) = &self.topology {
+            cost += topology.lock_acquire(dev, warp, now);
+        }
         for attempt in 0..n {
             let sq = &sqs[(start + attempt) % n];
             match sq.try_issue(&build, txn.clone(), now) {

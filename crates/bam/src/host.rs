@@ -2,15 +2,16 @@
 //!
 //! Mirrors [`agile_core::host::AgileHost`] minus the AGILE service: BaM has
 //! no background kernel, so `start()` only creates the GPU engine and bridges
-//! the SSD array into it. Keeping the two hosts shape-compatible lets the
-//! benchmark harness swap systems with one line.
+//! the storage topology into it. Both hosts implement
+//! [`agile_core::host::GpuStorageHost`], so the benchmark harness swaps
+//! systems by switching which `crate::HostBuilder` constructor it calls.
 
 use crate::ctrl::{BamConfig, BamCtrl};
-use agile_core::host::SsdBridge;
+use agile_core::host::{GpuStorageHost, SsdBridge};
+use agile_sim::trace::TraceSink;
 use agile_sim::Cycles;
-use gpu_sim::{Engine, ExecutionReport, GpuConfig, KernelFactory, LaunchConfig};
-use nvme_sim::{MemBacking, PageBacking, QueuePair, SsdArray, SsdConfig};
-use parking_lot::Mutex;
+use gpu_sim::{occupancy, Engine, ExecutionReport, GpuConfig, KernelFactory, LaunchConfig};
+use nvme_sim::{FlatArray, MemBacking, PageBacking, ShardedArray, SsdConfig, StorageTopology};
 use std::sync::Arc;
 
 /// Host-side owner of the BaM testbed.
@@ -18,7 +19,9 @@ pub struct BamHost {
     gpu: GpuConfig,
     config: BamConfig,
     pending_devices: Vec<(SsdConfig, Arc<dyn PageBacking>)>,
-    array: Option<Arc<Mutex<SsdArray>>>,
+    /// 0 = flat (single lock); ≥ 1 = sharded with that many lock shards.
+    shards: usize,
+    topology: Option<Arc<dyn StorageTopology>>,
     ctrl: Option<Arc<BamCtrl>>,
     engine: Option<Engine>,
 }
@@ -30,10 +33,22 @@ impl BamHost {
             gpu,
             config,
             pending_devices: Vec::new(),
-            array: None,
+            shards: 0,
+            topology: None,
             ctrl: None,
             engine: None,
         }
+    }
+
+    /// Partition the storage into `shards` lock shards (build a
+    /// [`ShardedArray`] instead of the default single-lock [`FlatArray`]).
+    /// Must be called before [`BamHost::init_nvme`].
+    pub fn set_shards(&mut self, shards: usize) {
+        assert!(
+            self.topology.is_none(),
+            "set_shards must be called before init_nvme"
+        );
+        self.shards = shards;
     }
 
     /// Register an SSD with a default in-memory backing.
@@ -48,7 +63,7 @@ impl BamHost {
         namespace_pages: u64,
         backing: Arc<dyn PageBacking>,
     ) -> usize {
-        assert!(self.array.is_none(), "add devices before init_nvme");
+        assert!(self.topology.is_none(), "add devices before init_nvme");
         let id = self.pending_devices.len() as u32;
         let cfg = SsdConfig {
             id,
@@ -60,25 +75,24 @@ impl BamHost {
         id as usize
     }
 
-    /// Build the SSD array and the BaM controller.
+    /// Build the storage topology and the BaM controller.
     pub fn init_nvme(&mut self) {
         assert!(!self.pending_devices.is_empty(), "no NVMe devices added");
-        let mut array = SsdArray::from_parts(std::mem::take(&mut self.pending_devices));
-        let mut per_device_queues: Vec<Vec<Arc<QueuePair>>> = Vec::new();
-        for dev in 0..array.len() {
-            let mut qps = Vec::new();
-            for q in 0..self.config.queue_pairs_per_ssd {
-                let qp = QueuePair::new(q as u16, self.config.queue_depth);
-                array.device_mut(dev).register_queue_pair(Arc::clone(&qp));
-                qps.push(qp);
-            }
-            per_device_queues.push(qps);
-        }
-        self.array = Some(Arc::new(Mutex::new(array)));
-        self.ctrl = Some(Arc::new(BamCtrl::new(
+        assert!(self.topology.is_none(), "init_nvme called twice");
+        let parts = std::mem::take(&mut self.pending_devices);
+        let topology: Arc<dyn StorageTopology> = if self.shards == 0 {
+            Arc::new(FlatArray::from_parts(parts))
+        } else {
+            Arc::new(ShardedArray::from_parts(parts, self.shards))
+        };
+        let per_device_queues =
+            topology.register_queues(self.config.queue_pairs_per_ssd, self.config.queue_depth);
+        self.ctrl = Some(Arc::new(BamCtrl::with_topology(
             self.config.clone(),
             per_device_queues,
+            Arc::clone(&topology),
         )));
+        self.topology = Some(topology);
     }
 
     /// The controller.
@@ -90,27 +104,27 @@ impl BamHost {
     /// software cache, every SSD's completion path), mirroring
     /// [`agile_core::host::AgileHost::set_trace_sink`]. Call after
     /// [`BamHost::init_nvme`]; the first sink installed wins.
-    pub fn set_trace_sink(&self, sink: Arc<dyn agile_sim::trace::TraceSink>) -> bool {
+    pub fn set_trace_sink(&self, sink: Arc<dyn TraceSink>) -> bool {
         let ctrl_fresh = self.ctrl().set_trace_sink(Arc::clone(&sink));
-        let dev_fresh = self.ssd_array().lock().set_trace_sink(&sink);
+        let dev_fresh = self.topology().set_trace_sink(&sink);
         ctrl_fresh && dev_fresh
     }
 
-    /// The shared SSD array.
-    pub fn ssd_array(&self) -> Arc<Mutex<SsdArray>> {
-        Arc::clone(self.array.as_ref().expect("init_nvme not called"))
+    /// The shared storage topology.
+    pub fn topology(&self) -> Arc<dyn StorageTopology> {
+        Arc::clone(self.topology.as_ref().expect("init_nvme not called"))
     }
 
     /// The backing of device `dev` (for dataset setup).
     pub fn backing(&self, dev: usize) -> Arc<dyn PageBacking> {
-        Arc::clone(self.ssd_array().lock().device(dev).backing())
+        self.topology().backing(dev)
     }
 
     /// Create the GPU engine and attach the SSD bridge (no service to launch).
     pub fn start(&mut self) {
         assert!(self.ctrl.is_some(), "init_nvme must run before start");
         let mut engine = Engine::new(self.gpu.clone());
-        engine.add_device(Box::new(SsdBridge::new(self.ssd_array())));
+        engine.add_device(Box::new(SsdBridge::new(self.topology())));
         self.engine = Some(engine);
     }
 
@@ -139,6 +153,36 @@ impl BamHost {
     }
 }
 
+impl GpuStorageHost for BamHost {
+    type Ctrl = BamCtrl;
+
+    fn ctrl(&self) -> Arc<BamCtrl> {
+        BamHost::ctrl(self)
+    }
+    fn set_trace_sink(&self, sink: Arc<dyn TraceSink>) -> bool {
+        BamHost::set_trace_sink(self, sink)
+    }
+    fn topology(&self) -> Arc<dyn StorageTopology> {
+        BamHost::topology(self)
+    }
+    fn query_occupancy(&self, launch: &LaunchConfig) -> u32 {
+        occupancy(&self.gpu, launch)
+    }
+    fn run_kernel(
+        &mut self,
+        launch: LaunchConfig,
+        factory: Box<dyn KernelFactory>,
+    ) -> ExecutionReport {
+        BamHost::run_kernel(self, launch, factory)
+    }
+    fn now(&self) -> Cycles {
+        BamHost::now(self)
+    }
+    fn stop(&mut self) {
+        // BaM has no background service to stop.
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,6 +208,6 @@ mod tests {
         let s = ctrl.stats();
         assert!(s.read_calls > 0);
         assert!(s.completions > 0, "user threads processed completions");
-        assert!(host.ssd_array().lock().total_bytes_read() > 0);
+        assert!(host.topology().total_bytes_read() > 0);
     }
 }

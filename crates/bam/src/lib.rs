@@ -32,10 +32,12 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod builder;
 pub mod ctrl;
 pub mod host;
 pub mod kernels;
 
+pub use builder::{AgileSystem, BamSystem, HostBuilder, HostSystem};
 pub use ctrl::{BamConfig, BamCtrl, BamStats};
 pub use host::BamHost;
 pub use kernels::{NaiveAsyncKernel, SyncReadComputeKernel};

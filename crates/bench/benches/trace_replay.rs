@@ -3,7 +3,10 @@
 //!
 //! Three workload shapes (uniform, zipfian hot-set, multi-tenant mix) run on
 //! both systems; each row reports the latency distribution a serving stack
-//! would see, not just aggregate bandwidth.
+//! would see, not just aggregate bandwidth. A second section compares the
+//! storage topologies at equal device count — the single-lock `FlatArray`
+//! against a `ShardedArray` (4 lock shards) — where the flat array's
+//! submission lock caps throughput and sharding restores the scaling.
 
 use agile_bench::{print_header, print_row, quick_mode};
 use agile_trace::TraceSpec;
@@ -44,6 +47,41 @@ fn main() {
                     ("deadlocked", r.deadlocked.to_string()),
                 ]);
             }
+        }
+    }
+
+    print_header(
+        "Storage topology",
+        "FlatArray (one lock) vs ShardedArray (4 shards) at 8 SSDs, raw replay",
+    );
+    let devices = 8u32;
+    let topo_ops: u64 = if quick_mode() { 4_096 } else { 16_384 };
+    let trace = TraceSpec::uniform("topology", seed, devices, 1 << 14, topo_ops).generate();
+    for system in [ReplaySystem::Agile, ReplaySystem::Bam] {
+        for shards in [0usize, 4] {
+            let cfg = ReplayConfig {
+                shards,
+                ..ReplayConfig::default().striped()
+            };
+            let r = run_trace_replay(&trace, system, &cfg);
+            print_row(&[
+                ("system", r.system.to_string()),
+                (
+                    "topology",
+                    if shards == 0 {
+                        "flat".to_string()
+                    } else {
+                        format!("sharded/{shards}")
+                    },
+                ),
+                ("devices", devices.to_string()),
+                ("ops", r.ops.to_string()),
+                ("p50_us", format!("{:.2}", r.p50_us)),
+                ("p99_us", format!("{:.2}", r.p99_us)),
+                ("iops", format!("{:.0}", r.iops)),
+                ("gbps", format!("{:.3}", r.gbps)),
+                ("deadlocked", r.deadlocked.to_string()),
+            ]);
         }
     }
 }

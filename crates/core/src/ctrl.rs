@@ -35,7 +35,7 @@ use agile_cache::{
 };
 use agile_sim::trace::{TraceEvent, TraceEventKind, TraceSink};
 use agile_sim::Cycles;
-use nvme_sim::{DmaHandle, Lba, NvmeCommand, Opcode, PageToken, QueuePair};
+use nvme_sim::{DmaHandle, Lba, NvmeCommand, Opcode, PageToken, QueuePair, StorageTopology};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -120,6 +120,10 @@ pub struct AgileCtrl {
     cache: SoftwareCache,
     share_table: Option<ShareTable>,
     devices: Vec<DeviceQueues>,
+    /// The storage topology behind the queues: striping map plus the modeled
+    /// array lock charged on every submission. `None` in bare-queue unit
+    /// rigs, in which case submissions pay no lock cost.
+    topology: Option<Arc<dyn StorageTopology>>,
     lock_registry: Option<LockRegistry>,
     stop_service: AtomicBool,
     stats: ApiStatCells,
@@ -138,9 +142,30 @@ fn build_policy(kind: CachePolicyKind) -> Box<dyn CachePolicy> {
 
 impl AgileCtrl {
     /// Build a controller over the queue pairs of each device (outer index =
-    /// device id, inner = queue pair). Normally constructed by
-    /// [`crate::host::AgileHost::init_nvme`].
+    /// device id, inner = queue pair) with no attached topology — bare-queue
+    /// unit rigs. Production construction goes through
+    /// [`AgileCtrl::with_topology`] (see `bam_baseline::HostBuilder`).
     pub fn new(cfg: AgileConfig, device_queues: Vec<Vec<Arc<QueuePair>>>) -> Self {
+        AgileCtrl::build(cfg, device_queues, None)
+    }
+
+    /// Build a controller whose submissions are charged the topology's array
+    /// lock and whose striped page space is resolvable through
+    /// [`AgileCtrl::resolve_page`]. Normally constructed by
+    /// [`crate::host::AgileHost::init_nvme`].
+    pub fn with_topology(
+        cfg: AgileConfig,
+        device_queues: Vec<Vec<Arc<QueuePair>>>,
+        topology: Arc<dyn StorageTopology>,
+    ) -> Self {
+        AgileCtrl::build(cfg, device_queues, Some(topology))
+    }
+
+    fn build(
+        cfg: AgileConfig,
+        device_queues: Vec<Vec<Arc<QueuePair>>>,
+        topology: Option<Arc<dyn StorageTopology>>,
+    ) -> Self {
         let cache = SoftwareCache::new(cfg.cache.clone(), build_policy(cfg.cache_policy));
         let share_table = cfg
             .share_table_enabled
@@ -160,6 +185,7 @@ impl AgileCtrl {
             cache,
             share_table,
             devices,
+            topology,
             lock_registry,
             stop_service: AtomicBool::new(false),
             stats: ApiStatCells::default(),
@@ -207,6 +233,23 @@ impl AgileCtrl {
         self.devices.len()
     }
 
+    /// The attached storage topology, if any.
+    pub fn topology(&self) -> Option<&Arc<dyn StorageTopology>> {
+        self.topology.as_ref()
+    }
+
+    /// Resolve a page of the striped global page space to a concrete
+    /// `(device, device-local LBA)` through the topology's striping layer.
+    /// Panics when no topology is attached (bare-queue unit rigs).
+    pub fn resolve_page(&self, global: u64) -> (u32, Lba) {
+        let loc = self
+            .topology
+            .as_ref()
+            .expect("resolve_page requires an attached topology")
+            .map_page(global);
+        (loc.device, loc.page)
+    }
+
     /// The AGILE-managed SQs of device `dev`.
     pub fn device_queues(&self, dev: usize) -> &[Arc<AgileSq>] {
         &self.devices[dev].sqs
@@ -252,6 +295,11 @@ impl AgileCtrl {
         let n = sqs.len();
         let start = (warp as usize) % n;
         let mut cost = Cycles(api.agile_issue);
+        // The array lock guarding SQ-slot allocation + doorbell update: FIFO
+        // wait behind earlier holders on this device's shard, then the hold.
+        if let Some(topology) = &self.topology {
+            cost += topology.lock_acquire(dev, warp, now);
+        }
         for attempt in 0..n {
             let sq = &sqs[(start + attempt) % n];
             // `Transaction` is cheap to clone (an Arc flag and small ids);

@@ -15,53 +15,104 @@
 //! | `host.stopAgile()` | [`AgileHost::stop_agile`] |
 //! | `host.closeNvme()` | [`AgileHost::close_nvme`] |
 //!
-//! The host also owns the co-simulation plumbing: it builds the
-//! [`nvme_sim::SsdArray`], bridges it into the GPU engine as an
-//! [`gpu_sim::ExternalDevice`], and launches the persistent AGILE service
-//! kernel before user kernels run.
+//! New code should not drive this order-sensitive sequence by hand: build
+//! hosts through `bam_baseline::HostBuilder`, which runs the flow in the
+//! only valid order and returns a started host. The common surface both the
+//! AGILE host and the BaM baseline host expose afterwards is the
+//! [`GpuStorageHost`] trait, so AGILE-vs-BaM harness code is written once.
+//!
+//! The host also owns the co-simulation plumbing: it builds a
+//! [`StorageTopology`] (a single-lock [`nvme_sim::FlatArray`], or a
+//! [`nvme_sim::ShardedArray`] when [`AgileHost::set_shards`] was called),
+//! bridges it into the GPU engine as an [`gpu_sim::ExternalDevice`], and
+//! launches the persistent AGILE service kernel before user kernels run.
 
 use crate::config::AgileConfig;
 use crate::ctrl::AgileCtrl;
 use crate::service::{AgileService, AgileServiceKernel};
+use agile_sim::trace::TraceSink;
 use agile_sim::Cycles;
 use gpu_sim::registers::agile_footprints;
 use gpu_sim::{
     occupancy, Engine, ExecutionReport, ExternalDevice, GpuConfig, KernelFactory, LaunchConfig,
 };
-use nvme_sim::{MemBacking, PageBacking, QueuePair, SsdArray, SsdConfig};
-use parking_lot::Mutex;
+use nvme_sim::{FlatArray, MemBacking, PageBacking, ShardedArray, SsdConfig, StorageTopology};
 use std::sync::Arc;
 
-/// Bridges the SSD array into the GPU engine's device list.
+/// The common host surface shared by the AGILE host and the BaM baseline
+/// host: controller access, trace capture, kernel execution and storage
+/// introspection. Harness code (benchmarks, experiments, replay) written
+/// against this trait runs unchanged on either system.
+pub trait GpuStorageHost {
+    /// The system's controller type (`AgileCtrl` / `BamCtrl`).
+    type Ctrl;
+
+    /// The controller warp kernels hold an `Arc` to.
+    fn ctrl(&self) -> Arc<Self::Ctrl>;
+
+    /// Install one trace sink across the whole stack (controller submit
+    /// path, software cache, every SSD's completion path). The first sink
+    /// installed wins; returns `false` if one was already present.
+    fn set_trace_sink(&self, sink: Arc<dyn TraceSink>) -> bool;
+
+    /// The storage topology (striping map, device statistics, lock model).
+    fn topology(&self) -> Arc<dyn StorageTopology>;
+
+    /// The page backing of device `dev` (for pre-populating datasets).
+    fn backing(&self, dev: usize) -> Arc<dyn PageBacking> {
+        self.topology().backing(dev)
+    }
+
+    /// Maximum resident blocks per SM for a launch (`queryOccupancy`).
+    fn query_occupancy(&self, launch: &LaunchConfig) -> u32;
+
+    /// Launch a user kernel and run the co-simulation until it completes.
+    fn run_kernel(
+        &mut self,
+        launch: LaunchConfig,
+        factory: Box<dyn KernelFactory>,
+    ) -> ExecutionReport;
+
+    /// Current simulated time.
+    fn now(&self) -> Cycles;
+
+    /// Stop any background service the system runs (no-op for BaM).
+    fn stop(&mut self);
+}
+
+/// Bridges a storage topology into the GPU engine's device list.
 pub struct SsdBridge {
-    array: Arc<Mutex<SsdArray>>,
+    topology: Arc<dyn StorageTopology>,
 }
 
 impl SsdBridge {
-    /// Wrap a shared SSD array.
-    pub fn new(array: Arc<Mutex<SsdArray>>) -> Self {
-        SsdBridge { array }
+    /// Wrap a shared topology.
+    pub fn new(topology: Arc<dyn StorageTopology>) -> Self {
+        SsdBridge { topology }
     }
 }
 
 impl ExternalDevice for SsdBridge {
     fn advance_to(&mut self, now: Cycles) {
-        self.array.lock().advance_to(now);
+        self.topology.advance_to(now);
     }
     fn next_event_time(&mut self) -> Option<Cycles> {
-        self.array.lock().next_event_time()
+        self.topology.next_event_time()
     }
     fn quiescent(&self) -> bool {
-        self.array.lock().quiescent()
+        self.topology.quiescent()
     }
 }
 
-/// The AGILE host: owns the GPU engine, the SSD array and the controller.
+/// The AGILE host: owns the GPU engine, the storage topology and the
+/// controller.
 pub struct AgileHost {
     gpu: GpuConfig,
     config: AgileConfig,
     pending_devices: Vec<(SsdConfig, Arc<dyn PageBacking>)>,
-    array: Option<Arc<Mutex<SsdArray>>>,
+    /// 0 = flat (single lock); ≥ 1 = sharded with that many lock shards.
+    shards: usize,
+    topology: Option<Arc<dyn StorageTopology>>,
     ctrl: Option<Arc<AgileCtrl>>,
     service: Option<Arc<AgileService>>,
     engine: Option<Engine>,
@@ -79,7 +130,8 @@ impl AgileHost {
             gpu,
             config,
             pending_devices: Vec::new(),
-            array: None,
+            shards: 0,
+            topology: None,
             ctrl: None,
             service: None,
             engine: None,
@@ -95,6 +147,17 @@ impl AgileHost {
     /// The AGILE configuration.
     pub fn config(&self) -> &AgileConfig {
         &self.config
+    }
+
+    /// Partition the storage into `shards` lock shards (build a
+    /// [`ShardedArray`] instead of the default single-lock [`FlatArray`]).
+    /// Must be called before [`AgileHost::init_nvme`].
+    pub fn set_shards(&mut self, shards: usize) {
+        assert!(
+            self.topology.is_none(),
+            "set_shards must be called before init_nvme"
+        );
+        self.shards = shards;
     }
 
     /// Register an SSD with `namespace_pages` 4 KiB pages and a default
@@ -117,7 +180,7 @@ impl AgileHost {
 
     fn add_backed(&mut self, namespace_pages: u64, backing: Arc<dyn PageBacking>) -> usize {
         assert!(
-            self.array.is_none(),
+            self.topology.is_none(),
             "add_nvme_dev must be called before init_nvme"
         );
         let id = self.pending_devices.len() as u32;
@@ -131,28 +194,26 @@ impl AgileHost {
         id as usize
     }
 
-    /// Build the SSD array, create and register the I/O queue pairs in
-    /// (simulated) pinned GPU memory, and construct the AGILE controller —
-    /// `initNvme()` + `initializeAgile()` of Listing 1.
+    /// Build the storage topology, create and register the I/O queue pairs
+    /// in (simulated) pinned GPU memory, and construct the AGILE controller
+    /// — `initNvme()` + `initializeAgile()` of Listing 1.
     pub fn init_nvme(&mut self) {
         assert!(!self.pending_devices.is_empty(), "no NVMe devices added");
-        assert!(self.array.is_none(), "init_nvme called twice");
-        let mut array = SsdArray::from_parts(std::mem::take(&mut self.pending_devices));
-        let mut per_device_queues: Vec<Vec<Arc<QueuePair>>> = Vec::new();
-        for dev in 0..array.len() {
-            let mut qps = Vec::new();
-            for q in 0..self.config.queue_pairs_per_ssd {
-                let qp = QueuePair::new(q as u16, self.config.queue_depth);
-                array.device_mut(dev).register_queue_pair(Arc::clone(&qp));
-                qps.push(qp);
-            }
-            per_device_queues.push(qps);
-        }
-        self.array = Some(Arc::new(Mutex::new(array)));
-        self.ctrl = Some(Arc::new(AgileCtrl::new(
+        assert!(self.topology.is_none(), "init_nvme called twice");
+        let parts = std::mem::take(&mut self.pending_devices);
+        let topology: Arc<dyn StorageTopology> = if self.shards == 0 {
+            Arc::new(FlatArray::from_parts(parts))
+        } else {
+            Arc::new(ShardedArray::from_parts(parts, self.shards))
+        };
+        let per_device_queues =
+            topology.register_queues(self.config.queue_pairs_per_ssd, self.config.queue_depth);
+        self.ctrl = Some(Arc::new(AgileCtrl::with_topology(
             self.config.clone(),
             per_device_queues,
+            Arc::clone(&topology),
         )));
+        self.topology = Some(topology);
     }
 
     /// The controller (available after [`AgileHost::init_nvme`]).
@@ -165,9 +226,9 @@ impl AgileHost {
     /// SSD's completion path. Call after [`AgileHost::init_nvme`]; the first
     /// sink installed wins (returns `false` if one was already present).
     /// Recording costs one atomic load per hook when enabled-but-absent.
-    pub fn set_trace_sink(&self, sink: Arc<dyn agile_sim::trace::TraceSink>) -> bool {
+    pub fn set_trace_sink(&self, sink: Arc<dyn TraceSink>) -> bool {
         let ctrl_fresh = self.ctrl().set_trace_sink(Arc::clone(&sink));
-        let dev_fresh = self.ssd_array().lock().set_trace_sink(&sink);
+        let dev_fresh = self.topology().set_trace_sink(&sink);
         ctrl_fresh && dev_fresh
     }
 
@@ -176,14 +237,14 @@ impl AgileHost {
         Arc::clone(self.service.as_ref().expect("start_agile not called"))
     }
 
-    /// The shared SSD array (for workload setup and statistics).
-    pub fn ssd_array(&self) -> Arc<Mutex<SsdArray>> {
-        Arc::clone(self.array.as_ref().expect("init_nvme not called"))
+    /// The shared storage topology (for workload setup and statistics).
+    pub fn topology(&self) -> Arc<dyn StorageTopology> {
+        Arc::clone(self.topology.as_ref().expect("init_nvme not called"))
     }
 
     /// The page backing of device `dev` (for pre-populating datasets).
     pub fn backing(&self, dev: usize) -> Arc<dyn PageBacking> {
-        Arc::clone(self.ssd_array().lock().device(dev).backing())
+        self.topology().backing(dev)
     }
 
     /// `queryOccupancy`: maximum resident blocks per SM for a launch.
@@ -197,7 +258,7 @@ impl AgileHost {
         assert!(self.ctrl.is_some(), "init_nvme must run before start_agile");
         assert!(!self.service_started, "start_agile called twice");
         let mut engine = Engine::new(self.gpu.clone());
-        engine.add_device(Box::new(SsdBridge::new(self.ssd_array())));
+        engine.add_device(Box::new(SsdBridge::new(self.topology())));
 
         let ctrl = self.ctrl();
         ctrl.reset_service_stop();
@@ -255,7 +316,7 @@ impl AgileHost {
         self.engine = None;
         self.service = None;
         self.ctrl = None;
-        self.array = None;
+        self.topology = None;
         self.service_started = false;
     }
 
@@ -265,6 +326,36 @@ impl AgileHost {
             .as_ref()
             .map(|e| e.now())
             .unwrap_or(Cycles::ZERO)
+    }
+}
+
+impl GpuStorageHost for AgileHost {
+    type Ctrl = AgileCtrl;
+
+    fn ctrl(&self) -> Arc<AgileCtrl> {
+        AgileHost::ctrl(self)
+    }
+    fn set_trace_sink(&self, sink: Arc<dyn TraceSink>) -> bool {
+        AgileHost::set_trace_sink(self, sink)
+    }
+    fn topology(&self) -> Arc<dyn StorageTopology> {
+        AgileHost::topology(self)
+    }
+    fn query_occupancy(&self, launch: &LaunchConfig) -> u32 {
+        AgileHost::query_occupancy(self, launch)
+    }
+    fn run_kernel(
+        &mut self,
+        launch: LaunchConfig,
+        factory: Box<dyn KernelFactory>,
+    ) -> ExecutionReport {
+        AgileHost::run_kernel(self, launch, factory)
+    }
+    fn now(&self) -> Cycles {
+        AgileHost::now(self)
+    }
+    fn stop(&mut self) {
+        self.stop_agile();
     }
 }
 
@@ -293,10 +384,27 @@ mod tests {
         // The user kernel really moved data: cache has content and the SSDs
         // processed reads.
         assert!(ctrl.stats().cache_misses > 0);
-        let array = host.ssd_array();
-        assert!(array.lock().total_bytes_read() > 0);
+        assert!(host.topology().total_bytes_read() > 0);
         host.stop_agile();
         host.close_nvme();
+    }
+
+    #[test]
+    fn sharded_host_runs_the_same_kernel() {
+        let mut host = AgileHost::new(GpuConfig::tiny(4), AgileConfig::small_test());
+        host.add_nvme_dev(1 << 16);
+        host.add_nvme_dev(1 << 16);
+        host.set_shards(2);
+        host.init_nvme();
+        assert_eq!(host.topology().shard_count(), 2);
+        host.start_agile();
+        let ctrl = host.ctrl();
+        let report = host.run_kernel(
+            LaunchConfig::new(2, 64).with_registers(32),
+            Box::new(PrefetchComputeKernel::new(ctrl, 4, 3_000)),
+        );
+        assert!(!report.deadlocked);
+        assert!(host.topology().total_bytes_read() > 0);
     }
 
     #[test]
@@ -306,6 +414,15 @@ mod tests {
         host.add_nvme_dev(1024);
         host.init_nvme();
         host.add_nvme_dev(1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "before init_nvme")]
+    fn sharding_after_init_panics() {
+        let mut host = AgileHost::new(GpuConfig::tiny(1), AgileConfig::small_test());
+        host.add_nvme_dev(1024);
+        host.init_nvme();
+        host.set_shards(4);
     }
 
     #[test]

@@ -66,6 +66,6 @@ pub mod transaction;
 
 pub use config::AgileConfig;
 pub use ctrl::{AgileCtrl, ApiStats, IssueOutcome, ReadOutcome};
-pub use host::AgileHost;
+pub use host::{AgileHost, GpuStorageHost};
 pub use lockchain::{AgileLockChain, DeadlockReport, LockRegistry};
 pub use transaction::{AgileBuf, Barrier};

@@ -15,7 +15,9 @@
 //!   materialising 4 KiB buffers, while an optional byte-level backing
 //!   ([`backing::MemBacking`]) provides full-fidelity payloads for small
 //!   correctness tests ([`backing`]), and
-//! * a multi-SSD topology used by the scaling experiments ([`topology`]).
+//! * the multi-SSD storage topologies ([`topology`]): a [`StorageTopology`]
+//!   trait with a single-lock [`FlatArray`] and a lock-partitioned
+//!   [`ShardedArray`], both sharing one page-striping layer.
 //!
 //! The GPU-side libraries (`agile-core`, `bam-baseline`) share the queue rings
 //! with the device through `Arc`s, exactly as the real system shares them
@@ -38,4 +40,8 @@ pub use queue::{CompletionQueue, QueuePair, SubmissionQueue};
 pub use spec::{
     CmdStatus, CommandId, DmaHandle, Lba, NvmeCommand, NvmeCompletion, Opcode, PageToken, QueueId,
 };
+#[allow(deprecated)]
 pub use topology::SsdArray;
+pub use topology::{
+    DeviceSet, FlatArray, PageLocation, ShardedArray, StorageTopology, TopologyLock,
+};

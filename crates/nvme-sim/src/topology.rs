@@ -1,25 +1,59 @@
-//! Multi-SSD topology.
+//! Multi-SSD storage topologies.
 //!
 //! The paper's scaling experiments (Figures 5 and 6) attach up to three SSDs
 //! to the host and stripe requests across them in an interleaved fashion
 //! ("requests 0, 2, 4, … are issued to SSD1, while requests 1, 3, 5, … are
-//! directed to SSD2"). [`SsdArray`] owns the devices and provides the
-//! interleaving helpers plus a combined advance/quiescence interface for the
-//! co-simulation engine.
+//! directed to SSD2"). This module generalises that design into a
+//! [`StorageTopology`] trait with two implementations:
+//!
+//! * [`FlatArray`] — every device behind **one** lock, the original
+//!   `SsdArray` behaviour. Cheap to build, but every submission serialises
+//!   on the same lock, which is the scale-out blocker at production device
+//!   counts.
+//! * [`ShardedArray`] — the devices are partitioned into N shards, each with
+//!   its **own** device set and lock. Submissions to different shards no
+//!   longer serialise against each other; a sharded array with one shard is
+//!   bit-identical to the flat array.
+//!
+//! Both expose the same **page-striping layer**: a global page index maps to
+//! `(shard, device, device-local page)` via [`StorageTopology::map_page`],
+//! so workloads address one linear page space regardless of topology. The
+//! device/page mapping is identical for both topologies at equal device
+//! count — only the lock partitioning differs — which is exactly what makes
+//! flat-vs-sharded benchmark comparisons attribute their delta to the lock.
+//!
+//! The lock itself is *modeled*: real GPU-side array implementations guard
+//! SQ-slot allocation and the doorbell update with a critical section, so
+//! [`StorageTopology::lock_acquire`] charges each submission the FIFO wait
+//! behind earlier holders plus its own hold time (see [`TopologyLock`]).
+//! The simulation stays single-threaded and deterministic; the contention
+//! shows up as cycles charged to the issuing warp.
+//!
+//! [`DeviceSet`] is the lock-free building block both topologies are made
+//! of; the old name [`SsdArray`] remains as a deprecated alias.
 
 use crate::backing::{MemBacking, PageBacking};
-use crate::device::{SsdConfig, SsdDevice};
+use crate::device::{DeviceStats, SsdConfig, SsdDevice};
 use crate::queue::QueuePair;
 use crate::spec::{Lba, QueueId};
+use agile_sim::trace::TraceSink;
 use agile_sim::Cycles;
+use parking_lot::Mutex;
 use std::sync::Arc;
 
-/// A set of SSDs addressed by device index.
-pub struct SsdArray {
+/// A set of SSDs addressed by device index (no locking — the building block
+/// a [`StorageTopology`] wraps behind its lock(s)).
+pub struct DeviceSet {
     devices: Vec<SsdDevice>,
 }
 
-impl SsdArray {
+/// Deprecated name of [`DeviceSet`], kept while callers migrate to the
+/// [`StorageTopology`] implementations.
+#[deprecated(note = "use FlatArray / ShardedArray through StorageTopology, \
+                     or DeviceSet for the raw building block")]
+pub type SsdArray = DeviceSet;
+
+impl DeviceSet {
     /// Build `count` devices with default configuration and token-only memory
     /// backings.
     pub fn new(count: usize) -> Self {
@@ -31,7 +65,7 @@ impl SsdArray {
                 )
             })
             .collect();
-        SsdArray { devices }
+        DeviceSet { devices }
     }
 
     /// Build from explicit (config, backing) pairs.
@@ -40,7 +74,7 @@ impl SsdArray {
             .into_iter()
             .map(|(cfg, backing)| SsdDevice::new(cfg, backing))
             .collect();
-        SsdArray { devices }
+        DeviceSet { devices }
     }
 
     /// Number of devices.
@@ -48,7 +82,7 @@ impl SsdArray {
         self.devices.len()
     }
 
-    /// True when the array holds no devices.
+    /// True when the set holds no devices.
     pub fn is_empty(&self) -> bool {
         self.devices.is_empty()
     }
@@ -92,7 +126,7 @@ impl SsdArray {
     /// Install a trace sink on every device's completion path (see
     /// [`SsdDevice::set_trace_sink`]). Returns `false` if any device already
     /// had a sink.
-    pub fn set_trace_sink(&self, sink: &Arc<dyn agile_sim::trace::TraceSink>) -> bool {
+    pub fn set_trace_sink(&self, sink: &Arc<dyn TraceSink>) -> bool {
         let mut all_fresh = true;
         for dev in &self.devices {
             all_fresh &= dev.set_trace_sink(Arc::clone(sink));
@@ -139,6 +173,426 @@ impl SsdArray {
     pub fn total_bytes_written(&self) -> u64 {
         self.devices.iter().map(|d| d.stats().bytes_written).sum()
     }
+
+    /// Smallest namespace capacity across devices (0 for an empty set) —
+    /// the per-device extent of the striped global page space.
+    pub fn min_namespace_pages(&self) -> u64 {
+        self.devices
+            .iter()
+            .map(|d| d.config().namespace_pages)
+            .min()
+            .unwrap_or(0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Striping
+// ---------------------------------------------------------------------------
+
+/// Where a global page lives: which lock shard, which device, which
+/// device-local page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PageLocation {
+    /// Lock shard the owning device belongs to.
+    pub shard: u32,
+    /// Global device index.
+    pub device: u32,
+    /// Page index within the device's namespace.
+    pub page: Lba,
+}
+
+/// Interleaved striping shared by both topologies: global page `g` lives on
+/// device `g % devices` at local page `g / devices`. Bijective over
+/// `devices × pages_per_device` by construction.
+fn stripe(global: u64, devices: u64) -> (u32, Lba) {
+    debug_assert!(devices > 0);
+    ((global % devices) as u32, global / devices)
+}
+
+// ---------------------------------------------------------------------------
+// The modeled array lock
+// ---------------------------------------------------------------------------
+
+/// Default cycles a submission holds the array lock: the critical section
+/// covers the SQ-slot claim and the serialized tail-doorbell update — an
+/// uncached MMIO write over PCIe, a few hundred nanoseconds — so ~600 GPU
+/// cycles at 2.5 GHz. This caps a single lock at ~4M submissions/s: above
+/// NVMe saturation for the paper's 1–3 SSD experiments, binding for bursty
+/// many-warp submission at production device counts.
+pub const DEFAULT_LOCK_HOLD_CYCLES: u64 = 600;
+
+#[derive(Debug, Default, Clone, Copy)]
+struct ShardLockState {
+    /// Simulated time until which the lock is held by queued acquirers.
+    busy_until: u64,
+    /// Last (warp, now) that acquired — consecutive acquires by the same
+    /// warp within one step extend the hold instead of re-paying the queue
+    /// wait (the warp is already past the queue; its later acquires happen
+    /// back-to-back in real time even though the step reports one `now`).
+    last: Option<(u64, u64)>,
+}
+
+/// Deterministic FIFO model of the per-shard array lock.
+///
+/// Each acquisition at simulated time `now` waits for every earlier holder
+/// (`busy_until - now`, if positive), then holds the lock for `hold` cycles;
+/// the total is returned as cycles to charge the issuing warp. One state
+/// cell per shard, so acquisitions in different shards never wait on each
+/// other — this is the entire modeled difference between [`FlatArray`]
+/// (one shard) and [`ShardedArray`] (N shards).
+pub struct TopologyLock {
+    shards: Vec<Mutex<ShardLockState>>,
+    hold: u64,
+}
+
+impl TopologyLock {
+    /// A lock partitioned into `shards` independent cells.
+    pub fn new(shards: usize, hold: u64) -> Self {
+        TopologyLock {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(ShardLockState::default()))
+                .collect(),
+            hold,
+        }
+    }
+
+    /// Acquire the cell for `shard` on behalf of `warp` at time `now`;
+    /// returns the cycles the acquisition costs (queue wait + hold).
+    pub fn acquire(&self, shard: usize, warp: u64, now: Cycles) -> Cycles {
+        let mut s = self.shards[shard % self.shards.len()].lock();
+        let now = now.raw();
+        if s.last == Some((warp, now)) {
+            // Same warp, same step: back-to-back re-acquire, no queue wait.
+            s.busy_until += self.hold;
+            return Cycles(self.hold);
+        }
+        let wait = s.busy_until.saturating_sub(now);
+        s.busy_until = s.busy_until.max(now) + self.hold;
+        s.last = Some((warp, now));
+        Cycles(wait + self.hold)
+    }
+
+    /// Hold cycles per acquisition.
+    pub fn hold_cycles(&self) -> u64 {
+        self.hold
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The topology trait
+// ---------------------------------------------------------------------------
+
+/// A multi-SSD storage topology: owns the devices, their lock partitioning
+/// and the page-striping layer. All methods take `&self`; implementations
+/// lock internally so hosts can share the topology as `Arc<dyn
+/// StorageTopology>` between the co-simulation bridge, the controller and
+/// workload setup code.
+pub trait StorageTopology: Send + Sync {
+    /// Total devices across all shards.
+    fn device_count(&self) -> usize;
+
+    /// Number of lock shards.
+    fn shard_count(&self) -> usize;
+
+    /// Lock shard that owns global device `dev`.
+    fn shard_of(&self, dev: usize) -> usize;
+
+    /// Register `per_device` queue pairs of `depth` entries on every device;
+    /// returned grouped by global device index.
+    fn register_queues(&self, per_device: usize, depth: u32) -> Vec<Vec<Arc<QueuePair>>>;
+
+    /// The page backing of global device `dev` (for dataset setup).
+    fn backing(&self, dev: usize) -> Arc<dyn PageBacking>;
+
+    /// Install a trace sink on every device's completion path. Returns
+    /// `false` if any device already had one.
+    fn set_trace_sink(&self, sink: &Arc<dyn TraceSink>) -> bool;
+
+    /// Advance every device to `now` (co-simulation).
+    fn advance_to(&self, now: Cycles);
+
+    /// Earliest pending event across all devices.
+    fn next_event_time(&self) -> Option<Cycles>;
+
+    /// True when every device is idle.
+    fn quiescent(&self) -> bool;
+
+    /// Sum of bytes read across devices.
+    fn total_bytes_read(&self) -> u64;
+
+    /// Sum of bytes written across devices.
+    fn total_bytes_written(&self) -> u64;
+
+    /// Statistics snapshot of global device `dev`.
+    fn device_stats(&self, dev: usize) -> DeviceStats;
+
+    /// Extent of the striped global page space
+    /// (`device_count × min(namespace_pages)`).
+    fn global_pages(&self) -> u64;
+
+    /// Map a global page index to `(shard, device, local page)`. The
+    /// device/page mapping depends only on the device count, so topologies
+    /// with equal device counts lay data out identically.
+    fn map_page(&self, global: u64) -> PageLocation;
+
+    /// Charge one submission's pass through the array lock guarding device
+    /// `dev`: FIFO wait behind earlier holders plus the hold itself.
+    fn lock_acquire(&self, dev: usize, warp: u64, now: Cycles) -> Cycles;
+}
+
+// ---------------------------------------------------------------------------
+// FlatArray
+// ---------------------------------------------------------------------------
+
+/// Every device behind one lock — the original `SsdArray` behaviour.
+pub struct FlatArray {
+    set: Mutex<DeviceSet>,
+    lock: TopologyLock,
+    /// Cached: the device count is fixed at construction, and `map_page`
+    /// sits on the per-op replay hot path — no reason to take the lock.
+    devices: usize,
+    global_pages: u64,
+}
+
+impl FlatArray {
+    /// Build `count` devices with default configuration and backings.
+    pub fn new(count: usize) -> Self {
+        FlatArray::from_set(DeviceSet::new(count))
+    }
+
+    /// Build from explicit (config, backing) pairs.
+    pub fn from_parts(parts: Vec<(SsdConfig, Arc<dyn PageBacking>)>) -> Self {
+        FlatArray::from_set(DeviceSet::from_parts(parts))
+    }
+
+    /// Wrap an already-built device set.
+    pub fn from_set(set: DeviceSet) -> Self {
+        let global_pages = set.len() as u64 * set.min_namespace_pages();
+        FlatArray {
+            devices: set.len(),
+            set: Mutex::new(set),
+            lock: TopologyLock::new(1, DEFAULT_LOCK_HOLD_CYCLES),
+            global_pages,
+        }
+    }
+
+    /// Run `f` with the underlying device set locked (tests, direct access).
+    pub fn with_set<R>(&self, f: impl FnOnce(&mut DeviceSet) -> R) -> R {
+        f(&mut self.set.lock())
+    }
+
+    /// Override the modeled lock-hold cycles (cost-model studies).
+    pub fn with_lock_hold(mut self, hold: u64) -> Self {
+        self.lock = TopologyLock::new(1, hold);
+        self
+    }
+}
+
+impl StorageTopology for FlatArray {
+    fn device_count(&self) -> usize {
+        self.devices
+    }
+    fn shard_count(&self) -> usize {
+        1
+    }
+    fn shard_of(&self, _dev: usize) -> usize {
+        0
+    }
+    fn register_queues(&self, per_device: usize, depth: u32) -> Vec<Vec<Arc<QueuePair>>> {
+        self.set.lock().register_queues(per_device, depth)
+    }
+    fn backing(&self, dev: usize) -> Arc<dyn PageBacking> {
+        Arc::clone(self.set.lock().device(dev).backing())
+    }
+    fn set_trace_sink(&self, sink: &Arc<dyn TraceSink>) -> bool {
+        self.set.lock().set_trace_sink(sink)
+    }
+    fn advance_to(&self, now: Cycles) {
+        self.set.lock().advance_to(now);
+    }
+    fn next_event_time(&self) -> Option<Cycles> {
+        self.set.lock().next_event_time()
+    }
+    fn quiescent(&self) -> bool {
+        self.set.lock().quiescent()
+    }
+    fn total_bytes_read(&self) -> u64 {
+        self.set.lock().total_bytes_read()
+    }
+    fn total_bytes_written(&self) -> u64 {
+        self.set.lock().total_bytes_written()
+    }
+    fn device_stats(&self, dev: usize) -> DeviceStats {
+        self.set.lock().device(dev).stats().clone()
+    }
+    fn global_pages(&self) -> u64 {
+        self.global_pages
+    }
+    fn map_page(&self, global: u64) -> PageLocation {
+        let (device, page) = stripe(global, self.devices as u64);
+        PageLocation {
+            shard: 0,
+            device,
+            page,
+        }
+    }
+    fn lock_acquire(&self, _dev: usize, warp: u64, now: Cycles) -> Cycles {
+        self.lock.acquire(0, warp, now)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ShardedArray
+// ---------------------------------------------------------------------------
+
+/// Devices partitioned into N shards, each with its own device set and lock.
+///
+/// Device `d` belongs to shard `d % shards`; the striped data layout is
+/// identical to [`FlatArray`] at equal device count, so any benchmark delta
+/// between the two is attributable to the lock partitioning alone. With
+/// `shards == 1` this *is* the flat array, bit for bit.
+pub struct ShardedArray {
+    /// One locked device set per shard.
+    shards: Vec<Mutex<DeviceSet>>,
+    /// Global device index → (shard, index within the shard's set).
+    placement: Vec<(usize, usize)>,
+    lock: TopologyLock,
+    global_pages: u64,
+}
+
+impl ShardedArray {
+    /// Build `count` default devices partitioned into `shards` shards.
+    pub fn new(count: usize, shards: usize) -> Self {
+        let parts = (0..count)
+            .map(|i| {
+                (
+                    SsdConfig::new(i as u32),
+                    Arc::new(MemBacking::new(i as u32)) as Arc<dyn PageBacking>,
+                )
+            })
+            .collect();
+        ShardedArray::from_parts(parts, shards)
+    }
+
+    /// Partition explicit (config, backing) pairs into `shards` shards,
+    /// device `d` → shard `d % shards`.
+    pub fn from_parts(parts: Vec<(SsdConfig, Arc<dyn PageBacking>)>, shards: usize) -> Self {
+        assert!(shards >= 1, "a sharded array needs at least one shard");
+        let device_count = parts.len();
+        let mut per_shard: Vec<Vec<(SsdConfig, Arc<dyn PageBacking>)>> =
+            (0..shards).map(|_| Vec::new()).collect();
+        let mut placement = Vec::with_capacity(device_count);
+        for (d, part) in parts.into_iter().enumerate() {
+            let shard = d % shards;
+            placement.push((shard, per_shard[shard].len()));
+            per_shard[shard].push(part);
+        }
+        let sets: Vec<DeviceSet> = per_shard.into_iter().map(DeviceSet::from_parts).collect();
+        let min_pages = sets
+            .iter()
+            .map(|s| s.min_namespace_pages())
+            .filter(|&p| p > 0)
+            .min()
+            .unwrap_or(0);
+        ShardedArray {
+            global_pages: device_count as u64 * min_pages,
+            shards: sets.into_iter().map(Mutex::new).collect(),
+            placement,
+            lock: TopologyLock::new(shards, DEFAULT_LOCK_HOLD_CYCLES),
+        }
+    }
+
+    /// Override the modeled lock-hold cycles (cost-model studies).
+    pub fn with_lock_hold(mut self, hold: u64) -> Self {
+        self.lock = TopologyLock::new(self.shards.len(), hold);
+        self
+    }
+
+    fn locate(&self, dev: usize) -> (usize, usize) {
+        self.placement[dev]
+    }
+}
+
+impl StorageTopology for ShardedArray {
+    fn device_count(&self) -> usize {
+        self.placement.len()
+    }
+    fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+    fn shard_of(&self, dev: usize) -> usize {
+        self.locate(dev).0
+    }
+    fn register_queues(&self, per_device: usize, depth: u32) -> Vec<Vec<Arc<QueuePair>>> {
+        // Register shard by shard, then reorder to global device order.
+        let mut by_global: Vec<Vec<Arc<QueuePair>>> = vec![Vec::new(); self.placement.len()];
+        for (global, &(shard, slot)) in self.placement.iter().enumerate() {
+            let mut set = self.shards[shard].lock();
+            by_global[global] = (0..per_device)
+                .map(|q| {
+                    let qp = QueuePair::new(q as QueueId, depth);
+                    set.device_mut(slot).register_queue_pair(Arc::clone(&qp));
+                    qp
+                })
+                .collect();
+        }
+        by_global
+    }
+    fn backing(&self, dev: usize) -> Arc<dyn PageBacking> {
+        let (shard, slot) = self.locate(dev);
+        Arc::clone(self.shards[shard].lock().device(slot).backing())
+    }
+    fn set_trace_sink(&self, sink: &Arc<dyn TraceSink>) -> bool {
+        let mut all_fresh = true;
+        for shard in &self.shards {
+            all_fresh &= shard.lock().set_trace_sink(sink);
+        }
+        all_fresh
+    }
+    fn advance_to(&self, now: Cycles) {
+        for shard in &self.shards {
+            shard.lock().advance_to(now);
+        }
+    }
+    fn next_event_time(&self) -> Option<Cycles> {
+        self.shards
+            .iter()
+            .filter_map(|s| s.lock().next_event_time())
+            .min()
+    }
+    fn quiescent(&self) -> bool {
+        self.shards.iter().all(|s| s.lock().quiescent())
+    }
+    fn total_bytes_read(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().total_bytes_read())
+            .sum()
+    }
+    fn total_bytes_written(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().total_bytes_written())
+            .sum()
+    }
+    fn device_stats(&self, dev: usize) -> DeviceStats {
+        let (shard, slot) = self.locate(dev);
+        self.shards[shard].lock().device(slot).stats().clone()
+    }
+    fn global_pages(&self) -> u64 {
+        self.global_pages
+    }
+    fn map_page(&self, global: u64) -> PageLocation {
+        let (device, page) = stripe(global, self.placement.len() as u64);
+        PageLocation {
+            shard: self.shard_of(device as usize) as u32,
+            device,
+            page,
+        }
+    }
+    fn lock_acquire(&self, dev: usize, warp: u64, now: Cycles) -> Cycles {
+        self.lock.acquire(self.shard_of(dev), warp, now)
+    }
 }
 
 #[cfg(test)]
@@ -147,7 +601,7 @@ mod tests {
 
     #[test]
     fn construction_and_registration() {
-        let mut arr = SsdArray::new(3);
+        let mut arr = DeviceSet::new(3);
         assert_eq!(arr.len(), 3);
         assert!(!arr.is_empty());
         let qps = arr.register_queues(4, 64);
@@ -160,7 +614,7 @@ mod tests {
 
     #[test]
     fn interleaving_round_robins_devices() {
-        let arr = SsdArray::new(3);
+        let arr = DeviceSet::new(3);
         let (d0, l0) = arr.interleave(0, 1000);
         let (d1, l1) = arr.interleave(1, 1000);
         let (d2, _) = arr.interleave(2, 1000);
@@ -173,15 +627,100 @@ mod tests {
 
     #[test]
     fn interleaving_wraps_lba_space() {
-        let arr = SsdArray::new(2);
+        let arr = DeviceSet::new(2);
         let (_, lba) = arr.interleave(2 * 500 + 1, 500);
         assert!(lba < 500);
     }
 
     #[test]
     fn totals_start_at_zero() {
-        let arr = SsdArray::new(2);
+        let arr = DeviceSet::new(2);
         assert_eq!(arr.total_bytes_read(), 0);
         assert_eq!(arr.total_bytes_written(), 0);
+    }
+
+    #[test]
+    fn flat_and_sharded_stripe_identically() {
+        let flat = FlatArray::new(6);
+        for shards in [1usize, 2, 3, 6] {
+            let sharded = ShardedArray::new(6, shards);
+            assert_eq!(sharded.shard_count(), shards);
+            assert_eq!(sharded.device_count(), 6);
+            for g in 0..600u64 {
+                let f = flat.map_page(g);
+                let s = sharded.map_page(g);
+                assert_eq!((f.device, f.page), (s.device, s.page), "page {g}");
+                assert_eq!(s.shard as usize, s.device as usize % shards);
+            }
+        }
+    }
+
+    #[test]
+    fn striping_is_bijective() {
+        let arr = ShardedArray::new(4, 2);
+        let mut seen = std::collections::HashSet::new();
+        for g in 0..4_000u64 {
+            let loc = arr.map_page(g);
+            assert!(seen.insert((loc.device, loc.page)), "collision at {g}");
+        }
+    }
+
+    #[test]
+    fn sharded_registration_matches_global_device_order() {
+        let arr = ShardedArray::new(5, 2);
+        let qps = arr.register_queues(2, 64);
+        assert_eq!(qps.len(), 5);
+        for (dev, dev_qps) in qps.iter().enumerate() {
+            assert_eq!(dev_qps.len(), 2);
+            assert_eq!(arr.device_stats(dev).reads_completed, 0);
+        }
+        // Devices 0,2,4 → shard 0; 1,3 → shard 1.
+        assert_eq!(arr.shard_of(0), 0);
+        assert_eq!(arr.shard_of(1), 1);
+        assert_eq!(arr.shard_of(4), 0);
+    }
+
+    #[test]
+    fn lock_charges_fifo_wait_per_shard() {
+        let lock = TopologyLock::new(2, 10);
+        // Two warps, same shard, same instant: second waits for the first.
+        assert_eq!(lock.acquire(0, 1, Cycles(100)), Cycles(10));
+        assert_eq!(lock.acquire(0, 2, Cycles(100)), Cycles(20));
+        // A third warp on the *other* shard pays no wait.
+        assert_eq!(lock.acquire(1, 3, Cycles(100)), Cycles(10));
+        // Same warp re-acquiring within its step only extends the hold.
+        assert_eq!(lock.acquire(0, 2, Cycles(100)), Cycles(10));
+        // Far in the future the queue has drained.
+        assert_eq!(lock.acquire(0, 4, Cycles(10_000)), Cycles(10));
+    }
+
+    #[test]
+    fn flat_serializes_where_sharded_does_not() {
+        let flat = FlatArray::new(4);
+        let sharded = ShardedArray::new(4, 4);
+        let mut flat_total = 0u64;
+        let mut sharded_total = 0u64;
+        for warp in 0..16u64 {
+            let dev = (warp % 4) as usize;
+            flat_total += flat.lock_acquire(dev, warp, Cycles(0)).raw();
+            sharded_total += sharded.lock_acquire(dev, warp, Cycles(0)).raw();
+        }
+        assert!(
+            flat_total > sharded_total,
+            "flat {flat_total} must serialize more than sharded {sharded_total}"
+        );
+    }
+
+    #[test]
+    fn sharded_with_one_shard_matches_flat_lock_costs() {
+        let flat = FlatArray::new(3);
+        let sharded = ShardedArray::new(3, 1);
+        for warp in 0..12u64 {
+            let dev = (warp % 3) as usize;
+            assert_eq!(
+                flat.lock_acquire(dev, warp, Cycles(warp * 7)),
+                sharded.lock_acquire(dev, warp, Cycles(warp * 7)),
+            );
+        }
     }
 }

@@ -316,16 +316,22 @@ impl Trace {
 
     /// Derive a replayable trace from a captured event log: every
     /// [`TraceEventKind::Submit`] becomes one op, with gaps reconstructed
-    /// from the submit timestamps. Events must be in capture order.
+    /// **per tenant** — each op's think time is the distance to *that
+    /// tenant's* previous submit, not to whichever tenant happened to submit
+    /// last globally. Replay charges gaps to the issuing warp, so per-tenant
+    /// reconstruction preserves each tenant's original pacing even when the
+    /// capture interleaved many tenants. Events must be in capture order.
     pub fn from_events(name: &str, events: &[TraceEvent]) -> Trace {
         let mut ops = Vec::new();
-        let mut last_at = 0u64;
+        let mut last_at_by_tenant: std::collections::HashMap<u32, u64> =
+            std::collections::HashMap::new();
         let mut max_dev = 0u32;
         let mut max_lba = 0u64;
         let mut max_tenant = 0u32;
         for ev in events.iter().filter(|e| e.kind == TraceEventKind::Submit) {
-            let gap = ev.at.saturating_sub(last_at).min(u32::MAX as u64) as u32;
-            last_at = ev.at;
+            let last_at = last_at_by_tenant.entry(ev.tenant).or_insert(0);
+            let gap = ev.at.saturating_sub(*last_at).min(u32::MAX as u64) as u32;
+            *last_at = ev.at;
             max_dev = max_dev.max(ev.dev);
             max_lba = max_lba.max(ev.lba);
             max_tenant = max_tenant.max(ev.tenant);
@@ -480,22 +486,35 @@ mod tests {
     }
 
     #[test]
-    fn trace_from_events_reconstructs_gaps() {
+    fn trace_from_events_reconstructs_gaps_per_tenant() {
         let events = vec![
             TraceEvent::new(TraceEventKind::Submit, 100)
                 .target(0, 1)
                 .tenant(0),
             TraceEvent::new(TraceEventKind::CacheHit, 150).target(0, 1),
+            // A different tenant submits in between: tenant 0's next gap must
+            // still be measured against its *own* previous submit.
             TraceEvent::new(TraceEventKind::Submit, 400)
                 .target(1, 9)
                 .tenant(3)
                 .write(true),
+            TraceEvent::new(TraceEventKind::Submit, 450)
+                .target(0, 2)
+                .tenant(0),
+            TraceEvent::new(TraceEventKind::Submit, 460)
+                .target(1, 3)
+                .tenant(3),
         ];
         let trace = Trace::from_events("captured", &events);
-        assert_eq!(trace.ops.len(), 2);
+        assert_eq!(trace.ops.len(), 4);
+        // First submit of each tenant: distance from capture start.
         assert_eq!(trace.ops[0].gap, 100);
-        assert_eq!(trace.ops[1].gap, 300);
+        assert_eq!(trace.ops[1].gap, 400);
         assert!(trace.ops[1].write);
+        // Subsequent submits: distance from the same tenant's previous one
+        // (not from the globally-previous submit).
+        assert_eq!(trace.ops[2].gap, 350, "tenant 0: 450 - 100");
+        assert_eq!(trace.ops[3].gap, 60, "tenant 3: 460 - 400");
         assert_eq!(trace.meta.devices, 2);
         assert_eq!(trace.meta.tenants, 4);
     }

@@ -61,10 +61,10 @@ pub fn run_bandwidth_point(
     let elapsed_secs = report.elapsed_secs;
     // The quota split can round the issued count up slightly; use the device
     // counters for the exact byte total.
-    let array = host.ssd_array();
+    let topology = host.topology();
     let bytes = match direction {
-        IoDirection::Read => array.lock().total_bytes_read(),
-        IoDirection::Write => array.lock().total_bytes_written(),
+        IoDirection::Read => topology.total_bytes_read(),
+        IoDirection::Write => topology.total_bytes_written(),
     };
     let bytes = bytes.max(total_requests * SSD_PAGE_SIZE);
     BandwidthRow {

@@ -1,7 +1,7 @@
 //! Testbed construction helpers shared by the experiment runners.
 
 use agile_core::{AgileConfig, AgileHost};
-use bam_baseline::{BamConfig, BamHost};
+use bam_baseline::{BamConfig, BamHost, HostBuilder};
 use gpu_sim::GpuConfig;
 
 /// How aggressively the experiments are scaled relative to the paper's
@@ -52,26 +52,20 @@ pub fn experiment_gpu() -> GpuConfig {
 }
 
 /// Build and start an AGILE testbed with `ssd_count` SSDs of
-/// `pages_per_ssd` pages each.
+/// `pages_per_ssd` pages each (flat single-lock topology).
 pub fn agile_testbed(config: AgileConfig, ssd_count: usize, pages_per_ssd: u64) -> AgileHost {
-    let mut host = AgileHost::new(experiment_gpu(), config);
-    for _ in 0..ssd_count {
-        host.add_nvme_dev(pages_per_ssd);
-    }
-    host.init_nvme();
-    host.start_agile();
-    host
+    HostBuilder::agile(config)
+        .gpu(experiment_gpu())
+        .devices(ssd_count, pages_per_ssd)
+        .build()
 }
 
-/// Build and start a BaM testbed with `ssd_count` SSDs.
+/// Build and start a BaM testbed with `ssd_count` SSDs (flat topology).
 pub fn bam_testbed(config: BamConfig, ssd_count: usize, pages_per_ssd: u64) -> BamHost {
-    let mut host = BamHost::new(experiment_gpu(), config);
-    for _ in 0..ssd_count {
-        host.add_nvme_dev(pages_per_ssd);
-    }
-    host.init_nvme();
-    host.start();
-    host
+    HostBuilder::bam(config)
+        .gpu(experiment_gpu())
+        .devices(ssd_count, pages_per_ssd)
+        .build()
 }
 
 #[cfg(test)]

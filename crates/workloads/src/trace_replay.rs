@@ -36,13 +36,18 @@ use bam_baseline::BamCtrl;
 use gpu_sim::{KernelFactory, WarpCtx, WarpKernel, WarpStep};
 use nvme_sim::{DmaHandle, PageToken};
 use parking_lot::Mutex;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Shared accumulator all replay warps record completions into.
+/// Shared accumulator all replay warps record completions into: one
+/// aggregate latency histogram plus one histogram per tenant, so the replay
+/// reports per-tenant p50/p95/p99 next to the aggregate — the measurement a
+/// QoS scheduler will be judged against.
 #[derive(Default)]
 pub struct ReplayCollector {
     latency: Mutex<LatencyHistogram>,
+    tenants: Mutex<BTreeMap<u32, LatencyHistogram>>,
     reads: AtomicU64,
     writes: AtomicU64,
 }
@@ -53,9 +58,15 @@ impl ReplayCollector {
         ReplayCollector::default()
     }
 
-    /// Record one completed op observed `latency_cycles` after its submit.
-    pub fn record(&self, latency_cycles: u64, write: bool) {
+    /// Record one completed op of `tenant` observed `latency_cycles` after
+    /// its submit.
+    pub fn record(&self, tenant: u32, latency_cycles: u64, write: bool) {
         self.latency.lock().record(latency_cycles);
+        self.tenants
+            .lock()
+            .entry(tenant)
+            .or_default()
+            .record(latency_cycles);
         if write {
             self.writes.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -73,9 +84,18 @@ impl ReplayCollector {
         self.writes.load(Ordering::Relaxed)
     }
 
-    /// Snapshot of the latency histogram.
+    /// Snapshot of the aggregate latency histogram.
     pub fn latency(&self) -> LatencyHistogram {
         self.latency.lock().clone()
+    }
+
+    /// Snapshot of the per-tenant latency histograms, ordered by tenant id.
+    pub fn tenant_latencies(&self) -> Vec<(u32, LatencyHistogram)> {
+        self.tenants
+            .lock()
+            .iter()
+            .map(|(&t, h)| (t, h.clone()))
+            .collect()
     }
 }
 
@@ -100,6 +120,11 @@ pub struct TraceReplayParams {
     pub window: usize,
     /// Which I/O path to drive.
     pub path: ReplayPath,
+    /// Route every op through the topology's page-striping layer: the op's
+    /// `(dev, lba)` is folded into one global page index and resolved back
+    /// to a concrete device via `StorageTopology::map_page`. Requires the
+    /// controller to carry a topology (hosts built via `HostBuilder` do).
+    pub stripe: bool,
 }
 
 impl Default for TraceReplayParams {
@@ -108,8 +133,14 @@ impl Default for TraceReplayParams {
             total_warps: 64,
             window: 64,
             path: ReplayPath::Raw,
+            stripe: false,
         }
     }
+}
+
+/// Fold a trace op's `(dev, lba)` into the striped global page space.
+fn global_page(op: &TraceOp, lba_space: u64) -> u64 {
+    op.dev as u64 * lba_space + op.lba
 }
 
 /// One in-flight replayed request.
@@ -118,6 +149,7 @@ struct Inflight {
     issued_at: u64,
     write: bool,
     dev: u32,
+    tenant: u32,
 }
 
 // ---------------------------------------------------------------------------
@@ -160,6 +192,7 @@ struct AgileReplayWarp {
     stride: u64,
     warp_flat: u64,
     window: usize,
+    stripe: bool,
     outstanding: Vec<Inflight>,
 }
 
@@ -168,12 +201,26 @@ impl AgileReplayWarp {
         let collector = &self.collector;
         self.outstanding.retain(|inflight| {
             if inflight.barrier.is_complete() {
-                collector.record(now.raw().saturating_sub(inflight.issued_at), inflight.write);
+                collector.record(
+                    inflight.tenant,
+                    now.raw().saturating_sub(inflight.issued_at),
+                    inflight.write,
+                );
                 false
             } else {
                 true
             }
         });
+    }
+
+    /// Resolve the op's target, optionally through the striping layer.
+    fn target(&self, op: &TraceOp) -> (u32, u64) {
+        if self.stripe {
+            self.ctrl
+                .resolve_page(global_page(op, self.trace.meta.lba_space))
+        } else {
+            (op.dev, op.lba)
+        }
     }
 }
 
@@ -211,21 +258,22 @@ impl WarpKernel for AgileReplayWarp {
                 break;
             }
             let op: TraceOp = ops[self.next as usize];
+            let (dev, lba) = self.target(&op);
             let barrier = Barrier::new();
             let (c, outcome) = if op.write {
                 self.ctrl.raw_write(
                     self.warp_flat,
-                    op.dev,
-                    op.lba,
-                    PageToken(op.lba ^ (op.tenant as u64) << 48),
+                    dev,
+                    lba,
+                    PageToken(lba ^ (op.tenant as u64) << 48),
                     barrier.clone(),
                     ctx.now,
                 )
             } else {
                 self.ctrl.raw_read(
                     self.warp_flat,
-                    op.dev,
-                    op.lba,
+                    dev,
+                    lba,
                     DmaHandle::new(),
                     barrier.clone(),
                     ctx.now,
@@ -243,7 +291,8 @@ impl WarpKernel for AgileReplayWarp {
                         barrier,
                         issued_at: ctx.now.raw(),
                         write: op.write,
-                        dev: op.dev,
+                        dev,
+                        tenant: op.tenant,
                     });
                     self.next += self.stride;
                     issued_now += 1;
@@ -289,6 +338,7 @@ impl KernelFactory for AgileTraceReplayKernel {
                 stride: self.params.total_warps,
                 warp_flat,
                 window: self.params.window.max(1),
+                stripe: self.params.stripe,
                 outstanding: Vec::new(),
             }),
             ReplayPath::Cached => Box::new(AgileCachedReplayWarp {
@@ -298,6 +348,7 @@ impl KernelFactory for AgileTraceReplayKernel {
                 next: warp_flat,
                 stride: self.params.total_warps,
                 warp_flat,
+                stripe: self.params.stripe,
                 batch_reads: Vec::new(),
                 batch_writes: Vec::new(),
                 batch_started: 0,
@@ -320,12 +371,24 @@ struct AgileCachedReplayWarp {
     next: u64,
     stride: u64,
     warp_flat: u64,
-    batch_reads: Vec<(u32, u64)>,
+    stripe: bool,
+    /// Pending reads of the current batch: (device, lba, tenant).
+    batch_reads: Vec<(u32, u64, u32)>,
     batch_writes: Vec<TraceOp>,
     batch_started: u64,
 }
 
 impl AgileCachedReplayWarp {
+    /// Resolve the op's target, optionally through the striping layer.
+    fn target(&self, op: &TraceOp) -> (u32, u64) {
+        if self.stripe {
+            self.ctrl
+                .resolve_page(global_page(op, self.trace.meta.lba_space))
+        } else {
+            (op.dev, op.lba)
+        }
+    }
+
     /// Read targets of the up-to-`lanes` ops after `from` (for prefetch).
     fn lookahead_reads(&self, from: u64, lanes: u32) -> Vec<(u32, u64)> {
         let ops = &self.trace.ops;
@@ -337,7 +400,7 @@ impl AgileCachedReplayWarp {
             }
             let op = ops[idx as usize];
             if !op.write {
-                targets.push((op.dev, op.lba));
+                targets.push(self.target(&op));
             }
             idx += self.stride;
         }
@@ -365,10 +428,15 @@ impl WarpKernel for AgileCachedReplayWarp {
                 if op.write {
                     self.batch_writes.push(op);
                 } else {
-                    self.batch_reads.push((op.dev, op.lba));
+                    let (dev, lba) = self.target(&op);
+                    self.batch_reads.push((dev, lba, op.tenant));
                 }
             }
-            self.batch_started = ctx.now.raw();
+            // Latency is measured from *eligibility* (after the batch's
+            // think time has elapsed), matching the raw path's submit-time
+            // stamp — otherwise bursty traces would fold their idle gaps
+            // into the cached-path percentiles.
+            self.batch_started = ctx.now.raw() + cost.raw();
             // Prefetch the following batch so its fills overlap this one.
             let lookahead = self.lookahead_reads(self.next, ctx.lanes);
             if !lookahead.is_empty() {
@@ -383,14 +451,18 @@ impl WarpKernel for AgileCachedReplayWarp {
         // Retire writes: write-allocate stores, retried until a line frees.
         let mut still_pending = Vec::new();
         for op in std::mem::take(&mut self.batch_writes) {
-            let token = PageToken(op.lba ^ (op.tenant as u64) << 48);
+            let (dev, lba) = self.target(&op);
+            let token = PageToken(lba ^ (op.tenant as u64) << 48);
             let (c, ok) = self
                 .ctrl
-                .write_warp(self.warp_flat, op.dev, op.lba, token, ctx.now);
+                .write_warp(self.warp_flat, dev, lba, token, ctx.now);
             cost += c;
             if ok {
-                self.collector
-                    .record(ctx.now.raw().saturating_sub(self.batch_started), true);
+                self.collector.record(
+                    op.tenant,
+                    ctx.now.raw().saturating_sub(self.batch_started),
+                    true,
+                );
                 retired_any = true;
             } else {
                 still_pending.push(op);
@@ -400,15 +472,18 @@ impl WarpKernel for AgileCachedReplayWarp {
 
         // Retire reads: array-like warp access, retried until the lanes hit.
         if !self.batch_reads.is_empty() {
-            let (c, outcome) = self
-                .ctrl
-                .read_warp(self.warp_flat, &self.batch_reads, ctx.now);
+            let requests: Vec<(u32, u64)> = self
+                .batch_reads
+                .iter()
+                .map(|&(dev, lba, _)| (dev, lba))
+                .collect();
+            let (c, outcome) = self.ctrl.read_warp(self.warp_flat, &requests, ctx.now);
             cost += c;
             let latency = ctx.now.raw().saturating_sub(self.batch_started);
             match outcome {
                 ReadOutcome::Ready(_) => {
-                    for _ in &self.batch_reads {
-                        self.collector.record(latency, false);
+                    for &(_, _, tenant) in &self.batch_reads {
+                        self.collector.record(tenant, latency, false);
                     }
                     self.batch_reads.clear();
                     retired_any = true;
@@ -422,9 +497,9 @@ impl WarpKernel for AgileCachedReplayWarp {
                     let collector = &self.collector;
                     let cache = self.ctrl.cache();
                     let before = self.batch_reads.len();
-                    self.batch_reads.retain(|&(dev, lba)| {
+                    self.batch_reads.retain(|&(dev, lba, tenant)| {
                         if cache.peek(dev, lba).is_some() {
-                            collector.record(latency, false);
+                            collector.record(tenant, latency, false);
                             false
                         } else {
                             true
@@ -489,11 +564,24 @@ struct BamReplayWarp {
     next: u64,
     stride: u64,
     warp_flat: u64,
+    stripe: bool,
     current: Option<Inflight>,
     /// Rotates the polled CQ across steps: a command that fell over to a
     /// neighbouring SQ (§3.3.1) completes on that queue's CQ, and near the
     /// end of a run this warp may be the only thread left to process it.
     poll_rotation: u64,
+}
+
+impl BamReplayWarp {
+    /// Resolve the op's target, optionally through the striping layer.
+    fn target(&self, op: &TraceOp) -> (u32, u64) {
+        if self.stripe {
+            self.ctrl
+                .resolve_page(global_page(op, self.trace.meta.lba_space))
+        } else {
+            (op.dev, op.lba)
+        }
+    }
 }
 
 impl WarpKernel for BamReplayWarp {
@@ -503,6 +591,7 @@ impl WarpKernel for BamReplayWarp {
             if inflight.barrier.is_complete() {
                 let inflight = self.current.take().expect("checked");
                 self.collector.record(
+                    inflight.tenant,
                     ctx.now.raw().saturating_sub(inflight.issued_at),
                     inflight.write,
                 );
@@ -522,22 +611,23 @@ impl WarpKernel for BamReplayWarp {
             return WarpStep::Done;
         }
         let op: TraceOp = ops[self.next as usize];
+        let (dev, lba) = self.target(&op);
         let mut cost = Cycles(0);
         let barrier = Barrier::new();
         let (c, ok) = if op.write {
             self.ctrl.raw_write(
                 self.warp_flat,
-                op.dev,
-                op.lba,
-                PageToken(op.lba ^ (op.tenant as u64) << 48),
+                dev,
+                lba,
+                PageToken(lba ^ (op.tenant as u64) << 48),
                 barrier.clone(),
                 ctx.now,
             )
         } else {
             self.ctrl.raw_read(
                 self.warp_flat,
-                op.dev,
-                op.lba,
+                dev,
+                lba,
                 DmaHandle::new(),
                 barrier.clone(),
                 ctx.now,
@@ -552,18 +642,17 @@ impl WarpKernel for BamReplayWarp {
                 barrier,
                 issued_at: ctx.now.raw(),
                 write: op.write,
-                dev: op.dev,
+                dev,
+                tenant: op.tenant,
             });
             self.next += self.stride;
             WarpStep::Busy(cost.max(Cycles(1)))
         } else {
             // SQs full: only user polling can free entries in BaM.
             self.poll_rotation += 1;
-            let (poll_cost, _) = self.ctrl.poll_once_at(
-                self.warp_flat + self.poll_rotation,
-                op.dev as usize,
-                ctx.now,
-            );
+            let (poll_cost, _) =
+                self.ctrl
+                    .poll_once_at(self.warp_flat + self.poll_rotation, dev as usize, ctx.now);
             WarpStep::Busy((cost + poll_cost).max(Cycles(500)))
         }
     }
@@ -584,6 +673,7 @@ impl KernelFactory for BamTraceReplayKernel {
                 next: warp_flat,
                 stride: self.params.total_warps,
                 warp_flat,
+                stripe: self.params.stripe,
                 current: None,
                 poll_rotation: 0,
             }),
@@ -594,6 +684,7 @@ impl KernelFactory for BamTraceReplayKernel {
                 next: warp_flat,
                 stride: self.params.total_warps,
                 warp_flat,
+                stripe: self.params.stripe,
                 batch_reads: Vec::new(),
                 batch_writes: Vec::new(),
                 batch_started: 0,
@@ -617,11 +708,25 @@ struct BamCachedReplayWarp {
     next: u64,
     stride: u64,
     warp_flat: u64,
-    batch_reads: Vec<(u32, u64)>,
+    stripe: bool,
+    /// Pending reads of the current batch: (device, lba, tenant).
+    batch_reads: Vec<(u32, u64, u32)>,
     batch_writes: Vec<TraceOp>,
     batch_started: u64,
     /// See [`BamReplayWarp::poll_rotation`].
     poll_rotation: u64,
+}
+
+impl BamCachedReplayWarp {
+    /// Resolve the op's target, optionally through the striping layer.
+    fn target(&self, op: &TraceOp) -> (u32, u64) {
+        if self.stripe {
+            self.ctrl
+                .resolve_page(global_page(op, self.trace.meta.lba_space))
+        } else {
+            (op.dev, op.lba)
+        }
+    }
 }
 
 impl WarpKernel for BamCachedReplayWarp {
@@ -643,10 +748,13 @@ impl WarpKernel for BamCachedReplayWarp {
                 if op.write {
                     self.batch_writes.push(op);
                 } else {
-                    self.batch_reads.push((op.dev, op.lba));
+                    let (dev, lba) = self.target(&op);
+                    self.batch_reads.push((dev, lba, op.tenant));
                 }
             }
-            self.batch_started = ctx.now.raw();
+            // Measure latency from eligibility (after the batch's think
+            // time), matching the raw path's submit-time stamp.
+            self.batch_started = ctx.now.raw() + cost.raw();
             return WarpStep::Busy(cost.max(Cycles(1)));
         }
 
@@ -654,14 +762,18 @@ impl WarpKernel for BamCachedReplayWarp {
         let mut retired_any = false;
         let mut still_pending = Vec::new();
         for op in std::mem::take(&mut self.batch_writes) {
-            let token = PageToken(op.lba ^ (op.tenant as u64) << 48);
+            let (dev, lba) = self.target(&op);
+            let token = PageToken(lba ^ (op.tenant as u64) << 48);
             let (c, ok) = self
                 .ctrl
-                .write_warp_sync(self.warp_flat, op.dev, op.lba, token, ctx.now);
+                .write_warp_sync(self.warp_flat, dev, lba, token, ctx.now);
             cost += c;
             if ok {
-                self.collector
-                    .record(ctx.now.raw().saturating_sub(self.batch_started), true);
+                self.collector.record(
+                    op.tenant,
+                    ctx.now.raw().saturating_sub(self.batch_started),
+                    true,
+                );
                 retired_any = true;
             } else {
                 still_pending.push(op);
@@ -670,15 +782,18 @@ impl WarpKernel for BamCachedReplayWarp {
         self.batch_writes = still_pending;
 
         if !self.batch_reads.is_empty() {
-            let (c, ready) = self
-                .ctrl
-                .read_warp_sync(self.warp_flat, &self.batch_reads, ctx.now);
+            let requests: Vec<(u32, u64)> = self
+                .batch_reads
+                .iter()
+                .map(|&(dev, lba, _)| (dev, lba))
+                .collect();
+            let (c, ready) = self.ctrl.read_warp_sync(self.warp_flat, &requests, ctx.now);
             cost += c;
             let latency = ctx.now.raw().saturating_sub(self.batch_started);
             match ready {
                 Some(_) => {
-                    for _ in &self.batch_reads {
-                        self.collector.record(latency, false);
+                    for &(_, _, tenant) in &self.batch_reads {
+                        self.collector.record(tenant, latency, false);
                     }
                     self.batch_reads.clear();
                     retired_any = true;
@@ -689,9 +804,9 @@ impl WarpKernel for BamCachedReplayWarp {
                         let collector = &self.collector;
                         let cache = self.ctrl.cache();
                         let before = self.batch_reads.len();
-                        self.batch_reads.retain(|&(dev, lba)| {
+                        self.batch_reads.retain(|&(dev, lba, tenant)| {
                             if cache.peek(dev, lba).is_some() {
-                                collector.record(latency, false);
+                                collector.record(tenant, latency, false);
                                 false
                             } else {
                                 true
@@ -720,6 +835,22 @@ impl WarpKernel for BamCachedReplayWarp {
         if retired_any {
             WarpStep::Busy(cost.max(Cycles(1)))
         } else {
+            // Blocked writes can be waiting on SQEs that only user polling
+            // recycles (write-backs fill the SQs and nobody else processes
+            // their completions in BaM) — poll before backing off, or a
+            // write-only batch wedges the whole run.
+            if let Some(op) = self.batch_writes.first() {
+                let (dev, _) = self.target(op);
+                self.poll_rotation += 1;
+                let (poll_cost, processed) = self.ctrl.poll_once_at(
+                    self.warp_flat + self.poll_rotation,
+                    dev as usize,
+                    ctx.now,
+                );
+                if processed > 0 {
+                    return WarpStep::Busy((cost + poll_cost).max(Cycles(1)));
+                }
+            }
             // Nothing landed yet; idle-poll backoff (flash is tens of µs
             // away, so probing every few hundred cycles only burns rounds).
             WarpStep::Stall {
@@ -736,14 +867,24 @@ mod tests {
     #[test]
     fn collector_accumulates() {
         let c = ReplayCollector::new();
-        c.record(1_000, false);
-        c.record(2_000, true);
-        c.record(3_000, false);
+        c.record(0, 1_000, false);
+        c.record(1, 2_000, true);
+        c.record(0, 3_000, false);
         assert_eq!(c.reads(), 2);
         assert_eq!(c.writes(), 1);
         let h = c.latency();
         assert_eq!(h.count(), 3);
         assert!(h.p50().unwrap() >= 1_000);
+        let tenants = c.tenant_latencies();
+        assert_eq!(tenants.len(), 2);
+        assert_eq!(tenants[0].0, 0);
+        assert_eq!(tenants[0].1.count(), 2);
+        assert_eq!(tenants[1].1.count(), 1);
+        assert_eq!(
+            tenants.iter().map(|(_, h)| h.count()).sum::<u64>(),
+            h.count(),
+            "per-tenant histograms partition the aggregate"
+        );
     }
 
     #[test]

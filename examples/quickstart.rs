@@ -10,20 +10,21 @@
 
 use agile_repro::agile::config::AgileConfig;
 use agile_repro::agile::kernels::PrefetchComputeKernel;
-use agile_repro::agile::AgileHost;
+use agile_repro::bam::HostBuilder;
 use agile_repro::gpu::{GpuConfig, LaunchConfig};
 
 fn main() {
     // --- Host-side configuration (Listing 1, lines 22-40) ---------------
+    // HostBuilder runs the order-sensitive new → add_nvme_dev → init_nvme →
+    // start_agile sequence internally and returns a started host.
     let config = AgileConfig::paper_default()
         .with_queue_pairs(8)
         .with_queue_depth(64)
         .with_cache_bytes(64 << 20);
-    let mut host = AgileHost::new(GpuConfig::rtx_5000_ada(), config);
-    host.add_nvme_dev(1 << 20); // 4 GiB namespace
-    host.add_nvme_dev(1 << 20);
-    host.init_nvme();
-    host.start_agile();
+    let mut host = HostBuilder::agile(config)
+        .gpu(GpuConfig::rtx_5000_ada())
+        .devices(2, 1 << 20) // two SSDs with 4 GiB namespaces
+        .build();
 
     // --- Device-side kernel (Listing 1, lines 3-20) ---------------------
     let ctrl = host.ctrl();
@@ -41,14 +42,13 @@ fn main() {
     assert!(!report.deadlocked);
     let stats = ctrl.stats();
     let cache = ctrl.cache().stats();
-    let array = host.ssd_array();
     println!("simulated time      : {:.3} ms", report.elapsed_secs * 1e3);
     println!("prefetch calls      : {}", stats.prefetch_calls);
     println!("cache hits / misses : {} / {}", cache.hits, cache.misses);
     println!("warp-coalesced reqs : {}", stats.warp_coalesced);
     println!(
         "bytes read from SSDs: {} MiB",
-        array.lock().total_bytes_read() >> 20
+        host.topology().total_bytes_read() >> 20
     );
     host.stop_agile();
     host.close_nvme();

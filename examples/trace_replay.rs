@@ -70,6 +70,27 @@ fn main() {
         agile_cached.p50_us, bam_cached.p50_us, agile_cached.p99_us, bam_cached.p99_us
     );
 
+    // --- 3c. Storage topology: flat single lock vs sharded ---------------
+    // At 8 SSDs the aggregate NVMe rate exceeds what one array lock can
+    // admit; a ShardedArray (4 lock shards) restores the scaling at the
+    // identical striped data layout.
+    let topo_trace = TraceSpec::uniform("topology-scaling", 42, 8, 1 << 14, 8_192).generate();
+    let flat = run_trace_replay(&topo_trace, ReplaySystem::Agile, &cfg.clone().striped());
+    let sharded_cfg = ReplayConfig {
+        shards: 4,
+        ..cfg.clone().striped()
+    };
+    let sharded = run_trace_replay(&topo_trace, ReplaySystem::Agile, &sharded_cfg);
+    assert!(!flat.deadlocked && !sharded.deadlocked);
+    println!(
+        "topology @8 SSDs: flat {:.0} IOPS (p99 {:.2}us) vs sharded/4 {:.0} IOPS (p99 {:.2}us) — {:.2}x",
+        flat.iops,
+        flat.p99_us,
+        sharded.iops,
+        sharded.p99_us,
+        sharded.iops / flat.iops
+    );
+
     // --- 4. Determinism: same trace + same seed ⇒ byte-identical stats ---
     let again = run_trace_replay(&trace, ReplaySystem::Agile, &cfg);
     assert_eq!(

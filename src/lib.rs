@@ -6,8 +6,10 @@
 //!
 //! * [`agile_core`] (re-exported as [`agile`]) — the AGILE library itself:
 //!   [`agile::AgileHost`], [`agile::AgileCtrl`], the asynchronous device API,
-//!   the AGILE service and the SQE/doorbell protocol;
-//! * [`bam`] — the synchronous GPU-centric baseline (BaM model);
+//!   the AGILE service, the SQE/doorbell protocol and the common
+//!   [`agile::GpuStorageHost`] host trait;
+//! * [`bam`] — the synchronous GPU-centric baseline (BaM model) and the
+//!   unified [`bam::HostBuilder`] that constructs either system's host;
 //! * [`workloads`] — the paper's evaluation workloads and the per-figure
 //!   experiment runners;
 //! * [`trace`] — I/O trace capture, versioned serialization, synthetic

@@ -5,19 +5,16 @@
 use agile_repro::agile::config::AgileConfig;
 use agile_repro::agile::kernels::{AsyncReadModifyWriteKernel, PrefetchComputeKernel};
 use agile_repro::agile::AgileHost;
-use agile_repro::bam::{BamConfig, BamHost, NaiveAsyncKernel};
+use agile_repro::bam::{BamConfig, HostBuilder, NaiveAsyncKernel};
 use agile_repro::gpu::{GpuConfig, LaunchConfig};
 use agile_repro::nvme::PageToken;
 use agile_repro::sim::Cycles;
 
 fn small_host(devices: usize) -> AgileHost {
-    let mut host = AgileHost::new(GpuConfig::tiny(4), AgileConfig::small_test());
-    for _ in 0..devices {
-        host.add_nvme_dev(1 << 18);
-    }
-    host.init_nvme();
-    host.start_agile();
-    host
+    HostBuilder::agile(AgileConfig::small_test())
+        .gpu(GpuConfig::tiny(4))
+        .devices(devices, 1 << 18)
+        .build()
 }
 
 #[test]
@@ -54,11 +51,8 @@ fn async_read_modify_write_updates_ssd_contents() {
         Box::new(AsyncReadModifyWriteKernel::new(ctrl.clone(), 3, 4096)),
     );
     assert!(!report.deadlocked);
-    let array = host.ssd_array();
-    let (reads, writes) = {
-        let arr = array.lock();
-        (arr.total_bytes_read(), arr.total_bytes_written())
-    };
+    let topology = host.topology();
+    let (reads, writes) = (topology.total_bytes_read(), topology.total_bytes_written());
     assert!(reads > 0, "kernel must have read from the SSD");
     assert!(writes > 0, "kernel must have written back to the SSD");
     // Written pages carry the modified token (old XOR mask), not pristine data.
@@ -79,15 +73,14 @@ fn naive_async_deadlocks_on_bam_but_agile_completes_the_same_load() {
     let requests_per_warp = 64;
 
     // BaM-style protocol without completion processing: deadlock.
-    let mut bam = BamHost::new(
-        GpuConfig::tiny(2),
+    let mut bam = HostBuilder::bam(
         BamConfig::small_test()
             .with_queue_pairs(1)
             .with_queue_depth(32),
-    );
-    bam.add_nvme_dev(1 << 20);
-    bam.init_nvme();
-    bam.start();
+    )
+    .gpu(GpuConfig::tiny(2))
+    .devices(1, 1 << 20)
+    .build();
     bam.engine_mut().set_deadlock_window(Cycles(2_000_000));
     let bam_ctrl = bam.ctrl();
     let report = bam.run_kernel(
@@ -101,10 +94,10 @@ fn naive_async_deadlocks_on_bam_but_agile_completes_the_same_load() {
     let config = AgileConfig::small_test()
         .with_queue_pairs(1)
         .with_queue_depth(32);
-    let mut agile = AgileHost::new(GpuConfig::tiny(2), config);
-    agile.add_nvme_dev(1 << 20);
-    agile.init_nvme();
-    agile.start_agile();
+    let mut agile = HostBuilder::agile(config)
+        .gpu(GpuConfig::tiny(2))
+        .devices(1, 1 << 20)
+        .build();
     let ctrl = agile.ctrl();
     let report = agile.run_kernel(
         LaunchConfig::new(4, 64).with_registers(40),

@@ -1,0 +1,105 @@
+//! Golden-trace regression suite.
+//!
+//! Small binary traces are checked into `tests/data/`, together with the
+//! expected replay summaries (`golden_summaries.txt`). Replay is fully
+//! deterministic, so the summaries must stay **byte-identical across PRs**;
+//! any diff here is a behavioural change of the I/O stack (cost model,
+//! queue protocol, cache policy, scheduling) and must be intentional.
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```text
+//! cargo test --test golden_traces -- --ignored regenerate --nocapture
+//! ```
+
+use agile_repro::trace::{Trace, TraceSpec};
+use agile_repro::workloads::experiments::trace_replay::{
+    run_trace_replay, ReplayConfig, ReplaySystem,
+};
+use std::path::{Path, PathBuf};
+
+fn data_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/data")
+}
+
+/// The golden workloads: (file stem, generator). Small enough to replay in
+/// debug mode in seconds, diverse enough to cover the uniform, skewed and
+/// multi-tenant shapes.
+fn golden_specs() -> Vec<(&'static str, TraceSpec)> {
+    vec![
+        (
+            "golden_uniform",
+            TraceSpec::uniform("golden-uniform", 101, 2, 1 << 12, 512),
+        ),
+        (
+            "golden_zipf",
+            TraceSpec::zipfian("golden-zipf", 202, 2, 1 << 12, 512, 0.99),
+        ),
+        (
+            "golden_multi_tenant",
+            TraceSpec::multi_tenant("golden-mt", 303, 2, 1 << 12, 512),
+        ),
+    ]
+}
+
+/// Replay one golden trace on both systems and return the summary lines.
+fn replay_summaries(stem: &str, trace: &Trace) -> Vec<String> {
+    let cfg = ReplayConfig::quick();
+    let mut lines = Vec::new();
+    for system in [ReplaySystem::Agile, ReplaySystem::Bam] {
+        let report = run_trace_replay(trace, system, &cfg);
+        assert!(!report.deadlocked, "{stem} deadlocked on {system:?}");
+        lines.push(format!("{stem} {}", report.summary()));
+    }
+    lines
+}
+
+#[test]
+fn golden_traces_replay_byte_identically() {
+    let dir = data_dir();
+    let expected = std::fs::read_to_string(dir.join("golden_summaries.txt"))
+        .expect("tests/data/golden_summaries.txt is checked in");
+    let mut actual = String::new();
+    for (stem, spec) in golden_specs() {
+        let bytes = std::fs::read(dir.join(format!("{stem}.trace")))
+            .unwrap_or_else(|e| panic!("tests/data/{stem}.trace is checked in: {e}"));
+        let trace = Trace::from_bytes(&bytes).expect("golden trace parses");
+        // The checked-in binary must match its generator (no drift in the
+        // synthetic generators or the wire format).
+        assert_eq!(
+            trace,
+            spec.generate(),
+            "{stem}: generator or format drifted from the checked-in binary"
+        );
+        for line in replay_summaries(stem, &trace) {
+            actual.push_str(&line);
+            actual.push('\n');
+        }
+    }
+    assert_eq!(
+        actual, expected,
+        "replay summaries drifted from tests/data/golden_summaries.txt — \
+         if intentional, regenerate with: \
+         cargo test --test golden_traces -- --ignored regenerate --nocapture"
+    );
+}
+
+/// Regenerates the golden binaries and the expected-summary file.
+#[test]
+#[ignore = "writes tests/data — run explicitly to regenerate"]
+fn regenerate() {
+    let dir = data_dir();
+    std::fs::create_dir_all(&dir).expect("create tests/data");
+    let mut summaries = String::new();
+    for (stem, spec) in golden_specs() {
+        let trace = spec.generate();
+        std::fs::write(dir.join(format!("{stem}.trace")), trace.to_bytes())
+            .expect("write golden trace");
+        for line in replay_summaries(stem, &trace) {
+            summaries.push_str(&line);
+            summaries.push('\n');
+        }
+    }
+    std::fs::write(dir.join("golden_summaries.txt"), &summaries).expect("write summaries");
+    println!("regenerated tests/data:\n{summaries}");
+}

@@ -36,7 +36,7 @@ fn bfs_through_agile_matches_reference() {
     assert!(levels > 1);
     // The traversal really pulled adjacency pages off the SSD.
     assert!(ctrl.cache().stats().misses > 0);
-    assert!(host.ssd_array().lock().total_bytes_read() > 0);
+    assert!(host.topology().total_bytes_read() > 0);
 }
 
 #[test]

@@ -1,0 +1,82 @@
+//! Property tests for the storage-topology striping layer: the flat and
+//! sharded topologies must expose the *same* bijective global page space
+//! (only the lock partitioning differs), and a one-shard `ShardedArray`
+//! must replay a trace bit-identically to the `FlatArray`.
+
+use agile_repro::nvme::{FlatArray, ShardedArray, StorageTopology};
+use agile_repro::trace::TraceSpec;
+use agile_repro::workloads::experiments::trace_replay::{
+    run_trace_replay, ReplayConfig, ReplaySystem,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Flat and sharded topologies map every global page to the identical
+    /// (device, local page), and the mapping is invertible.
+    #[test]
+    fn flat_and_sharded_map_the_same_page_space(
+        devices in 1usize..12,
+        shards in 1usize..8,
+        pages in proptest::collection::vec(any::<u32>(), 1..64),
+    ) {
+        let flat = FlatArray::new(devices);
+        let sharded = ShardedArray::new(devices, shards);
+        prop_assert_eq!(flat.device_count(), sharded.device_count());
+        for &p in &pages {
+            let g = p as u64;
+            let f = flat.map_page(g);
+            let s = sharded.map_page(g);
+            // Identical data layout regardless of lock partitioning.
+            prop_assert_eq!((f.device, f.page), (s.device, s.page));
+            // Shard assignment is consistent with the owning device.
+            prop_assert_eq!(s.shard as usize, sharded.shard_of(s.device as usize));
+            prop_assert_eq!(f.shard, 0);
+            // The mapping is invertible: (device, page) → g.
+            prop_assert_eq!(s.page * devices as u64 + s.device as u64, g);
+            prop_assert!((s.device as usize) < devices);
+        }
+    }
+
+    /// Striping is a bijection over a dense prefix of the global page space:
+    /// no two global pages collide on (device, local page).
+    #[test]
+    fn striping_is_bijective_over_dense_ranges(
+        devices in 1usize..9,
+        shards in 1usize..5,
+        span in 1u64..512,
+    ) {
+        let topo = ShardedArray::new(devices, shards);
+        let mut seen = std::collections::HashSet::new();
+        for g in 0..span {
+            let loc = topo.map_page(g);
+            prop_assert!(seen.insert((loc.device, loc.page)), "collision at {}", g);
+        }
+        prop_assert_eq!(seen.len() as u64, span);
+    }
+}
+
+#[test]
+fn sharded_one_replays_identically_to_flat_on_both_systems() {
+    // Equal device count, striped layout, one lock shard: per-op results —
+    // and therefore the whole summary — must be bit-identical.
+    let trace = TraceSpec::multi_tenant("striping-ident", 21, 3, 1 << 12, 512).generate();
+    let flat_cfg = ReplayConfig::quick().striped();
+    let sharded_cfg = ReplayConfig {
+        shards: 1,
+        ..ReplayConfig::quick().striped()
+    };
+    for system in [ReplaySystem::Agile, ReplaySystem::Bam] {
+        let flat = run_trace_replay(&trace, system, &flat_cfg);
+        let sharded = run_trace_replay(&trace, system, &sharded_cfg);
+        assert!(!flat.deadlocked);
+        assert_eq!(flat.ops, trace.ops.len() as u64);
+        assert_eq!(
+            flat.summary().replace("shards=0", "shards=1"),
+            sharded.summary(),
+            "{:?}: shards=1 must equal the flat array",
+            system
+        );
+    }
+}

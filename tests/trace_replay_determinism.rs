@@ -97,15 +97,15 @@ fn cache_path_records_through_the_same_hook() {
     // sink on a cache-heavy workload must observe cache events.
     use agile_repro::agile::config::AgileConfig;
     use agile_repro::agile::kernels::PrefetchComputeKernel;
-    use agile_repro::agile::AgileHost;
+    use agile_repro::bam::HostBuilder;
     use agile_repro::gpu::{GpuConfig, LaunchConfig};
 
-    let mut host = AgileHost::new(GpuConfig::tiny(4), AgileConfig::small_test());
-    host.add_nvme_dev(1 << 16);
-    host.init_nvme();
     let sink = Arc::new(CountingSink::new());
-    assert!(host.set_trace_sink(sink.clone() as Arc<_>));
-    host.start_agile();
+    let mut host = HostBuilder::agile(AgileConfig::small_test())
+        .gpu(GpuConfig::tiny(4))
+        .devices(1, 1 << 16)
+        .trace_sink(sink.clone() as Arc<_>)
+        .build();
     let ctrl = host.ctrl();
     let report = host.run_kernel(
         LaunchConfig::new(2, 64).with_registers(32),

@@ -137,7 +137,9 @@ fn captured_events_become_replayable_ops() {
     let trace = Trace::from_events("cap", &events);
     assert_eq!(trace.ops.len(), 2, "only submits become ops");
     assert_eq!(trace.ops[0].gap, 1_000);
-    assert_eq!(trace.ops[1].gap, 4_000);
+    // Gaps are reconstructed per tenant: tenant 2's first submit is paced
+    // from capture start, not from tenant 1's submit.
+    assert_eq!(trace.ops[1].gap, 5_000);
     assert_eq!(trace.meta.devices, 2);
     assert!(trace.ops[1].write);
 }
