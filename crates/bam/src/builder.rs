@@ -30,6 +30,7 @@ use crate::ctrl::BamConfig;
 use crate::host::BamHost;
 use agile_core::config::AgileConfig;
 use agile_core::host::{AgileHost, GpuStorageHost};
+use agile_core::qos::QosPolicy;
 use agile_sim::trace::TraceSink;
 use gpu_sim::GpuConfig;
 use nvme_sim::PageBacking;
@@ -72,6 +73,7 @@ pub struct HostBuilder<S: HostSystem> {
     devices: Vec<DeviceSpec>,
     shards: usize,
     sink: Option<Arc<dyn TraceSink>>,
+    qos: Option<Arc<dyn QosPolicy>>,
 }
 
 impl HostBuilder<AgileSystem> {
@@ -83,6 +85,7 @@ impl HostBuilder<AgileSystem> {
             devices: Vec::new(),
             shards: 0,
             sink: None,
+            qos: None,
         }
     }
 }
@@ -96,6 +99,7 @@ impl HostBuilder<BamSystem> {
             devices: Vec::new(),
             shards: 0,
             sink: None,
+            qos: None,
         }
     }
 }
@@ -145,6 +149,14 @@ impl<S: HostSystem> HostBuilder<S> {
         self.sink = Some(sink);
         self
     }
+
+    /// Install a QoS policy ([`agile_core::qos::QosPolicy`]) arbitrating
+    /// tenant-attributed SQ admission, before the first kernel runs. Without
+    /// this call the stack schedules FIFO (pre-QoS behaviour, bit-for-bit).
+    pub fn qos(mut self, policy: Arc<dyn QosPolicy>) -> Self {
+        self.qos = Some(policy);
+        self
+    }
 }
 
 impl HostBuilder<AgileSystem> {
@@ -168,6 +180,9 @@ impl HostBuilder<AgileSystem> {
         host.init_nvme();
         if let Some(sink) = self.sink {
             host.set_trace_sink(sink);
+        }
+        if let Some(qos) = self.qos {
+            host.set_qos_policy(qos);
         }
         host.start_agile();
         host
@@ -195,6 +210,9 @@ impl HostBuilder<BamSystem> {
         host.init_nvme();
         if let Some(sink) = self.sink {
             host.set_trace_sink(sink);
+        }
+        if let Some(qos) = self.qos {
+            host.set_qos_policy(qos);
         }
         host.start();
         host
@@ -269,5 +287,22 @@ mod tests {
     #[should_panic(expected = "at least one device")]
     fn refuses_to_build_without_devices() {
         let _ = HostBuilder::agile(AgileConfig::small_test()).build();
+    }
+
+    #[test]
+    fn qos_policy_is_installed_on_both_systems() {
+        use agile_core::qos::WeightedFair;
+        let host = HostBuilder::agile(AgileConfig::small_test())
+            .gpu(GpuConfig::tiny(1))
+            .devices(1, 1 << 12)
+            .qos(Arc::new(WeightedFair::from_weights(&[3, 1])))
+            .build();
+        assert_eq!(host.ctrl().qos_policy().expect("installed").name(), "wfq");
+        let bam = HostBuilder::bam(BamConfig::small_test())
+            .gpu(GpuConfig::tiny(1))
+            .devices(1, 1 << 12)
+            .qos(Arc::new(WeightedFair::new()))
+            .build();
+        assert_eq!(bam.ctrl().qos_policy().expect("installed").name(), "wfq");
     }
 }

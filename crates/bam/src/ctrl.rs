@@ -11,6 +11,7 @@
 
 use agile_cache::{CacheConfig, CacheLookup, ClockPolicy, SoftwareCache};
 use agile_core::coalesce::coalesce_warp;
+use agile_core::qos::{QosDecision, QosPolicy};
 use agile_core::sq_protocol::AgileSq;
 use agile_core::transaction::{Barrier, Transaction};
 use agile_sim::costs::CostModel;
@@ -92,6 +93,8 @@ pub struct BamStats {
     pub completions: u64,
     /// Times every targeted SQ was full.
     pub sq_full_retries: u64,
+    /// Tenant submissions deferred by the QoS admission gate.
+    pub qos_deferrals: u64,
     /// Cycles charged for cache work.
     pub cache_cycles: u64,
     /// Cycles charged for issue + polling work.
@@ -107,6 +110,7 @@ struct StatCells {
     poll_iterations: AtomicU64,
     completions: AtomicU64,
     sq_full_retries: AtomicU64,
+    qos_deferrals: AtomicU64,
     cache_cycles: AtomicU64,
     io_cycles: AtomicU64,
 }
@@ -130,6 +134,10 @@ pub struct BamCtrl {
     /// Optional trace recorder (same hook as the AGILE controller, so replay
     /// comparisons capture both systems identically).
     trace: OnceLock<Arc<dyn TraceSink>>,
+    /// Optional QoS policy on the tenant-attributed submission path — the
+    /// same hook as the AGILE controller, so AGILE-vs-BaM comparisons under a
+    /// scheduler stay apples-to-apples. Absent ⇒ FIFO.
+    qos: OnceLock<Arc<dyn QosPolicy>>,
 }
 
 impl BamCtrl {
@@ -189,7 +197,28 @@ impl BamCtrl {
             cq_cursors,
             stats: StatCells::default(),
             trace: OnceLock::new(),
+            qos: OnceLock::new(),
         }
+    }
+
+    /// Install a QoS policy on the tenant-attributed submission path (the
+    /// `*_as` entry points), bound to the controller's total SQ-slot
+    /// capacity. Returns `false` if one was already installed (the first one
+    /// wins). Mirrors [`agile_core::AgileCtrl::set_qos_policy`].
+    pub fn set_qos_policy(&self, policy: Arc<dyn QosPolicy>) -> bool {
+        let total_slots: u64 = self
+            .queues
+            .iter()
+            .flat_map(|qs| qs.iter())
+            .map(|sq| sq.depth() as u64)
+            .sum();
+        policy.bind(total_slots);
+        self.qos.set(policy).is_ok()
+    }
+
+    /// The installed QoS policy, if any.
+    pub fn qos_policy(&self) -> Option<&Arc<dyn QosPolicy>> {
+        self.qos.get()
     }
 
     /// Install a trace sink on the submit path, the user-thread completion
@@ -243,6 +272,7 @@ impl BamCtrl {
             poll_iterations: s.poll_iterations.load(Ordering::Relaxed),
             completions: s.completions.load(Ordering::Relaxed),
             sq_full_retries: s.sq_full_retries.load(Ordering::Relaxed),
+            qos_deferrals: s.qos_deferrals.load(Ordering::Relaxed),
             cache_cycles: s.cache_cycles.load(Ordering::Relaxed),
             io_cycles: s.io_cycles.load(Ordering::Relaxed),
         }
@@ -253,10 +283,64 @@ impl BamCtrl {
         &self.queues[dev]
     }
 
+    /// System-traffic issue path (cache fills and dirty-victim write-backs):
+    /// bypasses the QoS gate for the same reason as
+    /// [`agile_core::AgileCtrl::issue_to_device`] — deferring a write-back
+    /// would force `abort_fill` and drop the dirty snapshot.
     fn issue(
         &self,
         dev: usize,
         warp: u64,
+        build: impl Fn(u16) -> NvmeCommand,
+        txn: Transaction,
+        now: Cycles,
+    ) -> (Cycles, bool) {
+        self.issue_inner(dev, warp, warp as u32, build, txn, now)
+    }
+
+    /// Tenant-attributed issue path, arbitrated by the installed
+    /// [`QosPolicy`] (when any). A deferral pays one probe and reports
+    /// failure exactly like an SQ-full outcome; an admission that then finds
+    /// every SQ full is refunded.
+    fn issue_as(
+        &self,
+        dev: usize,
+        warp: u64,
+        tenant: u32,
+        build: impl Fn(u16) -> NvmeCommand,
+        txn: Transaction,
+        now: Cycles,
+    ) -> (Cycles, bool) {
+        if let Some(qos) = self.qos.get() {
+            let decision = agile_core::qos::gate_admission(
+                qos.as_ref(),
+                tenant,
+                dev as u32,
+                now,
+                self.trace.get(),
+            );
+            if decision == QosDecision::Defer {
+                let cost = Cycles(self.cfg.costs.gpu.poll_iteration);
+                self.stats.qos_deferrals.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .io_cycles
+                    .fetch_add(cost.raw(), Ordering::Relaxed);
+                return (cost, false);
+            }
+            let (cost, ok) = self.issue_inner(dev, warp, tenant, build, txn, now);
+            if !ok {
+                qos.refund(tenant);
+            }
+            return (cost, ok);
+        }
+        self.issue_inner(dev, warp, tenant, build, txn, now)
+    }
+
+    fn issue_inner(
+        &self,
+        dev: usize,
+        warp: u64,
+        tenant: u32,
         build: impl Fn(u16) -> NvmeCommand,
         txn: Transaction,
         now: Cycles,
@@ -291,7 +375,7 @@ impl BamCtrl {
                             TraceEvent::new(TraceEventKind::Submit, now.raw())
                                 .target(dev as u32, cmd.slba)
                                 .queue(qid, receipt.cid)
-                                .tenant(warp as u32)
+                                .tenant(tenant)
                                 .write(cmd.opcode == Opcode::Write),
                         );
                         if receipt.rang_doorbell {
@@ -299,7 +383,7 @@ impl BamCtrl {
                                 TraceEvent::new(TraceEventKind::Doorbell, now.raw())
                                     .target(dev as u32, cmd.slba)
                                     .queue(qid, receipt.cid)
-                                    .tenant(warp as u32),
+                                    .tenant(tenant),
                             );
                         }
                     }
@@ -458,8 +542,19 @@ impl BamCtrl {
                         s.mark_ready();
                     }
                 }
-                Transaction::UserWrite { barrier } | Transaction::Raw { barrier, .. } => {
-                    barrier.complete()
+                Transaction::UserWrite { barrier } => barrier.complete(),
+                Transaction::Raw {
+                    barrier,
+                    qos_tenant,
+                    ..
+                } => {
+                    barrier.complete();
+                    // Return the in-flight QoS credit to the scheduler.
+                    if let Some(tenant) = qos_tenant {
+                        if let Some(qos) = self.qos.get() {
+                            qos.on_complete(tenant);
+                        }
+                    }
                 }
             }
             cq.consume(1);
@@ -540,7 +635,9 @@ impl BamCtrl {
     }
 
     /// Issue a raw (cache-bypassing) read; the caller polls until `barrier`
-    /// completes. Used by micro-benchmarks comparing raw sync I/O.
+    /// completes. Used by micro-benchmarks comparing raw sync I/O. The warp's
+    /// flat index doubles as the tenant id for QoS arbitration; multi-tenant
+    /// workloads use [`BamCtrl::raw_read_as`].
     pub fn raw_read(
         &self,
         warp: u64,
@@ -550,18 +647,42 @@ impl BamCtrl {
         barrier: Barrier,
         now: Cycles,
     ) -> (Cycles, bool) {
-        self.issue(
+        self.raw_read_as(warp, warp as u32, dev, lba, dma, barrier, now)
+    }
+
+    /// [`BamCtrl::raw_read`] with an explicit tenant identity, arbitrated by
+    /// the installed QoS policy and stamped with `tenant` in trace capture.
+    #[allow(clippy::too_many_arguments)]
+    pub fn raw_read_as(
+        &self,
+        warp: u64,
+        tenant: u32,
+        dev: u32,
+        lba: Lba,
+        dma: DmaHandle,
+        barrier: Barrier,
+        now: Cycles,
+    ) -> (Cycles, bool) {
+        let qos_tenant = self.qos.get().map(|_| tenant);
+        self.issue_as(
             dev as usize,
             warp,
+            tenant,
             |cid| NvmeCommand::read(cid, lba, dma.clone()),
-            Transaction::Raw { barrier, lba },
+            Transaction::Raw {
+                barrier,
+                lba,
+                qos_tenant,
+            },
             now,
         )
     }
 
     /// Issue a raw (cache-bypassing) write of `token`; the caller polls until
     /// `barrier` completes. Mirrors [`agile_core::AgileCtrl::raw_write`] so
-    /// trace replay drives both systems with the same op stream.
+    /// trace replay drives both systems with the same op stream. The warp's
+    /// flat index doubles as the tenant id for QoS arbitration; multi-tenant
+    /// workloads use [`BamCtrl::raw_write_as`].
     pub fn raw_write(
         &self,
         warp: u64,
@@ -571,12 +692,34 @@ impl BamCtrl {
         barrier: Barrier,
         now: Cycles,
     ) -> (Cycles, bool) {
+        self.raw_write_as(warp, warp as u32, dev, lba, token, barrier, now)
+    }
+
+    /// [`BamCtrl::raw_write`] with an explicit tenant identity, arbitrated by
+    /// the installed QoS policy and stamped with `tenant` in trace capture.
+    #[allow(clippy::too_many_arguments)]
+    pub fn raw_write_as(
+        &self,
+        warp: u64,
+        tenant: u32,
+        dev: u32,
+        lba: Lba,
+        token: PageToken,
+        barrier: Barrier,
+        now: Cycles,
+    ) -> (Cycles, bool) {
         let dma = DmaHandle::with_token(token);
-        self.issue(
+        let qos_tenant = self.qos.get().map(|_| tenant);
+        self.issue_as(
             dev as usize,
             warp,
+            tenant,
             |cid| NvmeCommand::write(cid, lba, dma.clone()),
-            Transaction::Raw { barrier, lba },
+            Transaction::Raw {
+                barrier,
+                lba,
+                qos_tenant,
+            },
             now,
         )
     }

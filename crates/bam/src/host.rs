@@ -8,6 +8,7 @@
 
 use crate::ctrl::{BamConfig, BamCtrl};
 use agile_core::host::{GpuStorageHost, SsdBridge};
+use agile_core::qos::QosPolicy;
 use agile_sim::trace::TraceSink;
 use agile_sim::Cycles;
 use gpu_sim::{occupancy, Engine, ExecutionReport, GpuConfig, KernelFactory, LaunchConfig};
@@ -110,6 +111,13 @@ impl BamHost {
         ctrl_fresh && dev_fresh
     }
 
+    /// Install a QoS policy on the controller's tenant-attributed submission
+    /// path, mirroring [`agile_core::host::AgileHost::set_qos_policy`]. Call
+    /// after [`BamHost::init_nvme`]; the first policy installed wins.
+    pub fn set_qos_policy(&self, policy: Arc<dyn QosPolicy>) -> bool {
+        self.ctrl().set_qos_policy(policy)
+    }
+
     /// The shared storage topology.
     pub fn topology(&self) -> Arc<dyn StorageTopology> {
         Arc::clone(self.topology.as_ref().expect("init_nvme not called"))
@@ -161,6 +169,9 @@ impl GpuStorageHost for BamHost {
     }
     fn set_trace_sink(&self, sink: Arc<dyn TraceSink>) -> bool {
         BamHost::set_trace_sink(self, sink)
+    }
+    fn set_qos_policy(&self, policy: Arc<dyn QosPolicy>) -> bool {
+        BamHost::set_qos_policy(self, policy)
     }
     fn topology(&self) -> Arc<dyn StorageTopology> {
         BamHost::topology(self)

@@ -6,11 +6,16 @@
 //! would see, not just aggregate bandwidth. A second section compares the
 //! storage topologies at equal device count — the single-lock `FlatArray`
 //! against a `ShardedArray` (4 lock shards) — where the flat array's
-//! submission lock caps throughput and sharding restores the scaling.
+//! submission lock caps throughput and sharding restores the scaling. A
+//! third section evaluates the QoS scheduler on a 9:1 noisy-neighbour mix
+//! over saturated SQs: the victim tenant's p99 must improve under
+//! `WeightedFair` without collapsing aggregate IOPS.
 
 use agile_bench::{print_header, print_row, quick_mode};
 use agile_trace::TraceSpec;
-use agile_workloads::experiments::trace_replay::{run_trace_replay, ReplayConfig, ReplaySystem};
+use agile_workloads::experiments::trace_replay::{
+    run_trace_replay, QosSpec, ReplayConfig, ReplaySystem,
+};
 use agile_workloads::trace_replay::ReplayPath;
 
 fn main() {
@@ -80,6 +85,44 @@ fn main() {
                 ("p99_us", format!("{:.2}", r.p99_us)),
                 ("iops", format!("{:.0}", r.iops)),
                 ("gbps", format!("{:.3}", r.gbps)),
+                ("deadlocked", r.deadlocked.to_string()),
+            ]);
+        }
+    }
+
+    print_header(
+        "QoS scheduling",
+        "9:1 noisy-neighbour mix, 2 tenants, saturated SQs — FIFO vs weighted fair queueing",
+    );
+    let qos_ops: u64 = if quick_mode() { 4_096 } else { 16_384 };
+    let trace = TraceSpec::noisy_neighbor("noisy-neighbor", seed, 2, 1 << 12, qos_ops).generate();
+    // Few queue resources + demand-proportional tenant warps ⇒ the noisy
+    // tenant keeps every SQ saturated and the victim's tail shows it.
+    let contended = ReplayConfig {
+        total_warps: 32,
+        window: 32,
+        queue_pairs: 2,
+        queue_depth: 32,
+        ..ReplayConfig::quick()
+    }
+    .tenant_partitioned();
+    for system in [ReplaySystem::Agile, ReplaySystem::Bam] {
+        for qos in [QosSpec::Fifo, QosSpec::WeightedFair(vec![1, 1])] {
+            let cfg = ReplayConfig {
+                qos: qos.clone(),
+                ..contended.clone()
+            };
+            let r = run_trace_replay(&trace, system, &cfg);
+            let victim = &r.tenants[1];
+            let noisy = &r.tenants[0];
+            print_row(&[
+                ("system", r.system.to_string()),
+                ("qos", r.qos.to_string()),
+                ("ops", r.ops.to_string()),
+                ("noisy_p99_us", format!("{:.2}", noisy.p99_us)),
+                ("victim_p50_us", format!("{:.2}", victim.p50_us)),
+                ("victim_p99_us", format!("{:.2}", victim.p99_us)),
+                ("iops", format!("{:.0}", r.iops)),
                 ("deadlocked", r.deadlocked.to_string()),
             ]);
         }

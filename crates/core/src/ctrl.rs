@@ -27,6 +27,7 @@
 use crate::coalesce::coalesce_warp;
 use crate::config::{AgileConfig, CachePolicyKind};
 use crate::lockchain::LockRegistry;
+use crate::qos::{QosDecision, QosPolicy};
 use crate::sq_protocol::AgileSq;
 use crate::transaction::{AgileBuf, Barrier, Transaction};
 use agile_cache::{
@@ -84,6 +85,8 @@ pub struct ApiStats {
     pub cache_coalesced: u64,
     /// Times every targeted SQ was full and the caller had to retry.
     pub sq_full_retries: u64,
+    /// Tenant submissions deferred by the QoS admission gate.
+    pub qos_deferrals: u64,
     /// Write-backs of dirty evicted lines.
     pub writebacks: u64,
     /// Cycles charged for cache-management work.
@@ -103,6 +106,7 @@ struct ApiStatCells {
     warp_coalesced: AtomicU64,
     cache_coalesced: AtomicU64,
     sq_full_retries: AtomicU64,
+    qos_deferrals: AtomicU64,
     writebacks: AtomicU64,
     cache_cycles: AtomicU64,
     io_cycles: AtomicU64,
@@ -129,6 +133,9 @@ pub struct AgileCtrl {
     stats: ApiStatCells,
     /// Optional trace recorder for the submit/doorbell/completion paths.
     trace: OnceLock<Arc<dyn TraceSink>>,
+    /// Optional QoS policy arbitrating tenant-attributed SQ admission.
+    /// Absent ⇒ FIFO (pre-QoS behaviour, bit-for-bit).
+    qos: OnceLock<Arc<dyn QosPolicy>>,
 }
 
 fn build_policy(kind: CachePolicyKind) -> Box<dyn CachePolicy> {
@@ -190,7 +197,30 @@ impl AgileCtrl {
             stop_service: AtomicBool::new(false),
             stats: ApiStatCells::default(),
             trace: OnceLock::new(),
+            qos: OnceLock::new(),
         }
+    }
+
+    /// Install a QoS policy on the tenant-attributed submission path (the
+    /// `*_as` entry points). The policy is bound to the controller's total
+    /// SQ-slot capacity so occupancy-tracking schedulers can size their
+    /// shares. Returns `false` if one was already installed (the first one
+    /// wins). Without a policy — or with [`crate::qos::Fifo`] — admission
+    /// behaves exactly as before this subsystem existed.
+    pub fn set_qos_policy(&self, policy: Arc<dyn QosPolicy>) -> bool {
+        let total_slots: u64 = self
+            .devices
+            .iter()
+            .flat_map(|d| d.sqs.iter())
+            .map(|sq| sq.depth() as u64)
+            .sum();
+        policy.bind(total_slots);
+        self.qos.set(policy).is_ok()
+    }
+
+    /// The installed QoS policy, if any.
+    pub fn qos_policy(&self) -> Option<&Arc<dyn QosPolicy>> {
+        self.qos.get()
     }
 
     /// Install a trace sink on the controller's submit/doorbell path and the
@@ -268,6 +298,7 @@ impl AgileCtrl {
             warp_coalesced: s.warp_coalesced.load(Ordering::Relaxed),
             cache_coalesced: s.cache_coalesced.load(Ordering::Relaxed),
             sq_full_retries: s.sq_full_retries.load(Ordering::Relaxed),
+            qos_deferrals: s.qos_deferrals.load(Ordering::Relaxed),
             writebacks: s.writebacks.load(Ordering::Relaxed),
             cache_cycles: s.cache_cycles.load(Ordering::Relaxed),
             io_cycles: s.io_cycles.load(Ordering::Relaxed),
@@ -281,10 +312,64 @@ impl AgileCtrl {
     /// Issue `cmd` to device `dev`, starting from the SQ selected by the
     /// calling thread's index and falling over to the next SQ when one is
     /// full (§3.3.1). Returns the extra cycles spent and whether it succeeded.
+    ///
+    /// This entry point **bypasses the QoS admission gate**: it carries no
+    /// tenant identity and is what the cache-internal paths (fills,
+    /// dirty-victim write-backs) use — deferring a write-back would force
+    /// `abort_fill` and drop the dirty snapshot, so system traffic must never
+    /// wait behind tenant arbitration. Tenant-attributed submissions go
+    /// through [`AgileCtrl::issue_to_device_as`].
     pub fn issue_to_device(
         &self,
         dev: usize,
         warp: u64,
+        build: impl Fn(u16) -> NvmeCommand,
+        txn: Transaction,
+        now: Cycles,
+    ) -> (Cycles, bool) {
+        self.issue_inner(dev, warp, warp as u32, build, txn, now)
+    }
+
+    /// [`AgileCtrl::issue_to_device`] with an explicit tenant identity,
+    /// arbitrated by the installed [`QosPolicy`] (when any): the policy is
+    /// consulted **before** the SQ-slot claim; a deferred submission pays one
+    /// probe and reports failure exactly like an SQ-full outcome, so callers
+    /// retry through their existing back-off paths. An admission that then
+    /// finds every SQ full is refunded to the policy.
+    pub fn issue_to_device_as(
+        &self,
+        dev: usize,
+        warp: u64,
+        tenant: u32,
+        build: impl Fn(u16) -> NvmeCommand,
+        txn: Transaction,
+        now: Cycles,
+    ) -> (Cycles, bool) {
+        if let Some(qos) = self.qos.get() {
+            let decision =
+                crate::qos::gate_admission(qos.as_ref(), tenant, dev as u32, now, self.trace.get());
+            if decision == QosDecision::Defer {
+                let cost = Cycles(self.cfg.costs.gpu.poll_iteration);
+                self.stats.qos_deferrals.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .io_cycles
+                    .fetch_add(cost.raw(), Ordering::Relaxed);
+                return (cost, false);
+            }
+            let (cost, ok) = self.issue_inner(dev, warp, tenant, build, txn, now);
+            if !ok {
+                qos.refund(tenant);
+            }
+            return (cost, ok);
+        }
+        self.issue_inner(dev, warp, tenant, build, txn, now)
+    }
+
+    fn issue_inner(
+        &self,
+        dev: usize,
+        warp: u64,
+        tenant: u32,
         build: impl Fn(u16) -> NvmeCommand,
         txn: Transaction,
         now: Cycles,
@@ -325,7 +410,7 @@ impl AgileCtrl {
                             TraceEvent::new(TraceEventKind::Submit, now.raw())
                                 .target(dev as u32, cmd.slba)
                                 .queue(qid, receipt.cid)
-                                .tenant(warp as u32)
+                                .tenant(tenant)
                                 .write(cmd.opcode == Opcode::Write),
                         );
                         if receipt.rang_doorbell {
@@ -333,7 +418,7 @@ impl AgileCtrl {
                                 TraceEvent::new(TraceEventKind::Doorbell, now.raw())
                                     .target(dev as u32, cmd.slba)
                                     .queue(qid, receipt.cid)
-                                    .tenant(warp as u32),
+                                    .tenant(tenant),
                             );
                         }
                     }
@@ -737,6 +822,8 @@ impl AgileCtrl {
 
     /// Issue a raw 4 KiB read that bypasses the software cache (used by the
     /// Figure 5 scaling experiment). Completion is signalled via `barrier`.
+    /// The issuing warp's flat index doubles as the tenant id for QoS
+    /// arbitration; multi-tenant workloads use [`AgileCtrl::raw_read_as`].
     pub fn raw_read(
         &self,
         warp: u64,
@@ -746,12 +833,35 @@ impl AgileCtrl {
         barrier: Barrier,
         now: Cycles,
     ) -> (Cycles, IssueOutcome) {
+        self.raw_read_as(warp, warp as u32, dev, lba, dma, barrier, now)
+    }
+
+    /// [`AgileCtrl::raw_read`] with an explicit tenant identity: the
+    /// submission is arbitrated by the installed [`QosPolicy`] and stamped
+    /// with `tenant` in trace capture.
+    #[allow(clippy::too_many_arguments)]
+    pub fn raw_read_as(
+        &self,
+        warp: u64,
+        tenant: u32,
+        dev: u32,
+        lba: Lba,
+        dma: DmaHandle,
+        barrier: Barrier,
+        now: Cycles,
+    ) -> (Cycles, IssueOutcome) {
         self.stats.raw_calls.fetch_add(1, Ordering::Relaxed);
-        let (cost, ok) = self.issue_to_device(
+        let qos_tenant = self.qos.get().map(|_| tenant);
+        let (cost, ok) = self.issue_to_device_as(
             dev as usize,
             warp,
+            tenant,
             |cid| NvmeCommand::read(cid, lba, dma.clone()),
-            Transaction::Raw { barrier, lba },
+            Transaction::Raw {
+                barrier,
+                lba,
+                qos_tenant,
+            },
             now,
         );
         (
@@ -765,6 +875,8 @@ impl AgileCtrl {
     }
 
     /// Issue a raw 4 KiB write that bypasses the software cache (Figure 6).
+    /// The issuing warp's flat index doubles as the tenant id for QoS
+    /// arbitration; multi-tenant workloads use [`AgileCtrl::raw_write_as`].
     pub fn raw_write(
         &self,
         warp: u64,
@@ -774,13 +886,36 @@ impl AgileCtrl {
         barrier: Barrier,
         now: Cycles,
     ) -> (Cycles, IssueOutcome) {
+        self.raw_write_as(warp, warp as u32, dev, lba, token, barrier, now)
+    }
+
+    /// [`AgileCtrl::raw_write`] with an explicit tenant identity: the
+    /// submission is arbitrated by the installed [`QosPolicy`] and stamped
+    /// with `tenant` in trace capture.
+    #[allow(clippy::too_many_arguments)]
+    pub fn raw_write_as(
+        &self,
+        warp: u64,
+        tenant: u32,
+        dev: u32,
+        lba: Lba,
+        token: PageToken,
+        barrier: Barrier,
+        now: Cycles,
+    ) -> (Cycles, IssueOutcome) {
         self.stats.raw_calls.fetch_add(1, Ordering::Relaxed);
         let dma = DmaHandle::with_token(token);
-        let (cost, ok) = self.issue_to_device(
+        let qos_tenant = self.qos.get().map(|_| tenant);
+        let (cost, ok) = self.issue_to_device_as(
             dev as usize,
             warp,
+            tenant,
             |cid| NvmeCommand::write(cid, lba, dma.clone()),
-            Transaction::Raw { barrier, lba },
+            Transaction::Raw {
+                barrier,
+                lba,
+                qos_tenant,
+            },
             now,
         );
         (
@@ -965,6 +1100,82 @@ mod tests {
         assert!(ctrl.service_stop_requested());
         ctrl.reset_service_stop();
         assert!(!ctrl.service_stop_requested());
+    }
+
+    #[test]
+    fn qos_gate_defers_a_tenant_at_its_slot_share() {
+        use crate::qos::WeightedFair;
+        let ctrl = ctrl_with_queues(1, 2, 32); // 64 slots total
+        let policy = Arc::new(WeightedFair::new());
+        assert!(ctrl.set_qos_policy(policy.clone()));
+        assert!(ctrl.qos_policy().is_some());
+        // Tenant 9 becomes active: equal weights split the 64 slots 32/32.
+        let (_, o) = ctrl.raw_read_as(0, 9, 0, 1, DmaHandle::new(), Barrier::new(), Cycles(0));
+        assert_eq!(o, IssueOutcome::Issued);
+        let mut admitted = 0;
+        let mut deferred = false;
+        for i in 0..40u64 {
+            let (_, o) = ctrl.raw_read_as(
+                0,
+                0,
+                0,
+                100 + i,
+                DmaHandle::new(),
+                Barrier::new(),
+                Cycles(i),
+            );
+            match o {
+                IssueOutcome::Issued => admitted += 1,
+                _ => {
+                    deferred = true;
+                    break;
+                }
+            }
+        }
+        assert!(deferred, "tenant 0 must defer at its share");
+        assert_eq!(admitted, 32, "equal weights ⇒ half the 64 slots");
+        assert_eq!(ctrl.stats().qos_deferrals, 1);
+        // A completion frees a credit and the tenant is admitted again.
+        policy.on_complete(0);
+        let (_, o) = ctrl.raw_read_as(0, 0, 0, 999, DmaHandle::new(), Barrier::new(), Cycles(50));
+        assert_eq!(o, IssueOutcome::Issued);
+    }
+
+    #[test]
+    fn qos_admission_is_refunded_when_every_sq_is_full() {
+        use crate::qos::WeightedFair;
+        let ctrl = ctrl_with_queues(1, 1, 2); // 2 slots total
+        let policy = Arc::new(WeightedFair::new());
+        assert!(ctrl.set_qos_policy(policy.clone()));
+        // Fill both slots with untenanted system traffic (gate-exempt).
+        for i in 0..2u64 {
+            let (_, ok) = ctrl.issue_to_device(
+                0,
+                0,
+                |cid| NvmeCommand::read(cid, i, DmaHandle::new()),
+                Transaction::WriteBack,
+                Cycles(0),
+            );
+            assert!(ok);
+        }
+        // The tenant is admitted by the policy but finds every SQ full: the
+        // failed attempt must not count against its share.
+        let (_, o) = ctrl.raw_read_as(0, 0, 0, 7, DmaHandle::new(), Barrier::new(), Cycles(1));
+        assert_eq!(o, IssueOutcome::Retry);
+        assert_eq!(ctrl.stats().sq_full_retries, 1);
+        let stats = policy.tenant_stats();
+        assert_eq!(stats[0].in_flight, 0, "refunded");
+        assert_eq!(stats[0].admitted, 0, "refunded");
+        assert_eq!(stats[0].deferred, 0, "an SQ-full failure is not a deferral");
+    }
+
+    #[test]
+    fn second_qos_policy_is_rejected() {
+        use crate::qos::{Fifo, WeightedFair};
+        let ctrl = ctrl_with_queues(1, 1, 8);
+        assert!(ctrl.set_qos_policy(Arc::new(Fifo)));
+        assert!(!ctrl.set_qos_policy(Arc::new(WeightedFair::new())));
+        assert_eq!(ctrl.qos_policy().unwrap().name(), "fifo");
     }
 
     #[test]

@@ -29,6 +29,7 @@
 
 use crate::config::AgileConfig;
 use crate::ctrl::AgileCtrl;
+use crate::qos::QosPolicy;
 use crate::service::{AgileService, AgileServiceKernel};
 use agile_sim::trace::TraceSink;
 use agile_sim::Cycles;
@@ -54,6 +55,11 @@ pub trait GpuStorageHost {
     /// path, software cache, every SSD's completion path). The first sink
     /// installed wins; returns `false` if one was already present.
     fn set_trace_sink(&self, sink: Arc<dyn TraceSink>) -> bool;
+
+    /// Install a QoS policy arbitrating tenant-attributed SQ admission on the
+    /// controller. The first policy installed wins; returns `false` if one
+    /// was already present. Without a policy the stack behaves as FIFO.
+    fn set_qos_policy(&self, policy: Arc<dyn QosPolicy>) -> bool;
 
     /// The storage topology (striping map, device statistics, lock model).
     fn topology(&self) -> Arc<dyn StorageTopology>;
@@ -232,6 +238,13 @@ impl AgileHost {
         ctrl_fresh && dev_fresh
     }
 
+    /// Install a QoS policy on the controller's tenant-attributed submission
+    /// path. Call after [`AgileHost::init_nvme`]; the first policy installed
+    /// wins (returns `false` otherwise). See [`crate::qos`].
+    pub fn set_qos_policy(&self, policy: Arc<dyn QosPolicy>) -> bool {
+        self.ctrl().set_qos_policy(policy)
+    }
+
     /// The AGILE service (available after [`AgileHost::start_agile`]).
     pub fn service(&self) -> Arc<AgileService> {
         Arc::clone(self.service.as_ref().expect("start_agile not called"))
@@ -337,6 +350,9 @@ impl GpuStorageHost for AgileHost {
     }
     fn set_trace_sink(&self, sink: Arc<dyn TraceSink>) -> bool {
         AgileHost::set_trace_sink(self, sink)
+    }
+    fn set_qos_policy(&self, policy: Arc<dyn QosPolicy>) -> bool {
+        AgileHost::set_qos_policy(self, policy)
     }
     fn topology(&self) -> Arc<dyn StorageTopology> {
         AgileHost::topology(self)

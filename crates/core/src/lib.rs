@@ -23,6 +23,10 @@
 //!   `asyncWrite`, the array-like accessor) exposed to warp kernels (§3.5);
 //! * [`lockchain`] — the compile-time debug option that tracks per-thread
 //!   lock chains and reports circular dependencies (§3.5);
+//! * [`qos`] — QoS-aware submission scheduling across tenants: a pluggable
+//!   [`qos::QosPolicy`] ([`qos::Fifo`], deficit-round-robin
+//!   [`qos::WeightedFair`], [`qos::StrictPriority`]) that arbitrates SQ-slot
+//!   admission ahead of the Algorithm 2 critical section;
 //! * [`host`] — [`host::AgileHost`], the host-side setup/run/teardown flow of
 //!   Listing 1, plus the bridge that co-simulates the SSD array with the GPU
 //!   engine.
@@ -60,6 +64,7 @@ pub mod ctrl;
 pub mod host;
 pub mod kernels;
 pub mod lockchain;
+pub mod qos;
 pub mod service;
 pub mod sq_protocol;
 pub mod transaction;
@@ -68,4 +73,5 @@ pub use config::AgileConfig;
 pub use ctrl::{AgileCtrl, ApiStats, IssueOutcome, ReadOutcome};
 pub use host::{AgileHost, GpuStorageHost};
 pub use lockchain::{AgileLockChain, DeadlockReport, LockRegistry};
+pub use qos::{Fifo, QosDecision, QosPolicy, QosTenantStats, StrictPriority, WeightedFair};
 pub use transaction::{AgileBuf, Barrier};

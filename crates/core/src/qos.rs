@@ -1,0 +1,626 @@
+//! QoS-aware submission scheduling across tenants.
+//!
+//! The AGILE design funnels every warp's I/O through the shared SQ slots of
+//! §3.3.1, so one noisy tenant can stuff the rings and starve everyone else —
+//! the per-tenant p99 columns of the replay reports make that visible; this
+//! module is what acts on it. A [`QosPolicy`] sits **in front of** the
+//! SQE-claim critical section ([`crate::sq_protocol::AgileSq::try_issue`]):
+//! before a tenant-attributed submission may race for a slot, the policy
+//! decides [`QosDecision::Admit`] or [`QosDecision::Defer`]. A deferred
+//! submission behaves exactly like an SQ-full retry — the caller backs off and
+//! retries later — so the non-blocking structure of the protocol (no lock held
+//! across a wait, Figure 1 cannot form) is untouched.
+//!
+//! Three policies ship:
+//!
+//! * [`Fifo`] — admit everything; **bit-identical** to the pre-QoS stack
+//!   (asserted by the golden-trace suite). This is the default when no policy
+//!   is installed.
+//! * [`WeightedFair`] — deficit round robin over per-tenant virtual queues,
+//!   realised on the in-flight SQ slots: a tenant's round credit is its
+//!   weighted share of the slot capacity, an admission spends one credit, and
+//!   credits return when the command **completes** (via
+//!   [`QosPolicy::on_complete`]) rather than on a timer. Spent-but-uncompleted
+//!   credits are exactly the tenant's in-flight occupancy, so under
+//!   saturation admitted-op shares converge to the weight ratio
+//!   (property-tested in `tests/qos_fairness.rs`) while a tenant with no
+//!   active competitors inherits the whole capacity — the gate stays
+//!   work-conserving.
+//! * [`StrictPriority`] — a tenant defers whenever any strictly
+//!   higher-priority tenant has attempted an admission recently. Simple and
+//!   starvation-prone by design (that is what "strict" means).
+//!
+//! Only **tenant-attributed** submissions are arbitrated (the `*_as` entry
+//! points of [`crate::AgileCtrl`] / `bam_baseline::BamCtrl`). Cache-internal
+//! traffic — dirty-victim write-backs and fills issued while a cache line is
+//! held — bypasses the gate: deferring a write-back would force `abort_fill`
+//! and drop the dirty snapshot (the known lost-update hazard), so system ops
+//! must never wait behind tenant arbitration.
+
+use agile_sim::trace::{TraceEvent, TraceEventKind, TraceSink};
+use agile_sim::Cycles;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Run one admission check against `policy`, recording a
+/// [`TraceEventKind::QosDefer`] event on deferral. The single gate both
+/// controllers call, so the decision flow and the trace-event shape cannot
+/// drift between the AGILE and BaM submission paths (the stats counters and
+/// cycle charging stay with the caller — they live in per-controller cells).
+pub fn gate_admission(
+    policy: &dyn QosPolicy,
+    tenant: u32,
+    dev: u32,
+    now: Cycles,
+    sink: Option<&Arc<dyn TraceSink>>,
+) -> QosDecision {
+    let decision = policy.admit(tenant, now);
+    if decision == QosDecision::Defer {
+        if let Some(sink) = sink {
+            sink.record(
+                TraceEvent::new(TraceEventKind::QosDefer, now.raw())
+                    .target(dev, 0)
+                    .tenant(tenant),
+            );
+        }
+    }
+    decision
+}
+
+/// Verdict of a QoS admission check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QosDecision {
+    /// The submission may proceed to the SQ-slot claim.
+    Admit,
+    /// The submission must back off and retry later (treated by callers
+    /// exactly like an SQ-full outcome).
+    Defer,
+}
+
+/// Per-tenant accounting snapshot of a policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QosTenantStats {
+    /// Tenant id.
+    pub tenant: u32,
+    /// Configured weight (1 for policies without weights).
+    pub weight: u64,
+    /// Submissions admitted (net of refunds).
+    pub admitted: u64,
+    /// Submissions deferred.
+    pub deferred: u64,
+    /// Admissions not yet completed (occupancy-tracking policies only).
+    pub in_flight: u64,
+}
+
+/// Arbitrates SQ-slot admission across tenants.
+///
+/// Implementations must be cheap and `&self` (the gate runs on the submission
+/// hot path, potentially from several warps at once) and **deterministic**
+/// given a deterministic sequence of `admit`/`refund`/`on_complete` calls —
+/// replay determinism and the golden-trace suite depend on it.
+pub trait QosPolicy: Send + Sync {
+    /// Short lowercase policy name used in reports (`fifo`, `wfq`, `prio`).
+    fn name(&self) -> &'static str;
+
+    /// May the submission from `tenant` proceed at sim time `now`?
+    /// An `Admit` is accounted immediately (it consumes scheduling credit).
+    fn admit(&self, tenant: u32, now: Cycles) -> QosDecision;
+
+    /// Return the credit of an admitted submission that could not be issued
+    /// after all (every SQ full), so the failed attempt does not count
+    /// against the tenant's share.
+    fn refund(&self, tenant: u32);
+
+    /// Tell the policy how many SQ slots exist in total (devices × queue
+    /// pairs × depth). Called once when the policy is installed on a
+    /// controller; occupancy-tracking policies size their shares from it.
+    fn bind(&self, _total_slots: u64) {}
+
+    /// The completion of one of `tenant`'s admitted submissions was
+    /// processed: its in-flight credit is free again. Called by the AGILE
+    /// service (or BaM's user-thread poll path) for QoS-arbitrated commands.
+    fn on_complete(&self, _tenant: u32) {}
+
+    /// Per-tenant accounting, ordered by tenant id.
+    fn tenant_stats(&self) -> Vec<QosTenantStats>;
+}
+
+// ---------------------------------------------------------------------------
+// FIFO
+// ---------------------------------------------------------------------------
+
+/// The no-op policy: every submission is admitted immediately, preserving the
+/// pre-QoS first-come-first-served slot race bit-for-bit. Keeps no state and
+/// takes no lock on the admit path.
+#[derive(Debug, Default)]
+pub struct Fifo;
+
+impl Fifo {
+    /// A shared FIFO policy instance.
+    pub fn shared() -> Arc<dyn QosPolicy> {
+        Arc::new(Fifo)
+    }
+}
+
+impl QosPolicy for Fifo {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+    fn admit(&self, _tenant: u32, _now: Cycles) -> QosDecision {
+        QosDecision::Admit
+    }
+    fn refund(&self, _tenant: u32) {}
+    fn tenant_stats(&self) -> Vec<QosTenantStats> {
+        Vec::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Weighted fair (deficit round robin over in-flight slot shares)
+// ---------------------------------------------------------------------------
+
+/// Book-keeping of one tenant's virtual queue.
+#[derive(Debug, Clone)]
+struct WfTenant {
+    weight: u64,
+    /// Admitted-but-not-completed submissions (spent round credits).
+    in_flight: u64,
+    /// Sim time of the tenant's last admission attempt; `None` until the
+    /// first attempt, so a pre-configured tenant that never shows up does
+    /// not count as active (and shrink everyone's share) at time zero.
+    last_seen: Option<u64>,
+    admitted: u64,
+    deferred: u64,
+}
+
+impl WfTenant {
+    fn with_weight(weight: u64) -> Self {
+        WfTenant {
+            weight: weight.max(1),
+            in_flight: 0,
+            last_seen: None,
+            admitted: 0,
+            deferred: 0,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct WfState {
+    tenants: BTreeMap<u32, WfTenant>,
+}
+
+/// Deficit-round-robin weighted fair queueing over per-tenant virtual queues,
+/// realised on the in-flight SQ slots.
+///
+/// The policy is told the total slot capacity at install time
+/// ([`QosPolicy::bind`]). Each tenant's round credit is its weighted share of
+/// that capacity, computed over the tenants *active* within `idle_window`
+/// cycles: `share(t) = capacity × weight(t) / Σ active weights` (at least 1).
+/// An admission spends one credit, a completion returns it, so a tenant's
+/// spent credits are exactly its in-flight occupancy and the device queues
+/// can never fill beyond a tenant's entitlement while a competitor is active.
+/// When the competitors go idle the active set shrinks and the survivor's
+/// share grows back to the full capacity — the scheduler is work-conserving
+/// and a noisy tenant loses nothing when it is alone.
+#[derive(Debug)]
+pub struct WeightedFair {
+    default_weight: u64,
+    idle_window: u64,
+    /// Total SQ slots; 0 = unbound (admit everything) until [`QosPolicy::bind`].
+    capacity: AtomicU64,
+    state: Mutex<WfState>,
+}
+
+impl Default for WeightedFair {
+    fn default() -> Self {
+        WeightedFair::new()
+    }
+}
+
+impl WeightedFair {
+    /// Equal-weight WFQ with the default activity window (200 000 cycles ≈
+    /// 80 µs at 2.5 GHz, a few flash-read latencies).
+    pub fn new() -> Self {
+        WeightedFair {
+            default_weight: 1,
+            idle_window: 200_000,
+            capacity: AtomicU64::new(0),
+            state: Mutex::new(WfState::default()),
+        }
+    }
+
+    /// WFQ with explicit per-tenant weights, indexed by tenant id (tenants
+    /// beyond the slice fall back to weight 1). Zero weights are clamped to 1.
+    pub fn from_weights(weights: &[u64]) -> Self {
+        let wf = WeightedFair::new();
+        {
+            let mut state = wf.state.lock();
+            for (tenant, &w) in weights.iter().enumerate() {
+                state
+                    .tenants
+                    .insert(tenant as u32, WfTenant::with_weight(w));
+            }
+        }
+        wf
+    }
+
+    /// Override one tenant's weight (builder-style).
+    pub fn with_weight(self, tenant: u32, weight: u64) -> Self {
+        {
+            let mut state = self.state.lock();
+            state
+                .tenants
+                .entry(tenant)
+                .and_modify(|t| t.weight = weight.max(1))
+                .or_insert_with(|| WfTenant::with_weight(weight));
+        }
+        self
+    }
+
+    /// Override the activity window (cycles since a tenant's last admission
+    /// attempt before it stops counting toward the share denominator).
+    pub fn with_idle_window(mut self, cycles: u64) -> Self {
+        self.idle_window = cycles.max(1);
+        self
+    }
+}
+
+impl QosPolicy for WeightedFair {
+    fn name(&self) -> &'static str {
+        "wfq"
+    }
+
+    fn bind(&self, total_slots: u64) {
+        self.capacity.store(total_slots, Ordering::Release);
+    }
+
+    fn admit(&self, tenant: u32, now: Cycles) -> QosDecision {
+        let capacity = self.capacity.load(Ordering::Acquire);
+        let mut state = self.state.lock();
+        let default_weight = self.default_weight;
+        let entry = state
+            .tenants
+            .entry(tenant)
+            .or_insert_with(|| WfTenant::with_weight(default_weight));
+        entry.last_seen = Some(now.raw());
+        if capacity == 0 {
+            // Unbound (no controller installed the policy yet): never defer.
+            let entry = state.tenants.get_mut(&tenant).expect("inserted above");
+            entry.in_flight += 1;
+            entry.admitted += 1;
+            return QosDecision::Admit;
+        }
+        let horizon = now.raw().saturating_sub(self.idle_window);
+        let active_weight: u64 = state
+            .tenants
+            .values()
+            .filter(|s| s.last_seen.is_some_and(|at| at >= horizon))
+            .map(|s| s.weight)
+            .sum();
+        let entry = state.tenants.get_mut(&tenant).expect("inserted above");
+        // The tenant's round credit: its weighted share of the slots,
+        // computed over currently-active tenants (u128 guards the product).
+        let share = ((capacity as u128 * entry.weight as u128) / active_weight.max(1) as u128)
+            .max(1) as u64;
+        if entry.in_flight < share {
+            entry.in_flight += 1;
+            entry.admitted += 1;
+            QosDecision::Admit
+        } else {
+            entry.deferred += 1;
+            QosDecision::Defer
+        }
+    }
+
+    fn refund(&self, tenant: u32) {
+        let mut state = self.state.lock();
+        if let Some(s) = state.tenants.get_mut(&tenant) {
+            s.in_flight = s.in_flight.saturating_sub(1);
+            s.admitted = s.admitted.saturating_sub(1);
+        }
+    }
+
+    fn on_complete(&self, tenant: u32) {
+        let mut state = self.state.lock();
+        if let Some(s) = state.tenants.get_mut(&tenant) {
+            s.in_flight = s.in_flight.saturating_sub(1);
+        }
+    }
+
+    fn tenant_stats(&self) -> Vec<QosTenantStats> {
+        let state = self.state.lock();
+        state
+            .tenants
+            .iter()
+            .map(|(&tenant, s)| QosTenantStats {
+                tenant,
+                weight: s.weight,
+                admitted: s.admitted,
+                deferred: s.deferred,
+                in_flight: s.in_flight,
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strict priority
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct PrioTenant {
+    /// Priority class; **lower values are more important**.
+    class: u32,
+    /// Sim time of the last admission attempt; `None` until the first one,
+    /// so a configured-but-silent important tenant does not preempt anyone.
+    last_seen: Option<u64>,
+    admitted: u64,
+    deferred: u64,
+}
+
+/// Strict priority classes: a submission defers whenever any tenant of a
+/// strictly more important class (lower class value) attempted an admission
+/// within the activity window. Lower classes can starve — by design.
+#[derive(Debug)]
+pub struct StrictPriority {
+    default_class: u32,
+    idle_window: u64,
+    state: Mutex<BTreeMap<u32, PrioTenant>>,
+}
+
+impl StrictPriority {
+    /// Priorities indexed by tenant id (class 0 is the most important);
+    /// tenants beyond the slice get the lowest configured importance + 1.
+    pub fn from_classes(classes: &[u32]) -> Self {
+        let default_class = classes.iter().copied().max().unwrap_or(0) + 1;
+        let state = classes
+            .iter()
+            .enumerate()
+            .map(|(tenant, &class)| {
+                (
+                    tenant as u32,
+                    PrioTenant {
+                        class,
+                        last_seen: None,
+                        admitted: 0,
+                        deferred: 0,
+                    },
+                )
+            })
+            .collect();
+        StrictPriority {
+            default_class,
+            idle_window: 200_000,
+            state: Mutex::new(state),
+        }
+    }
+
+    /// Override the activity window.
+    pub fn with_idle_window(mut self, cycles: u64) -> Self {
+        self.idle_window = cycles.max(1);
+        self
+    }
+}
+
+impl QosPolicy for StrictPriority {
+    fn name(&self) -> &'static str {
+        "prio"
+    }
+
+    fn admit(&self, tenant: u32, now: Cycles) -> QosDecision {
+        let mut state = self.state.lock();
+        let default_class = self.default_class;
+        let entry = state.entry(tenant).or_insert(PrioTenant {
+            class: default_class,
+            last_seen: None,
+            admitted: 0,
+            deferred: 0,
+        });
+        entry.last_seen = Some(now.raw());
+        let class = entry.class;
+        let horizon = now.raw().saturating_sub(self.idle_window);
+        let preempted = state.iter().any(|(&t, s)| {
+            t != tenant && s.class < class && s.last_seen.is_some_and(|at| at >= horizon)
+        });
+        let entry = state.get_mut(&tenant).expect("inserted above");
+        if preempted {
+            entry.deferred += 1;
+            QosDecision::Defer
+        } else {
+            entry.admitted += 1;
+            QosDecision::Admit
+        }
+    }
+
+    fn refund(&self, tenant: u32) {
+        let mut state = self.state.lock();
+        if let Some(s) = state.get_mut(&tenant) {
+            s.admitted = s.admitted.saturating_sub(1);
+        }
+    }
+
+    fn tenant_stats(&self) -> Vec<QosTenantStats> {
+        let state = self.state.lock();
+        state
+            .iter()
+            .map(|(&tenant, s)| QosTenantStats {
+                tenant,
+                weight: 1,
+                admitted: s.admitted,
+                deferred: s.deferred,
+                in_flight: 0,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_admits_everything_statelessly() {
+        let p = Fifo;
+        for t in 0..16 {
+            assert_eq!(p.admit(t, Cycles(t as u64)), QosDecision::Admit);
+        }
+        p.refund(3);
+        p.on_complete(3);
+        assert!(p.tenant_stats().is_empty());
+        assert_eq!(p.name(), "fifo");
+    }
+
+    #[test]
+    fn wfq_lone_tenant_owns_the_whole_capacity() {
+        let p = WeightedFair::new();
+        p.bind(64);
+        for i in 0..64u64 {
+            assert_eq!(p.admit(0, Cycles(i)), QosDecision::Admit);
+        }
+        // Capacity reached: the 65th in-flight submission defers …
+        assert_eq!(p.admit(0, Cycles(64)), QosDecision::Defer);
+        // … and a completion frees one credit again.
+        p.on_complete(0);
+        assert_eq!(p.admit(0, Cycles(65)), QosDecision::Admit);
+        let stats = p.tenant_stats();
+        assert_eq!(stats[0].admitted, 65);
+        assert_eq!(stats[0].deferred, 1);
+        assert_eq!(stats[0].in_flight, 64);
+    }
+
+    #[test]
+    fn wfq_unbound_policy_never_defers() {
+        let p = WeightedFair::new();
+        for i in 0..1_000u64 {
+            assert_eq!(p.admit(0, Cycles(i)), QosDecision::Admit);
+        }
+    }
+
+    #[test]
+    fn wfq_active_competitor_halves_the_share() {
+        let p = WeightedFair::new();
+        p.bind(64);
+        // Tenant 1 shows up: both are active, so tenant 0's share is 32.
+        assert_eq!(p.admit(1, Cycles(0)), QosDecision::Admit);
+        let mut admitted = 0;
+        for i in 1..=64u64 {
+            if p.admit(0, Cycles(i)) == QosDecision::Admit {
+                admitted += 1;
+            }
+        }
+        assert_eq!(admitted, 32, "equal weights ⇒ half the slots each");
+    }
+
+    #[test]
+    fn wfq_shares_follow_weights_under_saturation() {
+        // Both tenants always backlogged; a FIFO "device" completes the
+        // oldest in-flight op each tick. Throughput shares must converge to
+        // the 3:1 weight ratio.
+        let p = WeightedFair::from_weights(&[3, 1]);
+        p.bind(64);
+        let mut in_service: std::collections::VecDeque<u32> = Default::default();
+        let mut completed = [0u64; 2];
+        for i in 0..20_000u64 {
+            for t in 0..2u32 {
+                if p.admit(t, Cycles(i)) == QosDecision::Admit {
+                    in_service.push_back(t);
+                }
+            }
+            if let Some(t) = in_service.pop_front() {
+                completed[t as usize] += 1;
+                p.on_complete(t);
+            }
+        }
+        let ratio = completed[0] as f64 / completed[1] as f64;
+        assert!(
+            (2.6..=3.4).contains(&ratio),
+            "3:1 weights must yield ≈3:1 completions, got {completed:?}"
+        );
+    }
+
+    #[test]
+    fn wfq_is_work_conserving_when_competitor_goes_idle() {
+        let p = WeightedFair::new().with_idle_window(100);
+        p.bind(64);
+        // Tenant 1 is active early, then disappears (its ops complete).
+        for i in 0..8u64 {
+            assert_eq!(p.admit(1, Cycles(i)), QosDecision::Admit);
+        }
+        for _ in 0..8 {
+            p.on_complete(1);
+        }
+        // Long after tenant 1's window expired, tenant 0 owns all 64 slots.
+        let mut admitted = 0;
+        for i in 1_000..1_100u64 {
+            if p.admit(0, Cycles(i)) == QosDecision::Admit {
+                admitted += 1;
+            }
+        }
+        assert_eq!(admitted, 64, "idle competitor must not shrink the share");
+    }
+
+    #[test]
+    fn wfq_configured_but_silent_tenant_is_not_active() {
+        // A tenant pre-registered via from_weights that never submits must
+        // not count as an active competitor — not even at time zero, where
+        // the idle-window horizon saturates to 0.
+        let p = WeightedFair::from_weights(&[1, 1]);
+        p.bind(64);
+        for i in 0..64u64 {
+            assert_eq!(
+                p.admit(0, Cycles(i)),
+                QosDecision::Admit,
+                "silent tenant 1 must not shrink tenant 0's share"
+            );
+        }
+    }
+
+    #[test]
+    fn strict_priority_silent_important_tenant_does_not_preempt() {
+        let p = StrictPriority::from_classes(&[0, 1]);
+        // Class-0 tenant 0 is configured but never submits: tenant 1 must
+        // not be deferred behind the phantom, even near time zero.
+        assert_eq!(p.admit(1, Cycles(5)), QosDecision::Admit);
+    }
+
+    #[test]
+    fn wfq_refund_returns_credit_and_admission() {
+        let p = WeightedFair::new();
+        p.bind(1);
+        assert_eq!(p.admit(0, Cycles(0)), QosDecision::Admit);
+        p.refund(0);
+        let stats = p.tenant_stats();
+        assert_eq!(stats[0].admitted, 0, "refund nets the admission out");
+        assert_eq!(stats[0].in_flight, 0);
+        // The returned credit is immediately usable.
+        assert_eq!(p.admit(0, Cycles(1)), QosDecision::Admit);
+    }
+
+    #[test]
+    fn strict_priority_defers_behind_active_higher_class() {
+        let p = StrictPriority::from_classes(&[0, 1]).with_idle_window(1_000);
+        // Tenant 0 (class 0) is active.
+        assert_eq!(p.admit(0, Cycles(100)), QosDecision::Admit);
+        // Tenant 1 (class 1) must defer while tenant 0 is within the window…
+        assert_eq!(p.admit(1, Cycles(200)), QosDecision::Defer);
+        // …and proceeds once tenant 0 has gone idle.
+        assert_eq!(p.admit(1, Cycles(5_000)), QosDecision::Admit);
+        let stats = p.tenant_stats();
+        assert_eq!(stats[1].deferred, 1);
+        assert_eq!(stats[1].admitted, 1);
+    }
+
+    #[test]
+    fn strict_priority_unknown_tenants_rank_last() {
+        let p = StrictPriority::from_classes(&[0]);
+        assert_eq!(p.admit(0, Cycles(0)), QosDecision::Admit);
+        assert_eq!(
+            p.admit(7, Cycles(1)),
+            QosDecision::Defer,
+            "unconfigured tenants are least important"
+        );
+    }
+}

@@ -201,7 +201,20 @@ impl AgileService {
                 }
             }
             Transaction::UserWrite { barrier } => barrier.complete(),
-            Transaction::Raw { barrier, .. } => barrier.complete(),
+            Transaction::Raw {
+                barrier,
+                qos_tenant,
+                ..
+            } => {
+                barrier.complete();
+                // Return the in-flight QoS credit so the scheduler can admit
+                // the tenant's next submission.
+                if let Some(tenant) = qos_tenant {
+                    if let Some(qos) = self.ctrl.qos_policy() {
+                        qos.on_complete(tenant);
+                    }
+                }
+            }
         }
     }
 

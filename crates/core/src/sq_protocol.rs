@@ -26,6 +26,12 @@
 //!
 //! CIDs are the slot indices, so completions map back to slots (and to their
 //! [`crate::transaction::Transaction`]s) without any search.
+//!
+//! **QoS ordering.** When a [`crate::qos::QosPolicy`] is installed, tenant
+//! admission is arbitrated *before* `Attempt_Enqueue` — a deferred thread
+//! never reaches the allocation cursor, so the slot-claim critical section
+//! below stays policy-free and a deferral can never hold (or even observe) a
+//! queue resource. The protocol itself is unchanged under any policy.
 
 use crate::transaction::{Transaction, TransactionTable};
 use agile_sim::Cycles;

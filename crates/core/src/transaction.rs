@@ -135,6 +135,11 @@ pub enum Transaction {
         barrier: Barrier,
         /// Source/destination page, kept for diagnostics.
         lba: Lba,
+        /// Tenant whose QoS admission this command consumed, when a
+        /// [`crate::qos::QosPolicy`] arbitrated it: the completion processor
+        /// returns the in-flight credit via `QosPolicy::on_complete`.
+        /// `None` when no policy was installed at issue time.
+        qos_tenant: Option<u32>,
     },
 }
 

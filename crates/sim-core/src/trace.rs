@@ -42,11 +42,15 @@ pub enum TraceEventKind {
     CacheNoLine = 7,
     /// A dirty victim line was written back.
     Writeback = 8,
+    /// The QoS scheduler deferred a tenant's submission (the admission gate
+    /// said no before the SQ-slot claim; a later `Submit` for the same target
+    /// means the retry was admitted).
+    QosDefer = 9,
 }
 
 impl TraceEventKind {
     /// All kinds, in wire order.
-    pub const ALL: [TraceEventKind; 9] = [
+    pub const ALL: [TraceEventKind; 10] = [
         TraceEventKind::Submit,
         TraceEventKind::Doorbell,
         TraceEventKind::DeviceCompletion,
@@ -56,6 +60,7 @@ impl TraceEventKind {
         TraceEventKind::CacheBusy,
         TraceEventKind::CacheNoLine,
         TraceEventKind::Writeback,
+        TraceEventKind::QosDefer,
     ];
 
     /// Wire encoding of the kind.
@@ -80,6 +85,7 @@ impl TraceEventKind {
             TraceEventKind::CacheBusy => "cache_busy",
             TraceEventKind::CacheNoLine => "cache_no_line",
             TraceEventKind::Writeback => "writeback",
+            TraceEventKind::QosDefer => "qos_defer",
         }
     }
 }

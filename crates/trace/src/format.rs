@@ -22,8 +22,13 @@ use std::fmt;
 pub const EVENT_LOG_MAGIC: [u8; 4] = *b"AGEV";
 /// Magic for serialized replayable traces.
 pub const TRACE_MAGIC: [u8; 4] = *b"AGTR";
-/// Current version of both wire formats.
-pub const FORMAT_VERSION: u16 = 1;
+/// Current version of both wire formats, written by the encoders. Version
+/// history: 1 = initial; 2 = the `QosDefer` event kind joined the event-kind
+/// space (record layouts unchanged). Readers accept any version up to the
+/// current one — a version-1 reader handed a version-2 log fails with the
+/// explicit [`TraceFormatError::UnsupportedVersion`] rather than a confusing
+/// `BadKind` on the first scheduler event.
+pub const FORMAT_VERSION: u16 = 2;
 
 const EVENT_RECORD_BYTES: usize = 32;
 const OP_RECORD_BYTES: usize = 24;
@@ -77,7 +82,7 @@ fn read_header(buf: &[u8], magic: [u8; 4]) -> Result<(u64, &[u8]), TraceFormatEr
         return Err(TraceFormatError::BadMagic);
     }
     let version = u16::from_le_bytes([buf[4], buf[5]]);
-    if version != FORMAT_VERSION {
+    if version == 0 || version > FORMAT_VERSION {
         return Err(TraceFormatError::UnsupportedVersion(version));
     }
     let count = u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"));
@@ -320,7 +325,14 @@ impl Trace {
     /// tenant's* previous submit, not to whichever tenant happened to submit
     /// last globally. Replay charges gaps to the issuing warp, so per-tenant
     /// reconstruction preserves each tenant's original pacing even when the
-    /// capture interleaved many tenants. Events must be in capture order.
+    /// capture interleaved many tenants.
+    ///
+    /// Submits are ordered by the key `(time, tenant, capture sequence)`
+    /// before reconstruction. Multi-producer captures only guarantee
+    /// per-producer ordering, so two tenants sharing a timestamp can arrive
+    /// interleaved either way; without the canonical sort the resulting op
+    /// order (and thus the replay) silently depended on that race, while
+    /// same-tenant ties keep their capture sequence.
     pub fn from_events(name: &str, events: &[TraceEvent]) -> Trace {
         let mut ops = Vec::new();
         let mut last_at_by_tenant: std::collections::HashMap<u32, u64> =
@@ -328,7 +340,13 @@ impl Trace {
         let mut max_dev = 0u32;
         let mut max_lba = 0u64;
         let mut max_tenant = 0u32;
-        for ev in events.iter().filter(|e| e.kind == TraceEventKind::Submit) {
+        let mut submits: Vec<&TraceEvent> = events
+            .iter()
+            .filter(|e| e.kind == TraceEventKind::Submit)
+            .collect();
+        // Stable sort ⇒ effective key (at, tenant, capture sequence).
+        submits.sort_by_key(|e| (e.at, e.tenant));
+        for ev in submits {
             let last_at = last_at_by_tenant.entry(ev.tenant).or_insert(0);
             let gap = ev.at.saturating_sub(*last_at).min(u32::MAX as u64) as u32;
             *last_at = ev.at;
@@ -449,6 +467,29 @@ mod tests {
         let mut kinds = encode_events(&events);
         kinds[HEADER_BYTES + 28] = 250;
         assert_eq!(decode_events(&kinds), Err(TraceFormatError::BadKind(250)));
+    }
+
+    #[test]
+    fn older_format_versions_still_parse() {
+        // The checked-in golden traces were written at version 1; the v2
+        // reader must keep accepting them (record layouts are unchanged),
+        // while versions from the future stay rejected.
+        let events = sample_events();
+        let mut v1 = encode_events(&events);
+        v1[4..6].copy_from_slice(&1u16.to_le_bytes());
+        assert_eq!(decode_events(&v1).unwrap(), events);
+        let mut v3 = encode_events(&events);
+        v3[4..6].copy_from_slice(&3u16.to_le_bytes());
+        assert_eq!(
+            decode_events(&v3),
+            Err(TraceFormatError::UnsupportedVersion(3))
+        );
+        let mut v0 = encode_events(&events);
+        v0[4..6].copy_from_slice(&0u16.to_le_bytes());
+        assert_eq!(
+            decode_events(&v0),
+            Err(TraceFormatError::UnsupportedVersion(0))
+        );
     }
 
     #[test]

@@ -54,10 +54,16 @@ pub struct TenantSpec {
     pub mean_gap: u32,
     /// Optional on/off burst shaping.
     pub burst: Option<BurstProfile>,
+    /// QoS weight of this tenant (relative SQ-admission share under a
+    /// weighted-fair scheduler; 1 = baseline). Carried on the spec only —
+    /// the trace wire format is weight-agnostic, so existing golden binaries
+    /// are unaffected. [`TraceSpec::weights`] collects these for
+    /// `WeightedFair::from_weights`.
+    pub weight: u64,
 }
 
 impl TenantSpec {
-    /// A steady tenant with the given pattern and mix.
+    /// A steady tenant with the given pattern and mix (QoS weight 1).
     pub fn new(ops: u64, pattern: AddressPattern, write_fraction: f64, mean_gap: u32) -> Self {
         TenantSpec {
             ops,
@@ -65,6 +71,7 @@ impl TenantSpec {
             pattern,
             mean_gap,
             burst: None,
+            weight: 1,
         }
     }
 
@@ -74,6 +81,12 @@ impl TenantSpec {
             on_ops: on_ops.max(1),
             idle_cycles,
         });
+        self
+    }
+
+    /// Set the tenant's QoS weight (clamped to ≥ 1).
+    pub fn with_weight(mut self, weight: u64) -> Self {
+        self.weight = weight.max(1);
         self
     }
 }
@@ -178,6 +191,40 @@ impl TraceSpec {
                 TenantSpec::new(bursty, AddressPattern::Uniform, 0.8, 40).with_burst(64, 40_000),
             ],
         }
+    }
+
+    /// The noisy-neighbour mixture the QoS scheduler is evaluated on: two
+    /// uniform tenants sharing the SQs 9:1 — tenant 0 ("noisy") issues 90 %
+    /// of the ops back-to-back, tenant 1 ("victim") issues the remaining
+    /// 10 % at a ~10× lower rate, so the two streams overlap for the whole
+    /// run. Both carry QoS weight 1: under weighted-fair scheduling the
+    /// victim is entitled to an *equal* admission share whenever it is
+    /// active, which is exactly what FIFO denies it.
+    pub fn noisy_neighbor(
+        name: &str,
+        seed: u64,
+        devices: u32,
+        lba_space: u64,
+        total_ops: u64,
+    ) -> Self {
+        let noisy = total_ops * 9 / 10;
+        let victim = total_ops - noisy;
+        TraceSpec {
+            name: name.to_string(),
+            seed,
+            devices,
+            lba_space,
+            tenants: vec![
+                TenantSpec::new(noisy, AddressPattern::Uniform, 0.0, 20),
+                TenantSpec::new(victim, AddressPattern::Uniform, 0.0, 200),
+            ],
+        }
+    }
+
+    /// The tenants' QoS weights, indexed by tenant id (the shape
+    /// `WeightedFair::from_weights` takes).
+    pub fn weights(&self) -> Vec<u64> {
+        self.tenants.iter().map(|t| t.weight).collect()
     }
 
     /// Expand the spec into a replayable [`Trace`]. Deterministic: the same
@@ -344,6 +391,34 @@ mod tests {
         );
         // Mixed read/write.
         assert!(trace.writes() > 0 && trace.reads() > trace.writes());
+    }
+
+    #[test]
+    fn noisy_neighbor_splits_nine_to_one_and_overlaps() {
+        let trace = TraceSpec::noisy_neighbor("nn", 11, 1, 1 << 14, 1_000).generate();
+        assert_eq!(trace.ops.len(), 1_000);
+        assert_eq!(trace.meta.tenants, 2);
+        let noisy = trace.ops.iter().filter(|o| o.tenant == 0).count();
+        assert_eq!(noisy, 900);
+        // The victim's stream spans the noisy tenant's, not just its tail:
+        // the victim submits within the first tenth of the op sequence.
+        let first_victim = trace.ops.iter().position(|o| o.tenant == 1).unwrap();
+        assert!(first_victim < 100, "victim first submits at {first_victim}");
+        assert_eq!(
+            TraceSpec::noisy_neighbor("nn", 11, 1, 1 << 14, 1_000).weights(),
+            vec![1, 1]
+        );
+    }
+
+    #[test]
+    fn tenant_weights_are_spec_only() {
+        // Weights ride on the spec for the scheduler; the generated trace
+        // (and therefore the wire format) is identical with or without them.
+        let mut weighted = TraceSpec::multi_tenant("w", 5, 1, 1 << 12, 300);
+        weighted.tenants[1] = weighted.tenants[1].clone().with_weight(7);
+        let plain = TraceSpec::multi_tenant("w", 5, 1, 1 << 12, 300);
+        assert_eq!(weighted.generate(), plain.generate());
+        assert_eq!(weighted.weights(), vec![1, 7, 1]);
     }
 
     #[test]

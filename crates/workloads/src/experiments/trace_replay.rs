@@ -11,6 +11,7 @@ use crate::experiments::testbed::experiment_gpu;
 use crate::trace_replay::{
     AgileTraceReplayKernel, BamTraceReplayKernel, ReplayCollector, ReplayPath, TraceReplayParams,
 };
+use agile_core::qos::{Fifo, QosPolicy, StrictPriority, WeightedFair};
 use agile_core::{AgileConfig, GpuStorageHost};
 use agile_sim::trace::TraceSink;
 use agile_sim::units::SSD_PAGE_SIZE;
@@ -18,6 +19,40 @@ use agile_trace::Trace;
 use bam_baseline::{BamConfig, HostBuilder};
 use gpu_sim::LaunchConfig;
 use std::sync::Arc;
+
+/// Which QoS policy a replay installs on the host's submission path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QosSpec {
+    /// First-come-first-served slot race — the pre-QoS behaviour, bit-for-bit
+    /// (the golden-trace suite asserts this).
+    Fifo,
+    /// Deficit-round-robin weighted fair queueing; weights indexed by tenant
+    /// id (missing tenants weigh 1).
+    WeightedFair(Vec<u64>),
+    /// Strict priority classes indexed by tenant id (class 0 is the most
+    /// important; missing tenants rank last).
+    StrictPriority(Vec<u32>),
+}
+
+impl QosSpec {
+    /// Short lowercase name, matching [`QosPolicy::name`].
+    pub fn name(&self) -> &'static str {
+        match self {
+            QosSpec::Fifo => "fifo",
+            QosSpec::WeightedFair(_) => "wfq",
+            QosSpec::StrictPriority(_) => "prio",
+        }
+    }
+
+    /// Instantiate the policy this spec describes.
+    pub fn policy(&self) -> Arc<dyn QosPolicy> {
+        match self {
+            QosSpec::Fifo => Arc::new(Fifo),
+            QosSpec::WeightedFair(weights) => Arc::new(WeightedFair::from_weights(weights)),
+            QosSpec::StrictPriority(classes) => Arc::new(StrictPriority::from_classes(classes)),
+        }
+    }
+}
 
 /// Which system replays the trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,6 +119,8 @@ pub struct ReplayReport {
     pub gbps: f64,
     /// True when the engine flagged the run as deadlocked.
     pub deadlocked: bool,
+    /// Name of the QoS policy the run was scheduled under (`fifo` when none).
+    pub qos: &'static str,
     /// Per-tenant latency percentiles, ordered by tenant id.
     pub tenants: Vec<TenantLatency>,
 }
@@ -109,6 +146,12 @@ impl ReplayReport {
             self.gbps,
             self.deadlocked
         );
+        // The qos field is appended only for non-FIFO runs so the pre-QoS
+        // golden summaries stay byte-identical (FIFO ⇒ no behaviour drift,
+        // and no format drift either).
+        if self.qos != "fifo" {
+            s.push_str(&format!(" qos={}", self.qos));
+        }
         for t in &self.tenants {
             s.push_str(&format!(
                 " | tenant{} ops={} p50={:.2}us p95={:.2}us p99={:.2}us",
@@ -139,6 +182,12 @@ pub struct ReplayConfig {
     /// device/page layout for flat and sharded, so comparisons isolate the
     /// lock partitioning).
     pub stripe: bool,
+    /// QoS policy installed on the host's submission path.
+    pub qos: QosSpec,
+    /// Partition warps by tenant (each warp replays one tenant's ops) — the
+    /// per-tenant virtual queues a QoS policy arbitrates. See
+    /// [`TraceReplayParams::tenant_warps`].
+    pub tenant_warps: bool,
 }
 
 impl Default for ReplayConfig {
@@ -151,6 +200,8 @@ impl Default for ReplayConfig {
             path: ReplayPath::Raw,
             shards: 0,
             stripe: false,
+            qos: QosSpec::Fifo,
+            tenant_warps: false,
         }
     }
 }
@@ -166,6 +217,8 @@ impl ReplayConfig {
             path: ReplayPath::Raw,
             shards: 0,
             stripe: false,
+            qos: QosSpec::Fifo,
+            tenant_warps: false,
         }
     }
 
@@ -187,6 +240,31 @@ impl ReplayConfig {
     /// layer (the fair baseline for a sharded comparison).
     pub fn striped(mut self) -> Self {
         self.stripe = true;
+        self
+    }
+
+    /// Schedule SQ admission with deficit-round-robin weighted fair queueing
+    /// (`weights` indexed by tenant id). Pair with
+    /// [`ReplayConfig::tenant_partitioned`] so each tenant's queue is its own
+    /// warp set — otherwise a deferred tenant head-of-line blocks the other
+    /// tenants sharing its warps.
+    pub fn weighted_fair(mut self, weights: Vec<u64>) -> Self {
+        self.qos = QosSpec::WeightedFair(weights);
+        self
+    }
+
+    /// Schedule SQ admission with strict priority classes (`classes` indexed
+    /// by tenant id, 0 most important).
+    pub fn strict_priority(mut self, classes: Vec<u32>) -> Self {
+        self.qos = QosSpec::StrictPriority(classes);
+        self
+    }
+
+    /// Partition warps by tenant (one tenant per warp; a tenant's ops strided
+    /// across its warps), the replay-side realisation of per-tenant virtual
+    /// queues.
+    pub fn tenant_partitioned(mut self) -> Self {
+        self.tenant_warps = true;
         self
     }
 }
@@ -240,6 +318,7 @@ fn finish_report(
             0.0
         },
         deadlocked,
+        qos: cfg.qos.name(),
         tenants,
     }
 }
@@ -275,6 +354,17 @@ pub fn run_trace_replay_with_sink(
     cfg: &ReplayConfig,
     sink: Option<Arc<dyn TraceSink>>,
 ) -> ReplayReport {
+    // QoS arbitration covers the raw path: cached-path issues go through
+    // untenanted cache fills and dirty-victim write-backs, which bypass the
+    // admission gate by design (deferring a write-back drops the dirty
+    // snapshot). Refuse the combination rather than report a policy name
+    // for a run the scheduler never touched; cached-path tenant attribution
+    // is a ROADMAP item ("Cached-path QoS").
+    assert!(
+        cfg.path == ReplayPath::Raw || cfg.qos == QosSpec::Fifo,
+        "non-FIFO QoS policies only arbitrate the raw replay path \
+         (cached-path tenant attribution is not wired yet — see ROADMAP)"
+    );
     let devices = trace.meta.devices.max(1) as usize;
     let pages = trace.meta.lba_space.max(1);
     let trace = Arc::new(trace.clone());
@@ -284,6 +374,7 @@ pub fn run_trace_replay_with_sink(
         window: cfg.window,
         path: cfg.path,
         stripe: cfg.stripe,
+        tenant_warps: cfg.tenant_warps,
     };
     let blocks = cfg.total_warps.div_ceil(8).max(1) as u32;
     match system {
@@ -293,7 +384,8 @@ pub fn run_trace_replay_with_sink(
                 .with_queue_depth(cfg.queue_depth);
             let mut builder = HostBuilder::agile(config)
                 .gpu(experiment_gpu())
-                .devices(devices, pages);
+                .devices(devices, pages)
+                .qos(cfg.qos.policy());
             if cfg.shards > 0 {
                 builder = builder.shards(cfg.shards);
             }
@@ -317,7 +409,8 @@ pub fn run_trace_replay_with_sink(
                 .with_queue_depth(cfg.queue_depth);
             let mut builder = HostBuilder::bam(config)
                 .gpu(experiment_gpu())
-                .devices(devices, pages);
+                .devices(devices, pages)
+                .qos(cfg.qos.policy());
             if cfg.shards > 0 {
                 builder = builder.shards(cfg.shards);
             }
@@ -428,6 +521,17 @@ mod tests {
         let bam = run_trace_replay(&trace, ReplaySystem::Bam, &cfg);
         assert!(!bam.deadlocked);
         assert_eq!(bam.ops, 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "raw replay path")]
+    fn cached_path_rejects_non_fifo_qos() {
+        // The cached path issues through untenanted fills/write-backs that
+        // bypass the QoS gate; reporting "qos=wfq" for such a run would be a
+        // lie, so the runner refuses the combination outright.
+        let trace = TraceSpec::multi_tenant("unit-cached-qos", 3, 1, 1 << 12, 64).generate();
+        let cfg = ReplayConfig::quick().cached().weighted_fair(vec![1, 1]);
+        let _ = run_trace_replay(&trace, ReplaySystem::Agile, &cfg);
     }
 
     #[test]

@@ -10,7 +10,10 @@
 //! Replay semantics:
 //!
 //! * ops are partitioned round-robin across warps (`op i → warp i % W`), so
-//!   the interleave is identical run to run;
+//!   the interleave is identical run to run — or, with
+//!   [`TraceReplayParams::tenant_warps`], by tenant: each tenant owns a
+//!   demand-proportional block of warps replaying only its ops (the
+//!   per-tenant virtual queues a QoS policy arbitrates);
 //! * each op's `gap` (think time) is charged to the issuing warp as busy
 //!   cycles before the request is issued, so bursty traces reproduce their
 //!   on/off structure in simulated time;
@@ -125,6 +128,17 @@ pub struct TraceReplayParams {
     /// to a concrete device via `StorageTopology::map_page`. Requires the
     /// controller to carry a topology (hosts built via `HostBuilder` do).
     pub stripe: bool,
+    /// Partition warps **by tenant** instead of round-robin over the whole
+    /// trace: each tenant owns a contiguous block of warps sized
+    /// proportionally to its op count (largest-remainder rounding, at least
+    /// one warp per tenant with ops), and each warp replays only its
+    /// tenant's ops, strided across that tenant's warps. This models each
+    /// tenant as its own appropriately-sized kernel — the per-tenant virtual
+    /// queues a QoS scheduler arbitrates — so a 9:1 op mix really is a 9:1
+    /// pressure mix, and removes the head-of-line coupling where one warp's
+    /// stream interleaves every tenant. Requires at least one warp per
+    /// tenant with ops. Off by default (the historical interleave).
+    pub tenant_warps: bool,
 }
 
 impl Default for TraceReplayParams {
@@ -134,6 +148,163 @@ impl Default for TraceReplayParams {
             window: 64,
             path: ReplayPath::Raw,
             stripe: false,
+            tenant_warps: false,
+        }
+    }
+}
+
+/// Which ops of the trace one warp replays, in which order.
+enum OpCursor {
+    /// Round-robin stride over the whole trace (`op i → warp i mod W`, the
+    /// historical partitioning).
+    Strided {
+        /// Next op index this warp owns.
+        next: u64,
+        /// Stride between owned ops (= total warps).
+        stride: u64,
+        /// Total ops in the trace.
+        len: u64,
+    },
+    /// An explicit list of op indices (tenant-partitioned warps).
+    List {
+        /// Owned op indices, in replay order.
+        ops: Vec<u32>,
+        /// Next position within `ops`.
+        pos: usize,
+    },
+}
+
+impl OpCursor {
+    /// The op index `k` positions ahead of the cursor (`k = 0` ⇒ current).
+    fn peek_ahead(&self, k: usize) -> Option<usize> {
+        match self {
+            OpCursor::Strided { next, stride, len } => {
+                let idx = next + *stride * k as u64;
+                (idx < *len).then_some(idx as usize)
+            }
+            OpCursor::List { ops, pos } => ops.get(pos + k).map(|&i| i as usize),
+        }
+    }
+
+    /// The current op index, if any ops remain.
+    fn peek(&self) -> Option<usize> {
+        self.peek_ahead(0)
+    }
+
+    /// Move past the current op.
+    fn advance(&mut self) {
+        match self {
+            OpCursor::Strided { next, stride, .. } => *next += *stride,
+            OpCursor::List { pos, .. } => *pos += 1,
+        }
+    }
+}
+
+/// Op indices of each tenant, in trace order (`result[t]` = tenant `t`'s ops).
+fn partition_by_tenant(trace: &Trace) -> Vec<Vec<u32>> {
+    let tenants = (trace.meta.tenants as usize).max(1);
+    let mut per = vec![Vec::new(); tenants];
+    for (i, op) in trace.ops.iter().enumerate() {
+        per[(op.tenant as usize).min(tenants - 1)].push(i as u32);
+    }
+    per
+}
+
+/// Warp-invariant tenant partitioning of a trace, computed once per kernel:
+/// each tenant's op index list plus the warp allocation over them.
+struct TenantPartition {
+    per_tenant: Vec<Vec<u32>>,
+    alloc: Vec<u64>,
+}
+
+impl TenantPartition {
+    fn new(trace: &Trace, total_warps: u64) -> Self {
+        let per_tenant = partition_by_tenant(trace);
+        let alloc = allocate_warps(&per_tenant, total_warps);
+        TenantPartition { per_tenant, alloc }
+    }
+}
+
+/// Warps allocated to each tenant, proportional to its op count
+/// (largest-remainder rounding; every tenant with ops gets at least one
+/// warp; tenants without ops get none). Deterministic: remainder and
+/// donation ties break toward the lower tenant id.
+fn allocate_warps(per_tenant: &[Vec<u32>], total_warps: u64) -> Vec<u64> {
+    let counts: Vec<u64> = per_tenant.iter().map(|v| v.len() as u64).collect();
+    let total_ops: u64 = counts.iter().sum();
+    let nonempty = counts.iter().filter(|&&c| c > 0).count() as u64;
+    let mut alloc = vec![0u64; counts.len()];
+    if total_ops == 0 {
+        return alloc;
+    }
+    assert!(
+        total_warps >= nonempty,
+        "tenant_warps needs at least one warp per tenant with ops \
+         ({total_warps} warps < {nonempty} tenants)"
+    );
+    let mut assigned = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        alloc[i] = total_warps * c / total_ops;
+        assigned += alloc[i];
+    }
+    // Hand the rounding leftovers to the largest remainders.
+    let mut by_remainder: Vec<usize> = (0..counts.len()).filter(|&i| counts[i] > 0).collect();
+    by_remainder.sort_by_key(|&i| (std::cmp::Reverse(total_warps * counts[i] % total_ops), i));
+    for &i in by_remainder
+        .iter()
+        .cycle()
+        .take((total_warps - assigned) as usize)
+    {
+        alloc[i] += 1;
+    }
+    // Every tenant with ops gets a warp, donated by the largest allocation.
+    for i in 0..counts.len() {
+        if counts[i] > 0 && alloc[i] == 0 {
+            let donor = (0..counts.len())
+                .max_by_key(|&j| (alloc[j], std::cmp::Reverse(j)))
+                .expect("non-empty");
+            alloc[donor] -= 1;
+            alloc[i] += 1;
+        }
+    }
+    alloc
+}
+
+/// Build the cursor of warp `warp_flat` under `params`, using `partition`
+/// when tenant partitioning is on.
+fn cursor_for(
+    warp_flat: u64,
+    params: &TraceReplayParams,
+    trace: &Trace,
+    partition: Option<&TenantPartition>,
+) -> OpCursor {
+    match partition {
+        None => OpCursor::Strided {
+            next: warp_flat,
+            stride: params.total_warps,
+            len: trace.ops.len() as u64,
+        },
+        Some(partition) => {
+            // Tenants own contiguous warp blocks, in tenant-id order.
+            let mut start = 0u64;
+            for (tid, &owned) in partition.alloc.iter().enumerate() {
+                if warp_flat < start + owned {
+                    let instance = (warp_flat - start) as usize;
+                    let ops = partition.per_tenant[tid]
+                        .iter()
+                        .skip(instance)
+                        .step_by(owned as usize)
+                        .copied()
+                        .collect();
+                    return OpCursor::List { ops, pos: 0 };
+                }
+                start += owned;
+            }
+            // Warps past the allocation (ops < warps) stay idle.
+            OpCursor::List {
+                ops: Vec::new(),
+                pos: 0,
+            }
         }
     }
 }
@@ -163,6 +334,9 @@ pub struct AgileTraceReplayKernel {
     trace: Arc<Trace>,
     collector: Arc<ReplayCollector>,
     params: TraceReplayParams,
+    /// Tenant partitioning (op lists + warp allocation), present when
+    /// `params.tenant_warps`.
+    partition: Option<TenantPartition>,
 }
 
 impl AgileTraceReplayKernel {
@@ -174,11 +348,15 @@ impl AgileTraceReplayKernel {
         params: TraceReplayParams,
     ) -> Self {
         assert!(params.total_warps >= 1);
+        let partition = params
+            .tenant_warps
+            .then(|| TenantPartition::new(&trace, params.total_warps));
         AgileTraceReplayKernel {
             ctrl,
             trace,
             collector,
             params,
+            partition,
         }
     }
 }
@@ -187,9 +365,8 @@ struct AgileReplayWarp {
     ctrl: Arc<AgileCtrl>,
     trace: Arc<Trace>,
     collector: Arc<ReplayCollector>,
-    /// Next op index this warp owns (strided by `total_warps`).
-    next: u64,
-    stride: u64,
+    /// The ops this warp owns.
+    cursor: OpCursor,
     warp_flat: u64,
     window: usize,
     stripe: bool,
@@ -229,7 +406,7 @@ impl WarpKernel for AgileReplayWarp {
         self.reap(ctx.now);
 
         let ops = &self.trace.ops;
-        if self.next >= ops.len() as u64 {
+        if self.cursor.peek().is_none() {
             // Everything issued; drain the stragglers.
             if self.outstanding.is_empty() {
                 return WarpStep::Done;
@@ -254,15 +431,19 @@ impl WarpKernel for AgileReplayWarp {
         let mut cost = Cycles(0);
         let mut issued_now = 0u32;
         for _ in 0..ctx.lanes {
-            if self.next >= ops.len() as u64 || self.outstanding.len() >= self.window {
+            if self.outstanding.len() >= self.window {
                 break;
             }
-            let op: TraceOp = ops[self.next as usize];
+            let Some(idx) = self.cursor.peek() else {
+                break;
+            };
+            let op: TraceOp = ops[idx];
             let (dev, lba) = self.target(&op);
             let barrier = Barrier::new();
             let (c, outcome) = if op.write {
-                self.ctrl.raw_write(
+                self.ctrl.raw_write_as(
                     self.warp_flat,
+                    op.tenant,
                     dev,
                     lba,
                     PageToken(lba ^ (op.tenant as u64) << 48),
@@ -270,8 +451,9 @@ impl WarpKernel for AgileReplayWarp {
                     ctx.now,
                 )
             } else {
-                self.ctrl.raw_read(
+                self.ctrl.raw_read_as(
                     self.warp_flat,
+                    op.tenant,
                     dev,
                     lba,
                     DmaHandle::new(),
@@ -294,14 +476,15 @@ impl WarpKernel for AgileReplayWarp {
                         dev,
                         tenant: op.tenant,
                     });
-                    self.next += self.stride;
+                    self.cursor.advance();
                     issued_now += 1;
                 }
                 IssueOutcome::Retry => break,
             }
         }
         if issued_now == 0 {
-            // Every SQ full: the AGILE service will recycle entries.
+            // Every SQ full (or the QoS gate deferred this tenant): the
+            // AGILE service keeps recycling entries; retry later.
             WarpStep::Stall {
                 retry_after: Cycles(3_000),
             }
@@ -329,13 +512,18 @@ impl KernelFactory for AgileTraceReplayKernel {
             // Rounded-up launch geometry: this warp owns no ops.
             return Box::new(IdleWarp);
         }
+        let cursor = cursor_for(
+            warp_flat,
+            &self.params,
+            &self.trace,
+            self.partition.as_ref(),
+        );
         match self.params.path {
             ReplayPath::Raw => Box::new(AgileReplayWarp {
                 ctrl: Arc::clone(&self.ctrl),
                 trace: Arc::clone(&self.trace),
                 collector: Arc::clone(&self.collector),
-                next: warp_flat,
-                stride: self.params.total_warps,
+                cursor,
                 warp_flat,
                 window: self.params.window.max(1),
                 stripe: self.params.stripe,
@@ -345,8 +533,7 @@ impl KernelFactory for AgileTraceReplayKernel {
                 ctrl: Arc::clone(&self.ctrl),
                 trace: Arc::clone(&self.trace),
                 collector: Arc::clone(&self.collector),
-                next: warp_flat,
-                stride: self.params.total_warps,
+                cursor,
                 warp_flat,
                 stripe: self.params.stripe,
                 batch_reads: Vec::new(),
@@ -368,8 +555,7 @@ struct AgileCachedReplayWarp {
     ctrl: Arc<AgileCtrl>,
     trace: Arc<Trace>,
     collector: Arc<ReplayCollector>,
-    next: u64,
-    stride: u64,
+    cursor: OpCursor,
     warp_flat: u64,
     stripe: bool,
     /// Pending reads of the current batch: (device, lba, tenant).
@@ -389,20 +575,18 @@ impl AgileCachedReplayWarp {
         }
     }
 
-    /// Read targets of the up-to-`lanes` ops after `from` (for prefetch).
-    fn lookahead_reads(&self, from: u64, lanes: u32) -> Vec<(u32, u64)> {
+    /// Read targets of the up-to-`lanes` ops ahead of the cursor (prefetch).
+    fn lookahead_reads(&self, lanes: u32) -> Vec<(u32, u64)> {
         let ops = &self.trace.ops;
         let mut targets = Vec::new();
-        let mut idx = from;
-        for _ in 0..lanes {
-            if idx >= ops.len() as u64 {
+        for k in 0..lanes as usize {
+            let Some(idx) = self.cursor.peek_ahead(k) else {
                 break;
-            }
-            let op = ops[idx as usize];
+            };
+            let op = ops[idx];
             if !op.write {
                 targets.push(self.target(&op));
             }
-            idx += self.stride;
         }
         targets
     }
@@ -410,20 +594,18 @@ impl AgileCachedReplayWarp {
 
 impl WarpKernel for AgileCachedReplayWarp {
     fn step(&mut self, ctx: &WarpCtx) -> WarpStep {
-        let ops_len = self.trace.ops.len() as u64;
-
         // Pull the next batch when the current one is fully retired.
         if self.batch_reads.is_empty() && self.batch_writes.is_empty() {
-            if self.next >= ops_len {
+            if self.cursor.peek().is_none() {
                 return WarpStep::Done;
             }
             let mut cost = Cycles(0);
             for _ in 0..ctx.lanes {
-                if self.next >= ops_len {
+                let Some(idx) = self.cursor.peek() else {
                     break;
-                }
-                let op = self.trace.ops[self.next as usize];
-                self.next += self.stride;
+                };
+                let op = self.trace.ops[idx];
+                self.cursor.advance();
                 cost += Cycles(op.gap as u64);
                 if op.write {
                     self.batch_writes.push(op);
@@ -438,7 +620,7 @@ impl WarpKernel for AgileCachedReplayWarp {
             // into the cached-path percentiles.
             self.batch_started = ctx.now.raw() + cost.raw();
             // Prefetch the following batch so its fills overlap this one.
-            let lookahead = self.lookahead_reads(self.next, ctx.lanes);
+            let lookahead = self.lookahead_reads(ctx.lanes);
             if !lookahead.is_empty() {
                 let (c, _retry) = self.ctrl.prefetch_warp(self.warp_flat, &lookahead, ctx.now);
                 cost += c;
@@ -537,6 +719,9 @@ pub struct BamTraceReplayKernel {
     trace: Arc<Trace>,
     collector: Arc<ReplayCollector>,
     params: TraceReplayParams,
+    /// Tenant partitioning (op lists + warp allocation), present when
+    /// `params.tenant_warps`.
+    partition: Option<TenantPartition>,
 }
 
 impl BamTraceReplayKernel {
@@ -548,11 +733,15 @@ impl BamTraceReplayKernel {
         params: TraceReplayParams,
     ) -> Self {
         assert!(params.total_warps >= 1);
+        let partition = params
+            .tenant_warps
+            .then(|| TenantPartition::new(&trace, params.total_warps));
         BamTraceReplayKernel {
             ctrl,
             trace,
             collector,
             params,
+            partition,
         }
     }
 }
@@ -561,8 +750,7 @@ struct BamReplayWarp {
     ctrl: Arc<BamCtrl>,
     trace: Arc<Trace>,
     collector: Arc<ReplayCollector>,
-    next: u64,
-    stride: u64,
+    cursor: OpCursor,
     warp_flat: u64,
     stripe: bool,
     current: Option<Inflight>,
@@ -607,16 +795,17 @@ impl WarpKernel for BamReplayWarp {
         }
 
         let ops = &self.trace.ops;
-        if self.next >= ops.len() as u64 {
+        let Some(idx) = self.cursor.peek() else {
             return WarpStep::Done;
-        }
-        let op: TraceOp = ops[self.next as usize];
+        };
+        let op: TraceOp = ops[idx];
         let (dev, lba) = self.target(&op);
         let mut cost = Cycles(0);
         let barrier = Barrier::new();
         let (c, ok) = if op.write {
-            self.ctrl.raw_write(
+            self.ctrl.raw_write_as(
                 self.warp_flat,
+                op.tenant,
                 dev,
                 lba,
                 PageToken(lba ^ (op.tenant as u64) << 48),
@@ -624,8 +813,9 @@ impl WarpKernel for BamReplayWarp {
                 ctx.now,
             )
         } else {
-            self.ctrl.raw_read(
+            self.ctrl.raw_read_as(
                 self.warp_flat,
+                op.tenant,
                 dev,
                 lba,
                 DmaHandle::new(),
@@ -645,7 +835,7 @@ impl WarpKernel for BamReplayWarp {
                 dev,
                 tenant: op.tenant,
             });
-            self.next += self.stride;
+            self.cursor.advance();
             WarpStep::Busy(cost.max(Cycles(1)))
         } else {
             // SQs full: only user polling can free entries in BaM.
@@ -665,13 +855,18 @@ impl KernelFactory for BamTraceReplayKernel {
             // Rounded-up launch geometry: this warp owns no ops.
             return Box::new(IdleWarp);
         }
+        let cursor = cursor_for(
+            warp_flat,
+            &self.params,
+            &self.trace,
+            self.partition.as_ref(),
+        );
         match self.params.path {
             ReplayPath::Raw => Box::new(BamReplayWarp {
                 ctrl: Arc::clone(&self.ctrl),
                 trace: Arc::clone(&self.trace),
                 collector: Arc::clone(&self.collector),
-                next: warp_flat,
-                stride: self.params.total_warps,
+                cursor,
                 warp_flat,
                 stripe: self.params.stripe,
                 current: None,
@@ -681,8 +876,7 @@ impl KernelFactory for BamTraceReplayKernel {
                 ctrl: Arc::clone(&self.ctrl),
                 trace: Arc::clone(&self.trace),
                 collector: Arc::clone(&self.collector),
-                next: warp_flat,
-                stride: self.params.total_warps,
+                cursor,
                 warp_flat,
                 stripe: self.params.stripe,
                 batch_reads: Vec::new(),
@@ -705,8 +899,7 @@ struct BamCachedReplayWarp {
     ctrl: Arc<BamCtrl>,
     trace: Arc<Trace>,
     collector: Arc<ReplayCollector>,
-    next: u64,
-    stride: u64,
+    cursor: OpCursor,
     warp_flat: u64,
     stripe: bool,
     /// Pending reads of the current batch: (device, lba, tenant).
@@ -731,19 +924,17 @@ impl BamCachedReplayWarp {
 
 impl WarpKernel for BamCachedReplayWarp {
     fn step(&mut self, ctx: &WarpCtx) -> WarpStep {
-        let ops_len = self.trace.ops.len() as u64;
-
         if self.batch_reads.is_empty() && self.batch_writes.is_empty() {
-            if self.next >= ops_len {
+            if self.cursor.peek().is_none() {
                 return WarpStep::Done;
             }
             let mut cost = Cycles(0);
             for _ in 0..ctx.lanes {
-                if self.next >= ops_len {
+                let Some(idx) = self.cursor.peek() else {
                     break;
-                }
-                let op = self.trace.ops[self.next as usize];
-                self.next += self.stride;
+                };
+                let op = self.trace.ops[idx];
+                self.cursor.advance();
                 cost += Cycles(op.gap as u64);
                 if op.write {
                     self.batch_writes.push(op);

@@ -1,0 +1,99 @@
+//! Regression repro for the ROADMAP "Known issue": **dirty-victim loss under
+//! SQ pressure**.
+//!
+//! When a dirty eviction's write-back cannot be issued (every SQ full), the
+//! controller paths (`write_warp`, `write_warp_sync`, prefetch/read fills)
+//! call `abort_fill` on the reserved line and drop the write-back snapshot.
+//! At that point the victim's modified token exists **nowhere** — not in the
+//! cache (its line was reclaimed at `lookup_or_reserve` time), not in any SQ
+//! (the write-back was never admitted), not on the backing (it was never
+//! written) — and a later read of the victim page refills stale data.
+//!
+//! The test below asserts the *buggy* behaviour so the future fix has a
+//! ready-made repro: fixing it needs `SoftwareCache` to reinstate the
+//! victim's tag + token on abort (see `abort_fill` in
+//! `crates/cache/src/cache.rs` and the ROADMAP entry). When that lands, flip
+//! the final assertions (the victim token must survive somewhere) and remove
+//! the `#[ignore]`.
+
+use agile_repro::agile::transaction::{Barrier, Transaction};
+use agile_repro::agile::{AgileConfig, AgileCtrl, IssueOutcome};
+use agile_repro::nvme::{DmaHandle, PageToken, QueuePair};
+use agile_repro::sim::Cycles;
+use std::sync::Arc;
+
+/// One queue pair of the minimum depth, a one-set cache (8 ways), no device
+/// behind the queues — issued commands stay in flight forever, which is the
+/// tiny-SQ write-heavy pressure distilled to its deterministic core.
+fn pressured_ctrl() -> AgileCtrl {
+    let cfg = AgileConfig::small_test()
+        .with_queue_pairs(1)
+        .with_queue_depth(32)
+        .with_cache_bytes(8 * 4096);
+    let queues: Vec<Vec<Arc<QueuePair>>> = vec![vec![QueuePair::new(0, 32)]];
+    AgileCtrl::new(cfg, queues)
+}
+
+#[test]
+#[ignore = "asserts the known dirty-victim loss (ROADMAP); flip when abort_fill reinstates the victim"]
+fn dirty_victim_write_back_failure_loses_the_update() {
+    let ctrl = pressured_ctrl();
+
+    // Dirty all 8 ways of the single set with distinct tokens.
+    for lba in 1..=8u64 {
+        let (_, ok) = ctrl.write_warp(0, 0, lba, PageToken(0xD0_0000 + lba), Cycles(0));
+        assert!(ok, "priming store to lba {lba} must land");
+        assert_eq!(ctrl.cache().peek(0, lba), Some(PageToken(0xD0_0000 + lba)));
+    }
+
+    // Saturate the only SQ: 32 raw reads that never complete (no device).
+    for i in 0..32u64 {
+        let (_, o) = ctrl.raw_read(0, 0, 1_000 + i, DmaHandle::new(), Barrier::new(), Cycles(0));
+        assert_eq!(o, IssueOutcome::Issued);
+    }
+    let sq = &ctrl.device_queues(0)[0];
+    assert_eq!(sq.free_slots(), 0, "every SQ slot is in flight");
+
+    // A ninth store must evict a dirty victim; its write-back cannot issue.
+    let (_, ok) = ctrl.write_warp(0, 0, 100, PageToken(0xBEEF), Cycles(0));
+    assert!(!ok, "the store is asked to retry — that part is correct");
+    let stats = ctrl.stats();
+    assert_eq!(stats.writebacks, 1, "a write-back was attempted");
+    assert!(stats.sq_full_retries >= 1, "and found every SQ full");
+
+    // THE BUG: the victim's dirty token now exists nowhere.
+    let victim: Vec<u64> = (1..=8)
+        .filter(|&l| ctrl.cache().peek(0, l).is_none())
+        .collect();
+    assert_eq!(victim.len(), 1, "exactly one dirty line was sacrificed");
+    let victim = victim[0];
+    // Not in any SQ: the in-flight set is still exactly our 32 raw reads.
+    assert_eq!(sq.transactions().in_flight(), 32);
+    // The aborted reservation did not wedge the cache either.
+    assert_eq!(ctrl.cache().total_pins(), 0);
+
+    // A later read of the victim page issues a *fresh fill from the backing*
+    // — stale data — instead of finding the modified token. Free one slot
+    // (as the service would) and watch the read path do exactly that.
+    let _ = sq.queue_pair().sq.take_slot(0);
+    let _ = sq.transactions().take(0);
+    sq.release(0);
+    let (_, outcome) = ctrl.read_warp(0, &[(0, victim)], Cycles(0));
+    assert!(
+        matches!(outcome, agile_repro::agile::ReadOutcome::Pending),
+        "the modified page reads as a miss"
+    );
+    let refill = sq
+        .transactions()
+        .take(0)
+        .expect("command issued in freed slot");
+    assert!(
+        matches!(
+            refill,
+            Transaction::CacheFill { .. } | Transaction::WriteBack
+        ),
+        "the victim's next read starts a fresh backing fill (possibly after \
+         evicting yet another dirty way) — the 0xD0_00xx token written above \
+         is gone for good, so the refill can only return stale data"
+    );
+}

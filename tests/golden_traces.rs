@@ -14,7 +14,7 @@
 
 use agile_repro::trace::{Trace, TraceSpec};
 use agile_repro::workloads::experiments::trace_replay::{
-    run_trace_replay, ReplayConfig, ReplaySystem,
+    run_trace_replay, QosSpec, ReplayConfig, ReplaySystem,
 };
 use std::path::{Path, PathBuf};
 
@@ -43,6 +43,10 @@ fn golden_specs() -> Vec<(&'static str, TraceSpec)> {
 }
 
 /// Replay one golden trace on both systems and return the summary lines.
+///
+/// `ReplayConfig::quick()` installs the explicit `Fifo` QoS policy object,
+/// so matching the pre-QoS expected summaries byte-for-byte *is* the
+/// scheduler-off ⇒ no-behaviour-drift assertion.
 fn replay_summaries(stem: &str, trace: &Trace) -> Vec<String> {
     let cfg = ReplayConfig::quick();
     let mut lines = Vec::new();
@@ -52,6 +56,38 @@ fn replay_summaries(stem: &str, trace: &Trace) -> Vec<String> {
         lines.push(format!("{stem} {}", report.summary()));
     }
     lines
+}
+
+/// The golden QoS workload: the 9:1 noisy-neighbour mix replayed on AGILE
+/// under FIFO and under equal-weight WFQ, over saturated SQs with
+/// demand-proportional tenant warps. Two summary lines per regeneration —
+/// the checked-in pair documents the victim-tail improvement the scheduler
+/// is for.
+fn golden_qos_spec() -> TraceSpec {
+    TraceSpec::noisy_neighbor("golden-qos", 404, 2, 1 << 12, 1_024)
+}
+
+fn golden_qos_config(qos: QosSpec) -> ReplayConfig {
+    ReplayConfig {
+        total_warps: 32,
+        window: 32,
+        queue_pairs: 2,
+        queue_depth: 32,
+        qos,
+        ..ReplayConfig::quick()
+    }
+    .tenant_partitioned()
+}
+
+fn golden_qos_summaries(trace: &Trace) -> Vec<String> {
+    [QosSpec::Fifo, QosSpec::WeightedFair(vec![1, 1])]
+        .into_iter()
+        .map(|qos| {
+            let report = run_trace_replay(trace, ReplaySystem::Agile, &golden_qos_config(qos));
+            assert!(!report.deadlocked, "golden_qos deadlocked");
+            format!("golden_qos {}", report.summary())
+        })
+        .collect()
 }
 
 #[test]
@@ -84,7 +120,32 @@ fn golden_traces_replay_byte_identically() {
     );
 }
 
-/// Regenerates the golden binaries and the expected-summary file.
+#[test]
+fn golden_qos_trace_replays_byte_identically() {
+    let dir = data_dir();
+    let bytes = std::fs::read(dir.join("golden_qos.trace"))
+        .expect("tests/data/golden_qos.trace is checked in");
+    let trace = Trace::from_bytes(&bytes).expect("golden qos trace parses");
+    assert_eq!(
+        trace,
+        golden_qos_spec().generate(),
+        "golden_qos: generator or format drifted from the checked-in binary"
+    );
+    let expected = std::fs::read_to_string(dir.join("golden_qos_summary.txt"))
+        .expect("tests/data/golden_qos_summary.txt is checked in");
+    let actual: String = golden_qos_summaries(&trace)
+        .into_iter()
+        .map(|l| l + "\n")
+        .collect();
+    assert_eq!(
+        actual, expected,
+        "QoS replay summaries drifted from tests/data/golden_qos_summary.txt — \
+         if intentional, regenerate with: \
+         cargo test --test golden_traces -- --ignored regenerate --nocapture"
+    );
+}
+
+/// Regenerates the golden binaries and the expected-summary files.
 #[test]
 #[ignore = "writes tests/data — run explicitly to regenerate"]
 fn regenerate() {
@@ -101,5 +162,14 @@ fn regenerate() {
         }
     }
     std::fs::write(dir.join("golden_summaries.txt"), &summaries).expect("write summaries");
-    println!("regenerated tests/data:\n{summaries}");
+    let qos_trace = golden_qos_spec().generate();
+    std::fs::write(dir.join("golden_qos.trace"), qos_trace.to_bytes())
+        .expect("write golden qos trace");
+    let qos_summaries: String = golden_qos_summaries(&qos_trace)
+        .into_iter()
+        .map(|l| l + "\n")
+        .collect();
+    std::fs::write(dir.join("golden_qos_summary.txt"), &qos_summaries)
+        .expect("write qos summaries");
+    println!("regenerated tests/data:\n{summaries}{qos_summaries}");
 }
