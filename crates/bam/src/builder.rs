@@ -32,7 +32,7 @@ use agile_core::config::AgileConfig;
 use agile_core::host::{AgileHost, GpuStorageHost};
 use agile_core::qos::QosPolicy;
 use agile_sim::trace::TraceSink;
-use gpu_sim::GpuConfig;
+use gpu_sim::{EngineSched, GpuConfig};
 use nvme_sim::PageBacking;
 use std::sync::Arc;
 
@@ -72,6 +72,8 @@ pub struct HostBuilder<S: HostSystem> {
     config: S::Config,
     devices: Vec<DeviceSpec>,
     shards: usize,
+    service_shards: usize,
+    engine_sched: EngineSched,
     sink: Option<Arc<dyn TraceSink>>,
     qos: Option<Arc<dyn QosPolicy>>,
 }
@@ -84,9 +86,21 @@ impl HostBuilder<AgileSystem> {
             config,
             devices: Vec::new(),
             shards: 0,
+            service_shards: 1,
+            engine_sched: EngineSched::default(),
             sink: None,
             qos: None,
         }
+    }
+
+    /// Scale the AGILE service out to `shards` shard-affine partitions —
+    /// one persistent kernel per partition, each polling the CQs of the
+    /// devices its storage shard owns ([`agile_core::service::ServiceSet`]).
+    /// The default of 1 is the paper's single service, bit for bit.
+    pub fn service_shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "the service needs at least one partition");
+        self.service_shards = shards;
+        self
     }
 }
 
@@ -98,6 +112,8 @@ impl HostBuilder<BamSystem> {
             config,
             devices: Vec::new(),
             shards: 0,
+            service_shards: 1,
+            engine_sched: EngineSched::default(),
             sink: None,
             qos: None,
         }
@@ -143,6 +159,15 @@ impl<S: HostSystem> HostBuilder<S> {
         self
     }
 
+    /// Select the engine's scheduling loop: the event-driven ready-queue
+    /// (default) or the legacy full scan ([`gpu_sim::EngineSched`]). Both
+    /// execute bit-identically; the scan exists for equivalence tests and
+    /// wall-time comparisons.
+    pub fn engine_sched(mut self, sched: EngineSched) -> Self {
+        self.engine_sched = sched;
+        self
+    }
+
     /// Install a trace sink across the whole stack before the first kernel
     /// runs, so capture covers every event from time zero.
     pub fn trace_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
@@ -177,6 +202,8 @@ impl HostBuilder<AgileSystem> {
         if self.shards > 0 {
             host.set_shards(self.shards);
         }
+        host.set_service_shards(self.service_shards);
+        host.set_engine_sched(self.engine_sched);
         host.init_nvme();
         if let Some(sink) = self.sink {
             host.set_trace_sink(sink);
@@ -207,6 +234,7 @@ impl HostBuilder<BamSystem> {
         if self.shards > 0 {
             host.set_shards(self.shards);
         }
+        host.set_engine_sched(self.engine_sched);
         host.init_nvme();
         if let Some(sink) = self.sink {
             host.set_trace_sink(sink);

@@ -449,7 +449,9 @@ impl BamCtrl {
                         );
                         cost += wb_cost;
                         if !ok {
-                            self.cache.abort_fill(line);
+                            // The write-back snapshot is the only copy of
+                            // the victim's modification: reinstate it.
+                            self.cache.reinstate_victim(line, wb_dev, wb_lba, wb_token);
                             continue;
                         }
                     }
@@ -501,9 +503,31 @@ impl BamCtrl {
     }
 
     /// [`BamCtrl::poll_once`] with an explicit sim time for trace records.
+    /// Selects the CQ paired with the warp's home SQ (`warp mod queues`).
     pub fn poll_once_at(&self, warp: u64, dev: usize, now: Cycles) -> (Cycles, u32) {
-        let api = &self.cfg.costs.api;
         let qidx = (warp as usize) % self.queues[dev].len();
+        self.poll_cq_at(warp, dev, qidx, now)
+    }
+
+    /// The shard-affine `(device, queue-pair)` partitioning the AGILE
+    /// [`agile_core::service::ServiceSet`] polls, computed with the same
+    /// rule ([`agile_core::service::partition_targets`]) over this
+    /// controller's topology — so a BaM harness can sweep exactly the CQ
+    /// set an AGILE service shard owns and scale-out comparisons stay
+    /// apples-to-apples. BaM remains thread-centric: the caller drives
+    /// [`BamCtrl::poll_cq_at`] over a partition itself; there is no
+    /// background kernel.
+    pub fn poll_targets(&self, shards: usize) -> Vec<Vec<(usize, usize)>> {
+        let queues_per_device: Vec<usize> = self.queues.iter().map(|qs| qs.len()).collect();
+        agile_core::service::partition_targets(self.topology.as_ref(), &queues_per_device, shards)
+    }
+
+    /// One CQ polling pass over a *specific* queue pair — the partitioned
+    /// counterpart of [`BamCtrl::poll_once_at`], for callers iterating a
+    /// [`BamCtrl::poll_targets`] partition. `warp` identifies the polling
+    /// thread in trace capture only.
+    pub fn poll_cq_at(&self, warp: u64, dev: usize, qidx: usize, now: Cycles) -> (Cycles, u32) {
+        let api = &self.cfg.costs.api;
         let sq = &self.queues[dev][qidx];
         let cq = &sq.queue_pair().cq;
         let depth = cq.depth();
@@ -618,9 +642,12 @@ impl BamCtrl {
                     self.cache.store(line, token);
                     self.cache.unpin(line);
                 } else {
-                    // Could not write the victim back: abandon the
-                    // reservation and let the caller retry.
-                    self.cache.abort_fill(line);
+                    // Could not write the victim back: reinstate its dirty
+                    // data (the snapshot is the only copy) and let the
+                    // caller retry.
+                    let (wb_dev, wb_lba, wb_token) =
+                        writeback.expect("issue only fails on the write-back path here");
+                    self.cache.reinstate_victim(line, wb_dev, wb_lba, wb_token);
                 }
                 (cost, ok)
             }

@@ -11,7 +11,9 @@ use agile_core::host::{GpuStorageHost, SsdBridge};
 use agile_core::qos::QosPolicy;
 use agile_sim::trace::TraceSink;
 use agile_sim::Cycles;
-use gpu_sim::{occupancy, Engine, ExecutionReport, GpuConfig, KernelFactory, LaunchConfig};
+use gpu_sim::{
+    occupancy, Engine, EngineSched, ExecutionReport, GpuConfig, KernelFactory, LaunchConfig,
+};
 use nvme_sim::{FlatArray, MemBacking, PageBacking, ShardedArray, SsdConfig, StorageTopology};
 use std::sync::Arc;
 
@@ -22,6 +24,8 @@ pub struct BamHost {
     pending_devices: Vec<(SsdConfig, Arc<dyn PageBacking>)>,
     /// 0 = flat (single lock); ≥ 1 = sharded with that many lock shards.
     shards: usize,
+    /// Scheduling loop of the engine (event-driven ready-queue by default).
+    engine_sched: EngineSched,
     topology: Option<Arc<dyn StorageTopology>>,
     ctrl: Option<Arc<BamCtrl>>,
     engine: Option<Engine>,
@@ -35,10 +39,21 @@ impl BamHost {
             config,
             pending_devices: Vec::new(),
             shards: 0,
+            engine_sched: EngineSched::default(),
             topology: None,
             ctrl: None,
             engine: None,
         }
+    }
+
+    /// Select the engine's scheduling loop (default: the event-driven
+    /// ready-queue). Must be called before [`BamHost::start`].
+    pub fn set_engine_sched(&mut self, sched: EngineSched) {
+        assert!(
+            self.engine.is_none(),
+            "set_engine_sched must be called before start"
+        );
+        self.engine_sched = sched;
     }
 
     /// Partition the storage into `shards` lock shards (build a
@@ -132,6 +147,7 @@ impl BamHost {
     pub fn start(&mut self) {
         assert!(self.ctrl.is_some(), "init_nvme must run before start");
         let mut engine = Engine::new(self.gpu.clone());
+        engine.set_scheduler(self.engine_sched);
         engine.add_device(Box::new(SsdBridge::new(self.topology())));
         self.engine = Some(engine);
     }

@@ -366,10 +366,44 @@ impl SoftwareCache {
     /// when the NVMe command could not be issued (every SQ full): the line
     /// returns to `INVALID` and the reservation pin is dropped, so other
     /// threads are not blocked behind a fill that will never happen.
+    ///
+    /// When the reservation evicted a **dirty** victim whose write-back then
+    /// failed to issue, use [`SoftwareCache::reinstate_victim`] instead —
+    /// plain `abort_fill` would drop the only copy of the victim's modified
+    /// data.
     pub fn abort_fill(&self, line: LineId) {
         let way = self.way(line);
         let ok = way.transition(LineState::Busy, LineState::Invalid);
         debug_assert!(ok, "abort_fill on a line that was not BUSY");
+        way.unpin();
+    }
+
+    /// Abandon a reservation whose dirty victim's write-back could not be
+    /// issued (every SQ full), re-installing the victim's tag and token in
+    /// the line instead of dropping them.
+    ///
+    /// `lookup_or_reserve` reclaims a dirty way by handing the caller a
+    /// `(device, lba, token)` write-back snapshot and re-tagging the line for
+    /// the new request; until the write-back is issued, that snapshot is the
+    /// **only** copy of the modification. If the issue fails, the snapshot
+    /// must go back into the cache — otherwise a later read of the victim
+    /// page refills stale data from the backing (the ROADMAP's dirty-victim
+    /// lost-update). The line returns to `MODIFIED` under the victim's tag,
+    /// the reservation pin is dropped, and the caller's own request simply
+    /// misses again on its retry.
+    pub fn reinstate_victim(&self, line: LineId, dev: u32, lba: Lba, token: PageToken) {
+        let set_idx = line.0 as usize / self.assoc;
+        let way_idx = line.0 as usize % self.assoc;
+        let mut meta = self.sets[set_idx].lock();
+        let way = &self.ways[line.0 as usize];
+        debug_assert_eq!(
+            way.state(),
+            LineState::Busy,
+            "reinstate_victim on a line that was not reserved"
+        );
+        meta.tags[way_idx] = Some((dev, lba));
+        way.data.store(token);
+        way.set_state(LineState::Modified);
         way.unpin();
     }
 

@@ -500,8 +500,10 @@ impl AgileCtrl {
                         );
                         cost += wb_cost;
                         if !ok {
-                            // Could not even write back: abandon the fill.
-                            self.cache.abort_fill(line);
+                            // Could not even write back: put the victim's
+                            // dirty data back in the line (the snapshot is
+                            // its only copy) and retry the prefetch later.
+                            self.cache.reinstate_victim(line, wb_dev, wb_lba, wb_token);
                             retry.push((dev, lba));
                             continue;
                         }
@@ -589,7 +591,9 @@ impl AgileCtrl {
                         );
                         cost += wb_cost;
                         if !ok {
-                            self.cache.abort_fill(line);
+                            // The write-back snapshot is the only copy of
+                            // the victim's modification: reinstate it.
+                            self.cache.reinstate_victim(line, wb_dev, wb_lba, wb_token);
                             continue;
                         }
                     }
@@ -667,7 +671,9 @@ impl AgileCtrl {
                     );
                     cost += wb_cost;
                     if !ok {
-                        self.cache.abort_fill(line);
+                        // The snapshot is the only copy of the victim's
+                        // modification: reinstate it and ask for a retry.
+                        self.cache.reinstate_victim(line, wb_dev, wb_lba, wb_token);
                         self.bump_cache(cost.raw());
                         return (cost, false);
                     }

@@ -30,12 +30,13 @@
 use crate::config::AgileConfig;
 use crate::ctrl::AgileCtrl;
 use crate::qos::QosPolicy;
-use crate::service::{AgileService, AgileServiceKernel};
+use crate::service::{AgileServiceKernel, ServicePartition, ServiceSet};
 use agile_sim::trace::TraceSink;
 use agile_sim::Cycles;
 use gpu_sim::registers::agile_footprints;
 use gpu_sim::{
-    occupancy, Engine, ExecutionReport, ExternalDevice, GpuConfig, KernelFactory, LaunchConfig,
+    occupancy, Engine, EngineSched, ExecutionReport, ExternalDevice, GpuConfig, KernelFactory,
+    LaunchConfig,
 };
 use nvme_sim::{FlatArray, MemBacking, PageBacking, ShardedArray, SsdConfig, StorageTopology};
 use std::sync::Arc;
@@ -118,9 +119,14 @@ pub struct AgileHost {
     pending_devices: Vec<(SsdConfig, Arc<dyn PageBacking>)>,
     /// 0 = flat (single lock); ≥ 1 = sharded with that many lock shards.
     shards: usize,
+    /// Shard-affine service partitions (one persistent kernel each);
+    /// 1 = the paper's single service, bit-identical.
+    service_shards: usize,
+    /// Scheduling loop of the engine (event-driven ready-queue by default).
+    engine_sched: EngineSched,
     topology: Option<Arc<dyn StorageTopology>>,
     ctrl: Option<Arc<AgileCtrl>>,
-    service: Option<Arc<AgileService>>,
+    service: Option<ServiceSet>,
     engine: Option<Engine>,
     service_started: bool,
 }
@@ -137,6 +143,8 @@ impl AgileHost {
             config,
             pending_devices: Vec::new(),
             shards: 0,
+            service_shards: 1,
+            engine_sched: EngineSched::default(),
             topology: None,
             ctrl: None,
             service: None,
@@ -164,6 +172,29 @@ impl AgileHost {
             "set_shards must be called before init_nvme"
         );
         self.shards = shards;
+    }
+
+    /// Scale the AGILE service out to `shards` shard-affine partitions, one
+    /// persistent kernel each (see [`crate::service::ServiceSet`]). The
+    /// default of 1 is the paper's single service, bit for bit. Must be
+    /// called before [`AgileHost::start_agile`].
+    pub fn set_service_shards(&mut self, shards: usize) {
+        assert!(shards >= 1, "the service needs at least one partition");
+        assert!(
+            !self.service_started,
+            "set_service_shards must be called before start_agile"
+        );
+        self.service_shards = shards;
+    }
+
+    /// Select the engine's scheduling loop (default: the event-driven
+    /// ready-queue). Must be called before [`AgileHost::start_agile`].
+    pub fn set_engine_sched(&mut self, sched: EngineSched) {
+        assert!(
+            !self.service_started,
+            "set_engine_sched must be called before start_agile"
+        );
+        self.engine_sched = sched;
     }
 
     /// Register an SSD with `namespace_pages` 4 KiB pages and a default
@@ -245,9 +276,15 @@ impl AgileHost {
         self.ctrl().set_qos_policy(policy)
     }
 
-    /// The AGILE service (available after [`AgileHost::start_agile`]).
-    pub fn service(&self) -> Arc<AgileService> {
-        Arc::clone(self.service.as_ref().expect("start_agile not called"))
+    /// The AGILE service set (available after [`AgileHost::start_agile`]).
+    pub fn service_set(&self) -> &ServiceSet {
+        self.service.as_ref().expect("start_agile not called")
+    }
+
+    /// The first service partition — the whole service when
+    /// `service_shards == 1` (available after [`AgileHost::start_agile`]).
+    pub fn service(&self) -> Arc<ServicePartition> {
+        Arc::clone(&self.service_set().partitions()[0])
     }
 
     /// The shared storage topology (for workload setup and statistics).
@@ -265,33 +302,39 @@ impl AgileHost {
         occupancy(&self.gpu, launch)
     }
 
-    /// Create the GPU engine, attach the SSD bridge and launch the persistent
-    /// AGILE service kernel — `startAgile()`.
+    /// Create the GPU engine, attach the SSD bridge and launch the
+    /// persistent AGILE service kernels — `startAgile()`. One kernel per
+    /// service shard (see [`AgileHost::set_service_shards`]); each kernel
+    /// uses the configured `service_blocks`/`service_warps` geometry, so
+    /// scaling the service out adds polling warps in proportion.
     pub fn start_agile(&mut self) {
         assert!(self.ctrl.is_some(), "init_nvme must run before start_agile");
         assert!(!self.service_started, "start_agile called twice");
         let mut engine = Engine::new(self.gpu.clone());
+        engine.set_scheduler(self.engine_sched);
         engine.add_device(Box::new(SsdBridge::new(self.topology())));
 
         let ctrl = self.ctrl();
         ctrl.reset_service_stop();
-        let service = AgileService::new(Arc::clone(&ctrl));
+        let set = ServiceSet::new(&ctrl, self.service_shards);
 
         let blocks = self.config.service_blocks.max(1);
         let total_warps = self.config.service_warps.max(1);
         let warps_per_block = total_warps.div_ceil(blocks);
-        let launch = LaunchConfig::new(blocks, warps_per_block * self.gpu.warp_size)
-            .with_registers(agile_footprints::SERVICE_KERNEL_REGISTERS)
-            .persistent();
-        engine.launch(
-            launch,
-            Box::new(AgileServiceKernel::new(
-                Arc::clone(&service),
-                warps_per_block,
-                warps_per_block * blocks,
-            )),
-        );
-        self.service = Some(service);
+        for partition in set.partitions() {
+            let launch = LaunchConfig::new(blocks, warps_per_block * self.gpu.warp_size)
+                .with_registers(agile_footprints::SERVICE_KERNEL_REGISTERS)
+                .persistent();
+            engine.launch(
+                launch,
+                Box::new(AgileServiceKernel::new(
+                    Arc::clone(partition),
+                    warps_per_block,
+                    warps_per_block * blocks,
+                )),
+            );
+        }
+        self.service = Some(set);
         self.engine = Some(engine);
         self.service_started = true;
     }

@@ -17,8 +17,9 @@
 //! * [`sq_protocol`] — the three-state SQE locks (`EMPTY → UPDATED → ISSUED`)
 //!   and the serialized doorbell update of Algorithm 2 (§3.3.1);
 //! * [`coalesce`] — warp-level request coalescing (§3.3.2);
-//! * [`service`] — the AGILE service kernel with warp-centric CQ polling
-//!   (Algorithm 1, §3.2);
+//! * [`service`] — the AGILE service with warp-centric CQ polling
+//!   (Algorithm 1, §3.2), scaled out as shard-affine
+//!   [`service::ServicePartition`]s under a [`service::ServiceSet`];
 //! * [`ctrl`] — the device-side API surface (`prefetch`, `asyncRead`,
 //!   `asyncWrite`, the array-like accessor) exposed to warp kernels (§3.5);
 //! * [`lockchain`] — the compile-time debug option that tracks per-thread
@@ -74,4 +75,5 @@ pub use ctrl::{AgileCtrl, ApiStats, IssueOutcome, ReadOutcome};
 pub use host::{AgileHost, GpuStorageHost};
 pub use lockchain::{AgileLockChain, DeadlockReport, LockRegistry};
 pub use qos::{Fifo, QosDecision, QosPolicy, QosTenantStats, StrictPriority, WeightedFair};
+pub use service::{partition_targets, ServicePartition, ServiceSet, ServiceStats};
 pub use transaction::{AgileBuf, Barrier};

@@ -39,7 +39,7 @@
 
 use agile_sim::trace::{TraceEvent, TraceEventKind, TraceSink};
 use agile_sim::Cycles;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -161,35 +161,50 @@ impl QosPolicy for Fifo {
 // Weighted fair (deficit round robin over in-flight slot shares)
 // ---------------------------------------------------------------------------
 
-/// Book-keeping of one tenant's virtual queue.
-#[derive(Debug, Clone)]
+/// Book-keeping of one tenant's virtual queue — all-atomic, so the
+/// completion hook can return credits without touching the tenant registry
+/// lock (N service partitions call [`QosPolicy::on_complete`] concurrently).
+#[derive(Debug)]
 struct WfTenant {
-    weight: u64,
-    /// Admitted-but-not-completed submissions (spent round credits).
-    in_flight: u64,
-    /// Sim time of the tenant's last admission attempt; `None` until the
-    /// first attempt, so a pre-configured tenant that never shows up does
-    /// not count as active (and shrink everyone's share) at time zero.
-    last_seen: Option<u64>,
-    admitted: u64,
-    deferred: u64,
+    weight: AtomicU64,
+    /// Admitted-but-not-completed submissions (spent round credits). Bounded
+    /// by the tenant's share through a CAS loop on the admit path, so credit
+    /// accounting stays linearizable: occupancy can never exceed the share
+    /// observed at admission time, no matter how admissions, refunds and
+    /// completions interleave.
+    in_flight: AtomicU64,
+    /// Sim time of the tenant's last admission attempt **plus one**; 0 until
+    /// the first attempt, so a pre-configured tenant that never shows up
+    /// does not count as active (and shrink everyone's share) at time zero.
+    last_seen: AtomicU64,
+    admitted: AtomicU64,
+    deferred: AtomicU64,
 }
 
 impl WfTenant {
     fn with_weight(weight: u64) -> Self {
         WfTenant {
-            weight: weight.max(1),
-            in_flight: 0,
-            last_seen: None,
-            admitted: 0,
-            deferred: 0,
+            weight: AtomicU64::new(weight.max(1)),
+            in_flight: AtomicU64::new(0),
+            last_seen: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            deferred: AtomicU64::new(0),
         }
     }
-}
 
-#[derive(Debug, Default)]
-struct WfState {
-    tenants: BTreeMap<u32, WfTenant>,
+    /// Active within the window ending at `horizon`?
+    fn active_since(&self, horizon: u64) -> bool {
+        let seen = self.last_seen.load(Ordering::Acquire);
+        // `seen` is (last attempt time + 1), so `seen > horizon` is
+        // "attempted at all, and no earlier than the horizon" (0 = never).
+        seen > horizon
+    }
+
+    fn saturating_dec(counter: &AtomicU64) {
+        let _ = counter.fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| {
+            Some(v.saturating_sub(1))
+        });
+    }
 }
 
 /// Deficit-round-robin weighted fair queueing over per-tenant virtual queues,
@@ -205,13 +220,26 @@ struct WfState {
 /// When the competitors go idle the active set shrinks and the survivor's
 /// share grows back to the full capacity — the scheduler is work-conserving
 /// and a noisy tenant loses nothing when it is alone.
+///
+/// ## Interior sharding
+///
+/// With shard-affine service scale-out ([`crate::service::ServiceSet`]) the
+/// completion hook fires from N service partitions concurrently, so the
+/// interior state is sharded per tenant: every hot counter lives in its
+/// tenant's [`WfTenant`] atomics, and the only lock is a registry `RwLock`
+/// taken shared on the hot paths (exclusive only to insert a never-seen
+/// tenant). Credit accounting stays linearizable — `in_flight` is spent
+/// through a bounded CAS and returned with saturating decrements — so
+/// concurrent `admit`/`on_complete`/`refund` interleavings can neither
+/// overdraw a share nor leak a credit.
 #[derive(Debug)]
 pub struct WeightedFair {
     default_weight: u64,
     idle_window: u64,
     /// Total SQ slots; 0 = unbound (admit everything) until [`QosPolicy::bind`].
     capacity: AtomicU64,
-    state: Mutex<WfState>,
+    /// Tenant registry: append-only map of per-tenant atomic cells.
+    tenants: RwLock<BTreeMap<u32, Arc<WfTenant>>>,
 }
 
 impl Default for WeightedFair {
@@ -228,7 +256,7 @@ impl WeightedFair {
             default_weight: 1,
             idle_window: 200_000,
             capacity: AtomicU64::new(0),
-            state: Mutex::new(WfState::default()),
+            tenants: RwLock::new(BTreeMap::new()),
         }
     }
 
@@ -237,11 +265,9 @@ impl WeightedFair {
     pub fn from_weights(weights: &[u64]) -> Self {
         let wf = WeightedFair::new();
         {
-            let mut state = wf.state.lock();
+            let mut tenants = wf.tenants.write();
             for (tenant, &w) in weights.iter().enumerate() {
-                state
-                    .tenants
-                    .insert(tenant as u32, WfTenant::with_weight(w));
+                tenants.insert(tenant as u32, Arc::new(WfTenant::with_weight(w)));
             }
         }
         wf
@@ -250,14 +276,27 @@ impl WeightedFair {
     /// Override one tenant's weight (builder-style).
     pub fn with_weight(self, tenant: u32, weight: u64) -> Self {
         {
-            let mut state = self.state.lock();
-            state
-                .tenants
+            let mut tenants = self.tenants.write();
+            tenants
                 .entry(tenant)
-                .and_modify(|t| t.weight = weight.max(1))
-                .or_insert_with(|| WfTenant::with_weight(weight));
+                .and_modify(|t| t.weight.store(weight.max(1), Ordering::Release))
+                .or_insert_with(|| Arc::new(WfTenant::with_weight(weight)));
         }
         self
+    }
+
+    /// The cell of `tenant`, inserting it with the default weight on first
+    /// sight (the only write-lock acquisition on the admit path).
+    fn cell(&self, tenant: u32) -> Arc<WfTenant> {
+        if let Some(cell) = self.tenants.read().get(&tenant) {
+            return Arc::clone(cell);
+        }
+        let mut tenants = self.tenants.write();
+        Arc::clone(
+            tenants
+                .entry(tenant)
+                .or_insert_with(|| Arc::new(WfTenant::with_weight(self.default_weight))),
+        )
     }
 
     /// Override the activity window (cycles since a tenant's last admission
@@ -279,68 +318,66 @@ impl QosPolicy for WeightedFair {
 
     fn admit(&self, tenant: u32, now: Cycles) -> QosDecision {
         let capacity = self.capacity.load(Ordering::Acquire);
-        let mut state = self.state.lock();
-        let default_weight = self.default_weight;
-        let entry = state
-            .tenants
-            .entry(tenant)
-            .or_insert_with(|| WfTenant::with_weight(default_weight));
-        entry.last_seen = Some(now.raw());
+        let entry = self.cell(tenant);
+        entry.last_seen.store(now.raw() + 1, Ordering::Release);
         if capacity == 0 {
             // Unbound (no controller installed the policy yet): never defer.
-            let entry = state.tenants.get_mut(&tenant).expect("inserted above");
-            entry.in_flight += 1;
-            entry.admitted += 1;
+            entry.in_flight.fetch_add(1, Ordering::AcqRel);
+            entry.admitted.fetch_add(1, Ordering::AcqRel);
             return QosDecision::Admit;
         }
         let horizon = now.raw().saturating_sub(self.idle_window);
-        let active_weight: u64 = state
+        let active_weight: u64 = self
             .tenants
+            .read()
             .values()
-            .filter(|s| s.last_seen.is_some_and(|at| at >= horizon))
-            .map(|s| s.weight)
+            .filter(|s| s.active_since(horizon))
+            .map(|s| s.weight.load(Ordering::Acquire))
             .sum();
-        let entry = state.tenants.get_mut(&tenant).expect("inserted above");
         // The tenant's round credit: its weighted share of the slots,
         // computed over currently-active tenants (u128 guards the product).
-        let share = ((capacity as u128 * entry.weight as u128) / active_weight.max(1) as u128)
-            .max(1) as u64;
-        if entry.in_flight < share {
-            entry.in_flight += 1;
-            entry.admitted += 1;
+        let weight = entry.weight.load(Ordering::Acquire);
+        let share =
+            ((capacity as u128 * weight as u128) / active_weight.max(1) as u128).max(1) as u64;
+        // Spend one credit iff occupancy stays under the share — a bounded
+        // CAS, so concurrent admissions cannot jointly overdraw it.
+        let spent = entry
+            .in_flight
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+                (cur < share).then_some(cur + 1)
+            });
+        if spent.is_ok() {
+            entry.admitted.fetch_add(1, Ordering::AcqRel);
             QosDecision::Admit
         } else {
-            entry.deferred += 1;
+            entry.deferred.fetch_add(1, Ordering::AcqRel);
             QosDecision::Defer
         }
     }
 
     fn refund(&self, tenant: u32) {
-        let mut state = self.state.lock();
-        if let Some(s) = state.tenants.get_mut(&tenant) {
-            s.in_flight = s.in_flight.saturating_sub(1);
-            s.admitted = s.admitted.saturating_sub(1);
+        if let Some(s) = self.tenants.read().get(&tenant) {
+            WfTenant::saturating_dec(&s.in_flight);
+            WfTenant::saturating_dec(&s.admitted);
         }
     }
 
     fn on_complete(&self, tenant: u32) {
-        let mut state = self.state.lock();
-        if let Some(s) = state.tenants.get_mut(&tenant) {
-            s.in_flight = s.in_flight.saturating_sub(1);
+        if let Some(s) = self.tenants.read().get(&tenant) {
+            WfTenant::saturating_dec(&s.in_flight);
         }
     }
 
     fn tenant_stats(&self) -> Vec<QosTenantStats> {
-        let state = self.state.lock();
-        state
-            .tenants
+        self.tenants
+            .read()
             .iter()
             .map(|(&tenant, s)| QosTenantStats {
                 tenant,
-                weight: s.weight,
-                admitted: s.admitted,
-                deferred: s.deferred,
-                in_flight: s.in_flight,
+                weight: s.weight.load(Ordering::Acquire),
+                admitted: s.admitted.load(Ordering::Acquire),
+                deferred: s.deferred.load(Ordering::Acquire),
+                in_flight: s.in_flight.load(Ordering::Acquire),
             })
             .collect()
     }

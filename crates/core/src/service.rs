@@ -1,7 +1,8 @@
-//! The AGILE service: warp-centric completion-queue polling (§3.2).
+//! The AGILE service: warp-centric completion-queue polling (§3.2),
+//! scaled out as shard-affine service partitions.
 //!
 //! A small persistent kernel runs in the background on the GPU. Its warps
-//! rotate over every registered CQ in round-robin order; on each visit a warp
+//! rotate over the registered CQs in round-robin order; on each visit a warp
 //! examines a 32-entry window of the CQ — one CQE per lane — exactly as
 //! Algorithm 1 describes:
 //!
@@ -19,15 +20,59 @@
 //! thread that finds every SQ full can simply retry later: the entries it is
 //! waiting for will be freed regardless of what any user thread is doing,
 //! which eliminates the deadlock of Figure 1.
+//!
+//! ## Scale-out: shard-affine partitions
+//!
+//! The paper's service is a single kernel whose warps sweep *every* CQ —
+//! fine at 1–3 SSDs, the compute-side scalability ceiling at production
+//! device counts. [`ServiceSet`] splits the CQ space into N
+//! [`ServicePartition`]s along the storage topology's lock shards
+//! ([`nvme_sim::StorageTopology::shard_of`]): one persistent kernel per
+//! partition, each sweeping only its own shard's `(device, queue-pair)`
+//! targets, so completion processing scales with the storage side instead of
+//! funnelling through one kernel's rotation. With one shard (the default)
+//! the set degenerates to exactly the paper's single service, bit for bit.
 
 use crate::ctrl::AgileCtrl;
 use crate::sq_protocol::AgileSq;
 use crate::transaction::Transaction;
 use agile_sim::Cycles;
 use gpu_sim::{KernelFactory, WarpCtx, WarpKernel, WarpStep};
+use nvme_sim::StorageTopology;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Partition the `(device, queue-pair)` CQ targets of a storage stack into
+/// `shards` shard-affine groups.
+///
+/// When a topology with at least `shards` lock shards is attached, device
+/// `d` belongs to service partition `shard_of(d) % shards`, so every service
+/// keeps polling CQs whose submissions contend on the same storage shard —
+/// the compute-side mirror of the lock partitioning. With fewer storage
+/// shards than services (including the single-shard [`nvme_sim::FlatArray`])
+/// the grouping falls back to round-robin by device index, so no partition
+/// is left without work. Targets within a partition keep the global
+/// `(device asc, queue asc)` order; `shards == 1` therefore reproduces the
+/// historical single-service target list exactly.
+pub fn partition_targets(
+    topology: Option<&Arc<dyn StorageTopology>>,
+    queues_per_device: &[usize],
+    shards: usize,
+) -> Vec<Vec<(usize, usize)>> {
+    let n = shards.max(1);
+    let mut parts: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+    for (dev, &queues) in queues_per_device.iter().enumerate() {
+        let part = match topology {
+            Some(t) if n > 1 && t.shard_count() >= n => t.shard_of(dev) % n,
+            _ => dev % n,
+        };
+        for q in 0..queues {
+            parts[part].push((dev, q));
+        }
+    }
+    parts
+}
 
 /// Poll cursor of one CQ (owned by the service).
 struct CqPollState {
@@ -70,11 +115,14 @@ struct ServiceStatCells {
     busy_rounds: AtomicU64,
 }
 
-/// The shared service state: one poll cursor per registered CQ, across all
-/// devices.
-pub struct AgileService {
+/// One shard-affine slice of the AGILE service: a poll cursor per owned CQ
+/// plus the completion-processing logic of Algorithm 1. The single-service
+/// configuration is simply a set with one partition owning every CQ.
+pub struct ServicePartition {
     ctrl: Arc<AgileCtrl>,
-    /// `(device, queue-pair)` flattened list of CQs to poll.
+    /// Which service shard this partition is (index within its set).
+    shard: usize,
+    /// `(device, queue-pair)` flattened list of CQs this partition polls.
     targets: Vec<(usize, usize)>,
     cursors: Vec<Mutex<CqPollState>>,
     stats: ServiceStatCells,
@@ -82,11 +130,17 @@ pub struct AgileService {
     poll_round_cost: u64,
     /// Cycles a warp backs off when its round found nothing (keeps the
     /// simulation cheap without changing behaviour: an idle poll loop).
+    /// From `costs.api.agile_service_idle_backoff`.
     idle_backoff: u64,
 }
 
-impl AgileService {
-    /// Build the service over every CQ registered with the controller.
+/// The pre-scale-out name of [`ServicePartition`]; a single partition over
+/// every CQ is exactly the old `AgileService`.
+pub type AgileService = ServicePartition;
+
+impl ServicePartition {
+    /// Build a single partition over every CQ registered with the controller
+    /// — the paper's one-kernel service.
     pub fn new(ctrl: Arc<AgileCtrl>) -> Arc<Self> {
         let mut targets = Vec::new();
         for dev in 0..ctrl.device_count() {
@@ -94,19 +148,42 @@ impl AgileService {
                 targets.push((dev, q));
             }
         }
+        ServicePartition::for_targets(ctrl, 0, targets)
+    }
+
+    /// Build partition `shard` over an explicit `(device, queue-pair)` target
+    /// list (normally computed by [`partition_targets`] via [`ServiceSet`]).
+    pub fn for_targets(
+        ctrl: Arc<AgileCtrl>,
+        shard: usize,
+        targets: Vec<(usize, usize)>,
+    ) -> Arc<Self> {
         let cursors = targets
             .iter()
             .map(|_| Mutex::new(CqPollState::new()))
             .collect();
-        let poll_round_cost = ctrl.config().costs.api.agile_service_poll_round;
-        Arc::new(AgileService {
+        let api = &ctrl.config().costs.api;
+        let poll_round_cost = api.agile_service_poll_round;
+        let idle_backoff = api.agile_service_idle_backoff.max(1);
+        Arc::new(ServicePartition {
             ctrl,
+            shard,
             targets,
             cursors,
             stats: ServiceStatCells::default(),
             poll_round_cost,
-            idle_backoff: 1_000,
+            idle_backoff,
         })
+    }
+
+    /// Which service shard this partition is.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// The `(device, queue-pair)` CQs this partition polls.
+    pub fn targets(&self) -> &[(usize, usize)] {
+        &self.targets
     }
 
     /// Number of CQs the service is responsible for.
@@ -248,27 +325,38 @@ impl AgileService {
     }
 }
 
-/// Kernel factory for the persistent AGILE service kernel.
+/// Kernel factory for one persistent AGILE service kernel (one per
+/// [`ServicePartition`]).
 pub struct AgileServiceKernel {
-    service: Arc<AgileService>,
+    service: Arc<ServicePartition>,
     warps_per_block: u32,
     total_warps: u32,
+    name: String,
 }
 
 impl AgileServiceKernel {
     /// Create the factory; `warps_per_block`/`total_warps` must match the
-    /// launch configuration used for the service kernel.
-    pub fn new(service: Arc<AgileService>, warps_per_block: u32, total_warps: u32) -> Self {
+    /// launch configuration used for the service kernel. Partition 0 keeps
+    /// the historical kernel name `agile-service`; higher shards are
+    /// suffixed (`agile-service-s1`, …) so per-kernel reports stay
+    /// distinguishable.
+    pub fn new(service: Arc<ServicePartition>, warps_per_block: u32, total_warps: u32) -> Self {
+        let name = if service.shard() == 0 {
+            "agile-service".to_string()
+        } else {
+            format!("agile-service-s{}", service.shard())
+        };
         AgileServiceKernel {
             service,
             warps_per_block,
             total_warps: total_warps.max(1),
+            name,
         }
     }
 }
 
 struct ServiceWarp {
-    service: Arc<AgileService>,
+    service: Arc<ServicePartition>,
     rotation: usize,
     stride: usize,
     offset: usize,
@@ -297,7 +385,65 @@ impl KernelFactory for AgileServiceKernel {
         })
     }
     fn name(&self) -> &str {
-        "agile-service"
+        &self.name
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ServiceSet: N shard-affine partitions
+// ---------------------------------------------------------------------------
+
+/// The scale-out service: N shard-affine [`ServicePartition`]s over one
+/// controller, one persistent kernel each (launched by
+/// `AgileHost::start_agile`). `shards == 1` is exactly the paper's single
+/// service — same target order, same kernel geometry, bit-identical
+/// behaviour (asserted by the golden-trace suite).
+pub struct ServiceSet {
+    partitions: Vec<Arc<ServicePartition>>,
+}
+
+impl ServiceSet {
+    /// Partition the controller's CQs into `shards` shard-affine services
+    /// (see [`partition_targets`] for the grouping rule).
+    pub fn new(ctrl: &Arc<AgileCtrl>, shards: usize) -> Self {
+        let queues_per_device: Vec<usize> = (0..ctrl.device_count())
+            .map(|dev| ctrl.device_queues(dev).len())
+            .collect();
+        let parts = partition_targets(ctrl.topology(), &queues_per_device, shards);
+        let partitions = parts
+            .into_iter()
+            .enumerate()
+            .map(|(shard, targets)| ServicePartition::for_targets(Arc::clone(ctrl), shard, targets))
+            .collect();
+        ServiceSet { partitions }
+    }
+
+    /// The partitions, in shard order.
+    pub fn partitions(&self) -> &[Arc<ServicePartition>] {
+        &self.partitions
+    }
+
+    /// Number of service shards.
+    pub fn shard_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Per-shard statistics snapshots, in shard order.
+    pub fn partition_stats(&self) -> Vec<ServiceStats> {
+        self.partitions.iter().map(|p| p.stats()).collect()
+    }
+
+    /// Aggregate statistics across every partition.
+    pub fn stats(&self) -> ServiceStats {
+        let mut total = ServiceStats::default();
+        for p in &self.partitions {
+            let s = p.stats();
+            total.completions += s.completions;
+            total.cq_doorbells += s.cq_doorbells;
+            total.idle_rounds += s.idle_rounds;
+            total.busy_rounds += s.busy_rounds;
+        }
+        total
     }
 }
 
@@ -475,6 +621,71 @@ mod tests {
             service.stats().cq_doorbells >= 2,
             "at least two windows consumed"
         );
+    }
+
+    #[test]
+    fn partition_targets_one_shard_is_the_historical_target_list() {
+        // n = 1 must reproduce the single service's (dev asc, qp asc) sweep
+        // exactly — this is the order the pre-scale-out AgileService polled.
+        let parts = partition_targets(None, &[3, 3, 3], 1);
+        assert_eq!(parts.len(), 1);
+        let expected: Vec<(usize, usize)> =
+            (0..3).flat_map(|d| (0..3).map(move |q| (d, q))).collect();
+        assert_eq!(parts[0], expected);
+    }
+
+    #[test]
+    fn partition_targets_follow_storage_shards() {
+        use nvme_sim::ShardedArray;
+        let topo: Arc<dyn nvme_sim::StorageTopology> = Arc::new(ShardedArray::new(8, 4));
+        let parts = partition_targets(Some(&topo), &[2; 8], 4);
+        assert_eq!(parts.len(), 4);
+        for (service, targets) in parts.iter().enumerate() {
+            // Shard-affinity: every target's device maps to this service.
+            assert!(!targets.is_empty());
+            for &(dev, _) in targets {
+                assert_eq!(topo.shard_of(dev) % 4, service);
+            }
+        }
+        // Every CQ is owned exactly once.
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, 16);
+    }
+
+    #[test]
+    fn partition_targets_fall_back_to_round_robin_on_flat_topology() {
+        use nvme_sim::FlatArray;
+        // One storage shard, four services: shard-affinity would starve
+        // three of them, so grouping falls back to device round-robin.
+        let topo: Arc<dyn nvme_sim::StorageTopology> = Arc::new(FlatArray::new(8));
+        let parts = partition_targets(Some(&topo), &[1; 8], 4);
+        for (service, targets) in parts.iter().enumerate() {
+            assert_eq!(targets.len(), 2, "service {service} must own work");
+            for &(dev, _) in targets {
+                assert_eq!(dev % 4, service);
+            }
+        }
+    }
+
+    #[test]
+    fn service_set_partitions_cover_all_cqs_and_aggregate_stats() {
+        let (ctrl, mut dev) = rig(4, 64);
+        let set = ServiceSet::new(&ctrl, 2);
+        assert_eq!(set.shard_count(), 2);
+        let owned: usize = set.partitions().iter().map(|p| p.target_count()).sum();
+        assert_eq!(owned, 4, "the partitions cover every CQ exactly once");
+        // Drive completions through partition 0 only (the bare rig has one
+        // device, so dev % 2 puts every CQ there) and check the aggregate.
+        let (_, retry) = ctrl.prefetch_warp(0, &[(0, 5), (0, 6)], Cycles(0));
+        assert!(retry.is_empty());
+        let p0 = Arc::clone(&set.partitions()[0]);
+        drive_until(&mut dev, &p0, {
+            let c = Arc::clone(&ctrl);
+            move || c.cache().peek(0, 5).is_some() && c.cache().peek(0, 6).is_some()
+        });
+        assert_eq!(set.stats().completions, 2);
+        assert_eq!(set.partition_stats()[0].completions, 2);
+        assert_eq!(set.partition_stats()[1].completions, 0);
     }
 
     #[test]

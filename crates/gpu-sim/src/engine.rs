@@ -6,11 +6,23 @@
 //!
 //! 1. all external devices are advanced to the current time so their
 //!    completions (DMA writes, CQ entries) become visible to warps;
-//! 2. every resident, ready warp is stepped once;
+//! 2. every resident warp whose wake time has arrived is stepped once;
 //! 3. finished blocks release their SM resources and pending blocks from the
 //!    dispatch queue are placed (wave scheduling);
-//! 4. the clock jumps to the next interesting time (earliest warp wake-up or
-//!    device event).
+//! 4. the clock jumps to the next interesting time.
+//!
+//! Scheduling is **event-driven** ([`EngineSched::EventQueue`], the default):
+//! warps live in a min-heap ready-queue keyed on `ready_at`, re-enqueued on
+//! every `Busy`/`Stall` — a persistent kernel's idle backoff is just a timer
+//! event like any other — so a round costs O(ready warps · log W) instead of
+//! a scan over every resident warp, and rounds fire only at warp wake times:
+//! device events (`next_event_time`) no longer force empty rounds, because a
+//! discrete-event device advanced straight to the next warp wake produces the
+//! same completions it would have produced stepwise. The pre-refactor
+//! scheduler is kept as [`EngineSched::FullScan`] for equivalence tests and
+//! wall-time comparisons; both schedulers step the same warps at the same
+//! simulated times in the same order, so reports are bit-identical — only
+//! `rounds` (and wall time) differ.
 //!
 //! The engine also watches for livelock: if no warp makes forward progress
 //! (`Busy` or `Done`) for a configurable window while kernels are still
@@ -23,6 +35,21 @@ use crate::kernel::{occupancy, KernelFactory, KernelId, LaunchConfig, WarpCtx, W
 use crate::sm::{ResidentWarp, SmState};
 use agile_sim::{Cycles, SimClock};
 use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Which scheduling loop [`Engine::run`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum EngineSched {
+    /// Min-heap ready-queue on `ready_at`: rounds fire only at warp wake
+    /// times and step only the warps that are due. The default.
+    #[default]
+    EventQueue,
+    /// The pre-ready-queue scheduler: every round scans every resident warp
+    /// and wakes at every device event. Kept for equivalence tests and
+    /// wall-time comparisons; behaviourally identical, just O(warps)/round.
+    FullScan,
+}
 
 /// An external device co-simulated with the GPU (in practice: the SSD array).
 pub trait ExternalDevice {
@@ -115,6 +142,12 @@ pub struct Engine {
     /// Hard wall on simulated time (safety net for tests).
     max_cycles: Cycles,
     rounds: u64,
+    /// Scheduling loop selector.
+    sched: EngineSched,
+    /// The ready-queue: one `(ready_at, sm, warp-slot)` entry per live warp.
+    /// Rebuilt at the start of every event-driven run (warp slots are stable
+    /// within a run because the event loop never compacts the SM warp lists).
+    ready: BinaryHeap<Reverse<(u64, usize, usize)>>,
 }
 
 impl Engine {
@@ -132,7 +165,21 @@ impl Engine {
             deadlock_window: Cycles(50_000_000),
             max_cycles: Cycles(u64::MAX / 4),
             rounds: 0,
+            sched: EngineSched::default(),
+            ready: BinaryHeap::new(),
         }
+    }
+
+    /// Select the scheduling loop (default: [`EngineSched::EventQueue`]).
+    /// May be switched between runs; both schedulers produce bit-identical
+    /// execution, only `rounds` and wall time differ.
+    pub fn set_scheduler(&mut self, sched: EngineSched) {
+        self.sched = sched;
+    }
+
+    /// The active scheduling loop.
+    pub fn scheduler(&self) -> EngineSched {
+        self.sched
     }
 
     /// The GPU configuration.
@@ -256,6 +303,12 @@ impl Engine {
                 stall: Cycles::ZERO,
                 steps: 0,
             });
+            // Enter the warp into the ready-queue (a placement mid-run wakes
+            // at the next visited time point; run entry rebuilds the heap
+            // anyway, so pre-run launches are covered either way).
+            let widx = self.sms[sm_idx].warps.len() - 1;
+            self.ready
+                .push(Reverse((self.clock.now().raw(), sm_idx, widx)));
         }
     }
 
@@ -269,6 +322,201 @@ impl Engine {
     /// Run until every non-persistent kernel has completed (or until deadlock
     /// / the cycle limit is hit) and return the execution report.
     pub fn run(&mut self) -> ExecutionReport {
+        match self.sched {
+            EngineSched::EventQueue => self.run_event_queue(),
+            EngineSched::FullScan => self.run_full_scan(),
+        }
+    }
+
+    /// Step one warp at `now`, updating warp/kernel accounting. Returns the
+    /// warp's next wake time (`None` once it retired) and whether the step
+    /// counted as forward progress. Shared by both schedulers so they cannot
+    /// drift behaviourally.
+    fn step_warp(
+        &mut self,
+        sm_idx: usize,
+        widx: usize,
+        now: Cycles,
+        retired_blocks: &mut Vec<(usize, usize)>,
+    ) -> (Option<Cycles>, bool) {
+        let sm = &mut self.sms[sm_idx];
+        let w = &mut sm.warps[widx];
+        let ctx = WarpCtx {
+            now,
+            warp: w.id,
+            lanes: self.gpu.warp_size,
+            clock_ghz: self.gpu.clock_ghz,
+        };
+        w.steps += 1;
+        self.kernels[w.kernel_idx].steps += 1;
+        match w.state.step(&ctx) {
+            WarpStep::Busy(c) => {
+                let c = c.max(Cycles(1));
+                w.ready_at = now + c;
+                w.busy += c;
+                self.kernels[w.kernel_idx].busy += c;
+                (Some(w.ready_at), true)
+            }
+            WarpStep::Stall { retry_after } => {
+                let r = retry_after.max(Cycles(1));
+                w.ready_at = now + r;
+                w.stall += r;
+                self.kernels[w.kernel_idx].stall += r;
+                (Some(w.ready_at), false)
+            }
+            WarpStep::Done => {
+                w.done = true;
+                let slot = w.block_slot;
+                let kidx = w.kernel_idx;
+                if sm.warp_retired(slot) {
+                    retired_blocks.push((sm_idx, slot));
+                    self.kernels[kidx].blocks_retired += 1;
+                    if self.kernels[kidx].complete() {
+                        self.kernels[kidx].completed_at = Some(now);
+                    }
+                }
+                (None, true)
+            }
+        }
+    }
+
+    /// The event-driven scheduler: warps wake out of the ready-queue, rounds
+    /// fire only at warp wake times, and device state is pulled forward
+    /// lazily — discrete-event devices produce identical completions whether
+    /// advanced stepwise or straight to the next warp wake, so skipping the
+    /// device-only rounds changes `rounds`/wall time but not behaviour.
+    fn run_event_queue(&mut self) -> ExecutionReport {
+        let start = self.clock.now();
+        let mut last_progress = self.clock.now();
+        let mut deadlocked = false;
+
+        // Drop retired warps now, while it is safe: mid-run the event loop
+        // never compacts (heap entries index into the warp lists), so
+        // repeated runs on one engine would otherwise accumulate dead
+        // entries from every block ever launched.
+        for sm in &mut self.sms {
+            sm.compact();
+        }
+        // Rebuild the queue from the live warps: `launch()` may have placed
+        // blocks since the last run, the compaction above shifted slots, and
+        // a previous `FullScan` run does not maintain the heap.
+        self.ready.clear();
+        for (sm_idx, sm) in self.sms.iter().enumerate() {
+            for (widx, w) in sm.warps.iter().enumerate() {
+                if !w.done {
+                    self.ready.push(Reverse((w.ready_at.raw(), sm_idx, widx)));
+                }
+            }
+        }
+
+        while !self.all_user_kernels_complete() {
+            self.rounds += 1;
+            let now = self.clock.now();
+
+            // 1. Let devices catch up so completions are visible to warps.
+            for dev in &mut self.devices {
+                dev.advance_to(now);
+            }
+
+            // 2. Pop every warp that is due and step the batch in SM/slot
+            //    order — the exact order the scan scheduler visits warps, so
+            //    equal-time steps interleave identically.
+            let mut batch: Vec<(usize, usize)> = Vec::new();
+            while let Some(&Reverse((t, sm_idx, widx))) = self.ready.peek() {
+                if t > now.raw() {
+                    break;
+                }
+                self.ready.pop();
+                batch.push((sm_idx, widx));
+            }
+            batch.sort_unstable();
+
+            let mut progressed = false;
+            let mut retired_blocks: Vec<(usize, usize)> = Vec::new(); // (sm, slot)
+            for (sm_idx, widx) in batch {
+                if self.sms[sm_idx].warps[widx].done {
+                    continue;
+                }
+                let (wake, progress) = self.step_warp(sm_idx, widx, now, &mut retired_blocks);
+                if let Some(at) = wake {
+                    self.ready.push(Reverse((at.raw(), sm_idx, widx)));
+                }
+                progressed |= progress;
+            }
+
+            // 3. Place pending blocks freed capacity admits. The event loop
+            //    never compacts the warp lists (heap entries index into
+            //    them); `place_block` enqueues the new warps at `now`.
+            if !retired_blocks.is_empty() {
+                self.fill_sms();
+            }
+
+            if progressed {
+                last_progress = now;
+            } else if now.saturating_sub(last_progress) > self.deadlock_window {
+                deadlocked = true;
+                break;
+            }
+
+            if self.all_user_kernels_complete() {
+                break;
+            }
+
+            // 4. Advance to the next warp wake. Entries still at ≤ now are
+            //    warps placed this round: like the scan scheduler, they step
+            //    at the next *visited* time point, which then must also
+            //    consider device events (the scan scheduler would have woken
+            //    there).
+            let mut placed_now: Vec<(u64, usize, usize)> = Vec::new();
+            while let Some(&Reverse(e)) = self.ready.peek() {
+                if e.0 > now.raw() {
+                    break;
+                }
+                self.ready.pop();
+                placed_now.push(e);
+            }
+            let next_warp = self.ready.peek().map(|Reverse((t, _, _))| Cycles(*t));
+            let need_dev_wake = !placed_now.is_empty() || next_warp.is_none();
+            for e in placed_now {
+                self.ready.push(Reverse(e));
+            }
+            let next_dev = if need_dev_wake {
+                self.devices
+                    .iter_mut()
+                    .filter_map(|d| d.next_event_time())
+                    .filter(|&t| t > now)
+                    .min()
+            } else {
+                None
+            };
+            let next = match (next_warp, next_dev) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => now + Cycles(1),
+            };
+            if next <= now {
+                self.clock.advance(Cycles(1));
+            } else {
+                self.clock.advance_to(next);
+            }
+            if self.clock.now() > self.max_cycles {
+                deadlocked = true;
+                break;
+            }
+        }
+
+        self.finish_run(start, deadlocked)
+    }
+
+    /// The pre-ready-queue scheduler: every round scans every resident warp
+    /// and the clock wakes at every device event. Behaviourally identical to
+    /// [`Engine::run_event_queue`]; kept for equivalence tests and wall-time
+    /// comparisons.
+    fn run_full_scan(&mut self) -> ExecutionReport {
+        // The scan does not maintain the heap; drop stale entries so they do
+        // not accumulate across runs.
+        self.ready.clear();
         let start = self.clock.now();
         let mut last_progress = self.clock.now();
         let mut deadlocked = false;
@@ -286,48 +534,15 @@ impl Engine {
             let mut progressed = false;
             let mut retired_blocks: Vec<(usize, usize)> = Vec::new(); // (sm, slot)
             for sm_idx in 0..self.sms.len() {
-                let sm = &mut self.sms[sm_idx];
-                for widx in 0..sm.warps.len() {
-                    let w = &mut sm.warps[widx];
-                    if w.done || w.ready_at > now {
-                        continue;
-                    }
-                    let ctx = WarpCtx {
-                        now,
-                        warp: w.id,
-                        lanes: self.gpu.warp_size,
-                        clock_ghz: self.gpu.clock_ghz,
-                    };
-                    w.steps += 1;
-                    self.kernels[w.kernel_idx].steps += 1;
-                    match w.state.step(&ctx) {
-                        WarpStep::Busy(c) => {
-                            let c = c.max(Cycles(1));
-                            w.ready_at = now + c;
-                            w.busy += c;
-                            self.kernels[w.kernel_idx].busy += c;
-                            progressed = true;
-                        }
-                        WarpStep::Stall { retry_after } => {
-                            let r = retry_after.max(Cycles(1));
-                            w.ready_at = now + r;
-                            w.stall += r;
-                            self.kernels[w.kernel_idx].stall += r;
-                        }
-                        WarpStep::Done => {
-                            w.done = true;
-                            progressed = true;
-                            let slot = w.block_slot;
-                            let kidx = w.kernel_idx;
-                            if sm.warp_retired(slot) {
-                                retired_blocks.push((sm_idx, slot));
-                                self.kernels[kidx].blocks_retired += 1;
-                                if self.kernels[kidx].complete() {
-                                    self.kernels[kidx].completed_at = Some(now);
-                                }
-                            }
+                for widx in 0..self.sms[sm_idx].warps.len() {
+                    {
+                        let w = &self.sms[sm_idx].warps[widx];
+                        if w.done || w.ready_at > now {
+                            continue;
                         }
                     }
+                    let (_, progress) = self.step_warp(sm_idx, widx, now, &mut retired_blocks);
+                    progressed |= progress;
                 }
             }
 
@@ -337,6 +552,7 @@ impl Engine {
                     sm.compact();
                 }
                 self.fill_sms();
+                self.ready.clear();
             }
 
             if progressed {
@@ -385,6 +601,11 @@ impl Engine {
             }
         }
 
+        self.finish_run(start, deadlocked)
+    }
+
+    /// Final device sync + report assembly shared by both schedulers.
+    fn finish_run(&mut self, start: Cycles, deadlocked: bool) -> ExecutionReport {
         // Final device sync so statistics reflect everything visible at the end.
         let now = self.clock.now();
         for dev in &mut self.devices {
@@ -611,6 +832,85 @@ mod tests {
                 steps: 1,
             }),
         );
+    }
+
+    #[test]
+    fn schedulers_are_equivalent_and_event_queue_visits_fewer_rounds() {
+        // A stalling kernel plus a periodically-firing device: the scan
+        // wakes at every device event, the event queue only at warp wakes —
+        // identical execution, fewer rounds.
+        struct Ticker {
+            flag: Arc<AtomicU64>,
+            at: Cycles,
+            fired: u32,
+        }
+        impl ExternalDevice for Ticker {
+            fn advance_to(&mut self, now: Cycles) {
+                while self.fired < 100 && now >= self.at {
+                    self.fired += 1;
+                    self.at += Cycles(313);
+                    if self.fired == 100 {
+                        self.flag.store(1, Ordering::Release);
+                    }
+                }
+            }
+            fn next_event_time(&mut self) -> Option<Cycles> {
+                (self.fired < 100).then_some(self.at)
+            }
+            fn quiescent(&self) -> bool {
+                self.fired >= 100
+            }
+        }
+        let run = |sched: EngineSched| {
+            let flag = Arc::new(AtomicU64::new(0));
+            let mut eng = Engine::new(GpuConfig::tiny(2));
+            eng.set_scheduler(sched);
+            eng.add_device(Box::new(Ticker {
+                flag: Arc::clone(&flag),
+                at: Cycles(100),
+                fired: 0,
+            }));
+            eng.launch(
+                LaunchConfig::new(2, 64).with_registers(16),
+                Box::new(WaitingKernel { flag }),
+            );
+            eng.run()
+        };
+        let event = run(EngineSched::EventQueue);
+        let scan = run(EngineSched::FullScan);
+        assert!(!event.deadlocked && !scan.deadlocked);
+        assert_eq!(event.elapsed, scan.elapsed, "bit-identical timing");
+        assert_eq!(event.kernels[0].steps, scan.kernels[0].steps);
+        assert_eq!(event.kernels[0].busy_cycles, scan.kernels[0].busy_cycles);
+        assert_eq!(event.kernels[0].stall_cycles, scan.kernels[0].stall_cycles);
+        assert!(
+            event.rounds < scan.rounds,
+            "the event queue must skip device-only rounds ({} vs {})",
+            event.rounds,
+            scan.rounds
+        );
+    }
+
+    #[test]
+    fn full_scan_handles_waves_like_the_event_queue() {
+        for sched in [EngineSched::EventQueue, EngineSched::FullScan] {
+            let mut eng = Engine::new(GpuConfig::tiny(1));
+            eng.set_scheduler(sched);
+            eng.launch(
+                LaunchConfig::new(16, 32).with_registers(16),
+                Box::new(ComputeOnlyKernel {
+                    cycles_per_warp: Cycles(1000),
+                    steps: 1,
+                }),
+            );
+            let report = eng.run();
+            assert!(!report.deadlocked);
+            assert!(
+                report.elapsed.raw() >= 4000 && report.elapsed.raw() < 4400,
+                "{sched:?} elapsed {}",
+                report.elapsed
+            );
+        }
     }
 
     #[test]

@@ -40,8 +40,6 @@ pub use queue::{CompletionQueue, QueuePair, SubmissionQueue};
 pub use spec::{
     CmdStatus, CommandId, DmaHandle, Lba, NvmeCommand, NvmeCompletion, Opcode, PageToken, QueueId,
 };
-#[allow(deprecated)]
-pub use topology::SsdArray;
 pub use topology::{
     DeviceSet, FlatArray, PageLocation, ShardedArray, StorageTopology, TopologyLock,
 };

@@ -30,7 +30,8 @@
 //! shows up as cycles charged to the issuing warp.
 //!
 //! [`DeviceSet`] is the lock-free building block both topologies are made
-//! of; the old name [`SsdArray`] remains as a deprecated alias.
+//! of (every call-site of the old `SsdArray` name has migrated to the
+//! [`StorageTopology`] implementations).
 
 use crate::backing::{MemBacking, PageBacking};
 use crate::device::{DeviceStats, SsdConfig, SsdDevice};
@@ -46,12 +47,6 @@ use std::sync::Arc;
 pub struct DeviceSet {
     devices: Vec<SsdDevice>,
 }
-
-/// Deprecated name of [`DeviceSet`], kept while callers migrate to the
-/// [`StorageTopology`] implementations.
-#[deprecated(note = "use FlatArray / ShardedArray through StorageTopology, \
-                     or DeviceSet for the raw building block")]
-pub type SsdArray = DeviceSet;
 
 impl DeviceSet {
     /// Build `count` devices with default configuration and token-only memory

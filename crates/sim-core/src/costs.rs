@@ -130,6 +130,12 @@ pub struct ApiCosts {
     /// AGILE service: cycles for one warp-centric CQ polling round
     /// (Algorithm 1) — paid by the service warps, not by user threads.
     pub agile_service_poll_round: u64,
+    /// AGILE service: cycles a service warp backs off after a polling round
+    /// that found no completion. Purely an idle-loop pacing knob (the
+    /// simulation equivalent of a `__nanosleep` in the persistent kernel's
+    /// empty-poll path): it bounds how often idle service warps wake without
+    /// changing what they observe.
+    pub agile_service_idle_backoff: u64,
 }
 
 impl Default for ApiCosts {
@@ -144,6 +150,7 @@ impl Default for ApiCosts {
             bam_issue: 520,
             bam_cq_poll: 160,
             agile_service_poll_round: 220,
+            agile_service_idle_backoff: 1_000,
         }
     }
 }

@@ -12,12 +12,13 @@ use crate::trace_replay::{
     AgileTraceReplayKernel, BamTraceReplayKernel, ReplayCollector, ReplayPath, TraceReplayParams,
 };
 use agile_core::qos::{Fifo, QosPolicy, StrictPriority, WeightedFair};
+use agile_core::service::ServiceStats;
 use agile_core::{AgileConfig, GpuStorageHost};
 use agile_sim::trace::TraceSink;
 use agile_sim::units::SSD_PAGE_SIZE;
 use agile_trace::Trace;
 use bam_baseline::{BamConfig, HostBuilder};
-use gpu_sim::LaunchConfig;
+use gpu_sim::{EngineSched, LaunchConfig};
 use std::sync::Arc;
 
 /// Which QoS policy a replay installs on the host's submission path.
@@ -123,6 +124,14 @@ pub struct ReplayReport {
     pub qos: &'static str,
     /// Per-tenant latency percentiles, ordered by tenant id.
     pub tenants: Vec<TenantLatency>,
+    /// Shard-affine service partitions the AGILE host ran (1 = the paper's
+    /// single service; BaM has no service and echoes the configured value).
+    pub service_shards: usize,
+    /// Per-shard AGILE service statistics, in shard order (empty for BaM).
+    pub service_stats: Vec<ServiceStats>,
+    /// Engine scheduling rounds of the run (not part of the summary: both
+    /// engine schedulers replay bit-identically, rounds is what differs).
+    pub engine_rounds: u64,
 }
 
 impl ReplayReport {
@@ -148,15 +157,27 @@ impl ReplayReport {
         );
         // The qos field is appended only for non-FIFO runs so the pre-QoS
         // golden summaries stay byte-identical (FIFO ⇒ no behaviour drift,
-        // and no format drift either).
+        // and no format drift either). The same rule covers service_shards:
+        // the default single service prints nothing.
         if self.qos != "fifo" {
             s.push_str(&format!(" qos={}", self.qos));
+        }
+        if self.service_shards > 1 {
+            s.push_str(&format!(" service_shards={}", self.service_shards));
         }
         for t in &self.tenants {
             s.push_str(&format!(
                 " | tenant{} ops={} p50={:.2}us p95={:.2}us p99={:.2}us",
                 t.tenant, t.ops, t.p50_us, t.p95_us, t.p99_us
             ));
+        }
+        if self.service_shards > 1 {
+            for (shard, svc) in self.service_stats.iter().enumerate() {
+                s.push_str(&format!(
+                    " | svc{} completions={} doorbells={} busy={} idle={}",
+                    shard, svc.completions, svc.cq_doorbells, svc.busy_rounds, svc.idle_rounds
+                ));
+            }
         }
         s
     }
@@ -188,6 +209,13 @@ pub struct ReplayConfig {
     /// per-tenant virtual queues a QoS policy arbitrates. See
     /// [`TraceReplayParams::tenant_warps`].
     pub tenant_warps: bool,
+    /// Shard-affine AGILE service partitions (one persistent kernel each);
+    /// 1 = the paper's single service, bit-identical. Ignored by BaM, which
+    /// has no background service.
+    pub service_shards: usize,
+    /// Engine scheduling loop (event-driven ready-queue by default; the
+    /// legacy full scan replays bit-identically but visits more rounds).
+    pub engine_sched: EngineSched,
 }
 
 impl Default for ReplayConfig {
@@ -202,6 +230,8 @@ impl Default for ReplayConfig {
             stripe: false,
             qos: QosSpec::Fifo,
             tenant_warps: false,
+            service_shards: 1,
+            engine_sched: EngineSched::EventQueue,
         }
     }
 }
@@ -214,11 +244,7 @@ impl ReplayConfig {
             window: 32,
             queue_pairs: 4,
             queue_depth: 64,
-            path: ReplayPath::Raw,
-            shards: 0,
-            stripe: false,
-            qos: QosSpec::Fifo,
-            tenant_warps: false,
+            ..Self::default()
         }
     }
 
@@ -240,6 +266,21 @@ impl ReplayConfig {
     /// layer (the fair baseline for a sharded comparison).
     pub fn striped(mut self) -> Self {
         self.stripe = true;
+        self
+    }
+
+    /// Scale the AGILE service out to `shards` shard-affine partitions
+    /// (one persistent kernel each). Pair with [`ReplayConfig::sharded`] so
+    /// each service has a storage shard to be affine to.
+    pub fn service_sharded(mut self, shards: usize) -> Self {
+        self.service_shards = shards.max(1);
+        self
+    }
+
+    /// Select the engine scheduling loop (equivalence tests and wall-time
+    /// comparisons; both loops replay bit-identically).
+    pub fn with_engine_sched(mut self, sched: EngineSched) -> Self {
+        self.engine_sched = sched;
         self
     }
 
@@ -276,6 +317,7 @@ fn finish_report(
     collector: &ReplayCollector,
     elapsed_cycles: u64,
     deadlocked: bool,
+    engine_rounds: u64,
 ) -> ReplayReport {
     let gpu = experiment_gpu();
     let cycles_per_us = gpu.clock_ghz * 1_000.0;
@@ -320,6 +362,9 @@ fn finish_report(
         deadlocked,
         qos: cfg.qos.name(),
         tenants,
+        service_shards: cfg.service_shards,
+        service_stats: Vec::new(),
+        engine_rounds,
     }
 }
 
@@ -343,6 +388,7 @@ fn drive<H: GpuStorageHost>(
         collector,
         report.elapsed.raw(),
         report.deadlocked,
+        report.rounds,
     )
 }
 
@@ -385,6 +431,8 @@ pub fn run_trace_replay_with_sink(
             let mut builder = HostBuilder::agile(config)
                 .gpu(experiment_gpu())
                 .devices(devices, pages)
+                .service_shards(cfg.service_shards)
+                .engine_sched(cfg.engine_sched)
                 .qos(cfg.qos.policy());
             if cfg.shards > 0 {
                 builder = builder.shards(cfg.shards);
@@ -401,7 +449,9 @@ pub fn run_trace_replay_with_sink(
                 Arc::clone(&collector),
                 params,
             ));
-            drive(&mut host, launch, factory, system, &trace, cfg, &collector)
+            let mut report = drive(&mut host, launch, factory, system, &trace, cfg, &collector);
+            report.service_stats = host.service_set().partition_stats();
+            report
         }
         ReplaySystem::Bam => {
             let config = BamConfig::small_test()
@@ -410,6 +460,7 @@ pub fn run_trace_replay_with_sink(
             let mut builder = HostBuilder::bam(config)
                 .gpu(experiment_gpu())
                 .devices(devices, pages)
+                .engine_sched(cfg.engine_sched)
                 .qos(cfg.qos.policy());
             if cfg.shards > 0 {
                 builder = builder.shards(cfg.shards);

@@ -1,23 +1,21 @@
-//! Regression repro for the ROADMAP "Known issue": **dirty-victim loss under
-//! SQ pressure**.
+//! Regression test for the (fixed) ROADMAP "Known issue": **dirty-victim
+//! loss under SQ pressure**.
 //!
 //! When a dirty eviction's write-back cannot be issued (every SQ full), the
 //! controller paths (`write_warp`, `write_warp_sync`, prefetch/read fills)
-//! call `abort_fill` on the reserved line and drop the write-back snapshot.
-//! At that point the victim's modified token exists **nowhere** — not in the
-//! cache (its line was reclaimed at `lookup_or_reserve` time), not in any SQ
-//! (the write-back was never admitted), not on the backing (it was never
-//! written) — and a later read of the victim page refills stale data.
+//! used to `abort_fill` the reserved line and drop the write-back snapshot —
+//! at that point the victim's modified token existed **nowhere** and a later
+//! read refilled stale data from the backing.
 //!
-//! The test below asserts the *buggy* behaviour so the future fix has a
-//! ready-made repro: fixing it needs `SoftwareCache` to reinstate the
-//! victim's tag + token on abort (see `abort_fill` in
-//! `crates/cache/src/cache.rs` and the ROADMAP entry). When that lands, flip
-//! the final assertions (the victim token must survive somewhere) and remove
-//! the `#[ignore]`.
+//! The fix: `SoftwareCache::reinstate_victim` re-installs the victim's
+//! tag + token (MODIFIED) when the write-back issue fails, so the
+//! modification survives in the cache and the evicting request simply
+//! retries. This test drives the original deterministic repro and asserts
+//! the *fixed* behaviour end to end: no dirty token is lost, and the store
+//! succeeds once SQ pressure lifts.
 
-use agile_repro::agile::transaction::{Barrier, Transaction};
-use agile_repro::agile::{AgileConfig, AgileCtrl, IssueOutcome};
+use agile_repro::agile::transaction::Barrier;
+use agile_repro::agile::{AgileConfig, AgileCtrl, IssueOutcome, ReadOutcome};
 use agile_repro::nvme::{DmaHandle, PageToken, QueuePair};
 use agile_repro::sim::Cycles;
 use std::sync::Arc;
@@ -35,8 +33,7 @@ fn pressured_ctrl() -> AgileCtrl {
 }
 
 #[test]
-#[ignore = "asserts the known dirty-victim loss (ROADMAP); flip when abort_fill reinstates the victim"]
-fn dirty_victim_write_back_failure_loses_the_update() {
+fn dirty_victim_survives_write_back_issue_failure() {
     let ctrl = pressured_ctrl();
 
     // Dirty all 8 ways of the single set with distinct tokens.
@@ -56,44 +53,63 @@ fn dirty_victim_write_back_failure_loses_the_update() {
 
     // A ninth store must evict a dirty victim; its write-back cannot issue.
     let (_, ok) = ctrl.write_warp(0, 0, 100, PageToken(0xBEEF), Cycles(0));
-    assert!(!ok, "the store is asked to retry — that part is correct");
+    assert!(!ok, "the store is asked to retry — that part is unchanged");
     let stats = ctrl.stats();
     assert_eq!(stats.writebacks, 1, "a write-back was attempted");
     assert!(stats.sq_full_retries >= 1, "and found every SQ full");
 
-    // THE BUG: the victim's dirty token now exists nowhere.
-    let victim: Vec<u64> = (1..=8)
-        .filter(|&l| ctrl.cache().peek(0, l).is_none())
-        .collect();
-    assert_eq!(victim.len(), 1, "exactly one dirty line was sacrificed");
-    let victim = victim[0];
-    // Not in any SQ: the in-flight set is still exactly our 32 raw reads.
+    // THE FIX: the victim's dirty token was reinstated — every one of the
+    // eight modified pages is still served from the cache.
+    for lba in 1..=8u64 {
+        assert_eq!(
+            ctrl.cache().peek(0, lba),
+            Some(PageToken(0xD0_0000 + lba)),
+            "dirty lba {lba} must survive the failed eviction"
+        );
+    }
+    // The in-flight set is still exactly our 32 raw reads (no phantom
+    // write-back), the new tag was never installed, and no pin leaked.
     assert_eq!(sq.transactions().in_flight(), 32);
-    // The aborted reservation did not wedge the cache either.
+    assert!(
+        ctrl.cache().peek(0, 100).is_none(),
+        "the store did not land"
+    );
     assert_eq!(ctrl.cache().total_pins(), 0);
 
-    // A later read of the victim page issues a *fresh fill from the backing*
-    // — stale data — instead of finding the modified token. Free one slot
-    // (as the service would) and watch the read path do exactly that.
+    // Reads of every reinstated page hit the cache — no stale refill is
+    // issued (the SQ is still full, so a refill would be observable as a
+    // retry, not a Ready).
+    for lba in 1..=8u64 {
+        let (_, outcome) = ctrl.read_warp(0, &[(0, lba)], Cycles(0));
+        assert!(
+            matches!(&outcome, ReadOutcome::Ready(t) if t[0] == PageToken(0xD0_0000 + lba)),
+            "reinstated lba {lba} must read back its modified token, got {outcome:?}"
+        );
+    }
+
+    // Once SQ pressure lifts, the retried store evicts the victim properly:
+    // the write-back issues and the new data lands.
     let _ = sq.queue_pair().sq.take_slot(0);
     let _ = sq.transactions().take(0);
     sq.release(0);
-    let (_, outcome) = ctrl.read_warp(0, &[(0, victim)], Cycles(0));
-    assert!(
-        matches!(outcome, agile_repro::agile::ReadOutcome::Pending),
-        "the modified page reads as a miss"
+    let (_, ok) = ctrl.write_warp(0, 0, 100, PageToken(0xBEEF), Cycles(1));
+    assert!(ok, "the retried store lands once a slot frees");
+    assert_eq!(ctrl.cache().peek(0, 100), Some(PageToken(0xBEEF)));
+    assert_eq!(
+        ctrl.stats().writebacks,
+        2,
+        "the retry re-attempted the write-back"
     );
-    let refill = sq
-        .transactions()
-        .take(0)
-        .expect("command issued in freed slot");
+    // The successfully evicted victim's modification is now in flight as a
+    // write-back command, not lost: exactly one of the 8 pages left the
+    // cache, and one WriteBack transaction occupies the freed slot.
+    let evicted: Vec<u64> = (1..=8)
+        .filter(|&l| ctrl.cache().peek(0, l).is_none())
+        .collect();
+    assert_eq!(evicted.len(), 1, "exactly one dirty line was evicted");
+    use agile_repro::agile::transaction::Transaction;
     assert!(
-        matches!(
-            refill,
-            Transaction::CacheFill { .. } | Transaction::WriteBack
-        ),
-        "the victim's next read starts a fresh backing fill (possibly after \
-         evicting yet another dirty way) — the 0xD0_00xx token written above \
-         is gone for good, so the refill can only return stale data"
+        matches!(sq.transactions().take(0), Some(Transaction::WriteBack)),
+        "the victim's modification is in flight as a write-back"
     );
 }

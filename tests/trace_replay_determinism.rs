@@ -24,6 +24,35 @@ fn agile_replay_is_byte_identical_across_runs() {
 }
 
 #[test]
+fn ready_queue_engine_cuts_rounds_on_the_large_replay() {
+    // The event-driven scheduler must replay the large trace bit-identically
+    // to the legacy full scan while visiting strictly fewer rounds — warps
+    // wake out of the ready-queue and device-event-only rounds are skipped,
+    // so fewer (and far cheaper) rounds is the ready-queue actually engaged.
+    use agile_repro::gpu::EngineSched;
+    let trace = TraceSpec::multi_tenant("det-rounds", 99, 4, 1 << 14, 4_096).generate();
+    let cfg = ReplayConfig::quick();
+    let scan_cfg = ReplayConfig::quick().with_engine_sched(EngineSched::FullScan);
+    for system in [ReplaySystem::Agile, ReplaySystem::Bam] {
+        let event = run_trace_replay(&trace, system, &cfg);
+        let scan = run_trace_replay(&trace, system, &scan_cfg);
+        assert!(!event.deadlocked && !scan.deadlocked);
+        assert_eq!(
+            event.summary(),
+            scan.summary(),
+            "both schedulers must replay bit-identically ({system:?})"
+        );
+        assert!(
+            event.engine_rounds < scan.engine_rounds,
+            "the ready-queue must cut engine rounds on {system:?} \
+             (event {} vs scan {})",
+            event.engine_rounds,
+            scan.engine_rounds
+        );
+    }
+}
+
+#[test]
 fn bam_replay_is_byte_identical_across_runs() {
     let trace = TraceSpec::zipfian("det-zipf", 5, 1, 1 << 14, 512, 0.99).generate();
     let cfg = ReplayConfig::quick();
