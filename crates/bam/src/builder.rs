@@ -33,7 +33,7 @@ use agile_core::host::{AgileHost, GpuStorageHost};
 use agile_core::qos::QosPolicy;
 use agile_sim::trace::TraceSink;
 use gpu_sim::{EngineSched, GpuConfig};
-use nvme_sim::PageBacking;
+use nvme_sim::{PageBacking, Placement};
 use std::sync::Arc;
 
 /// One device to be created at build time.
@@ -72,6 +72,7 @@ pub struct HostBuilder<S: HostSystem> {
     config: S::Config,
     devices: Vec<DeviceSpec>,
     shards: usize,
+    placement: Placement,
     service_shards: usize,
     engine_sched: EngineSched,
     sink: Option<Arc<dyn TraceSink>>,
@@ -86,6 +87,7 @@ impl HostBuilder<AgileSystem> {
             config,
             devices: Vec::new(),
             shards: 0,
+            placement: Placement::default(),
             service_shards: 1,
             engine_sched: EngineSched::default(),
             sink: None,
@@ -102,6 +104,34 @@ impl HostBuilder<AgileSystem> {
         self.service_shards = shards;
         self
     }
+
+    /// Select the software cache's replacement policy
+    /// ([`agile_core::config::CachePolicyKind`]). The default clock policy is
+    /// the paper's, bit-identical to the pre-tenant-threading stack. Pair
+    /// [`CachePolicyKind::TenantShare`](agile_core::config::CachePolicyKind::TenantShare)
+    /// with [`HostBuilder::cache_shares`] for weighted per-tenant occupancy
+    /// bounds. AGILE only — the BaM baseline hard-codes one policy, which is
+    /// exactly the flexibility gap the paper calls out.
+    pub fn cache_policy(mut self, policy: agile_core::config::CachePolicyKind) -> Self {
+        self.config.cache_policy = policy;
+        self
+    }
+
+    /// Per-tenant cache-occupancy weights, indexed by tenant id, consumed by
+    /// the `TenantShare` eviction policy (tenants beyond the slice weigh 1;
+    /// empty = equal shares).
+    pub fn cache_shares(mut self, shares: Vec<u64>) -> Self {
+        self.config.cache_shares = shares;
+        self
+    }
+
+    /// Auto-size each service partition's warp count from its CQ target
+    /// count ([`agile_core::service::auto_service_warps`]) instead of the
+    /// fixed `service_warps` geometry.
+    pub fn auto_service_warps(mut self) -> Self {
+        self.config.auto_service_warps = true;
+        self
+    }
 }
 
 impl HostBuilder<BamSystem> {
@@ -112,6 +142,7 @@ impl HostBuilder<BamSystem> {
             config,
             devices: Vec::new(),
             shards: 0,
+            placement: Placement::default(),
             service_shards: 1,
             engine_sched: EngineSched::default(),
             sink: None,
@@ -159,6 +190,16 @@ impl<S: HostSystem> HostBuilder<S> {
         self
     }
 
+    /// Select the striping layer's placement seed over
+    /// [`nvme_sim::StorageTopology::map_page`]: the default
+    /// [`Placement::Interleave`] is the paper's `g % devices` layout
+    /// (golden-guarded), [`Placement::Hash`] rotates each page row by a
+    /// hash for diagonal data-layout experiments.
+    pub fn placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+
     /// Select the engine's scheduling loop: the event-driven ready-queue
     /// (default) or the legacy full scan ([`gpu_sim::EngineSched`]). Both
     /// execute bit-identically; the scan exists for equivalence tests and
@@ -202,6 +243,7 @@ impl HostBuilder<AgileSystem> {
         if self.shards > 0 {
             host.set_shards(self.shards);
         }
+        host.set_placement(self.placement);
         host.set_service_shards(self.service_shards);
         host.set_engine_sched(self.engine_sched);
         host.init_nvme();
@@ -234,6 +276,7 @@ impl HostBuilder<BamSystem> {
         if self.shards > 0 {
             host.set_shards(self.shards);
         }
+        host.set_placement(self.placement);
         host.set_engine_sched(self.engine_sched);
         host.init_nvme();
         if let Some(sink) = self.sink {

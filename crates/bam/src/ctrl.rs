@@ -402,9 +402,26 @@ impl BamCtrl {
     /// Synchronous warp read: on a full hit returns the tokens; otherwise
     /// issues the missing fills and reports `Pending` — the warp must then
     /// call [`BamCtrl::poll_once`] until the data lands and retry.
+    /// Untenanted: cache accounting is skipped and trace events carry the
+    /// pre-threading tenant value (0); multi-tenant workloads use
+    /// [`BamCtrl::read_warp_sync_as`].
     pub fn read_warp_sync(
         &self,
         warp: u64,
+        requests: &[(u32, Lba)],
+        now: Cycles,
+    ) -> (Cycles, Option<Vec<PageToken>>) {
+        self.read_warp_sync_as(warp, agile_cache::NO_TENANT, requests, now)
+    }
+
+    /// [`BamCtrl::read_warp_sync`] with an explicit tenant identity,
+    /// mirroring [`agile_core::AgileCtrl::read_warp_as`]: cache accounting
+    /// and line ownership are attributed to `tenant`; fills and dirty-victim
+    /// write-backs stay QoS-exempt.
+    pub fn read_warp_sync_as(
+        &self,
+        warp: u64,
+        tenant: u32,
         requests: &[(u32, Lba)],
         now: Cycles,
     ) -> (Cycles, Option<Vec<PageToken>>) {
@@ -418,7 +435,7 @@ impl BamCtrl {
         let mut all_ready = true;
 
         for (uidx, &(dev, lba)) in coalesced.unique.iter().enumerate() {
-            match self.cache.lookup_or_reserve(dev, lba) {
+            match self.cache.lookup_or_reserve_as(dev, lba, tenant) {
                 CacheLookup::Hit { line, token } => {
                     cost += Cycles(api.bam_cache_hit);
                     self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -602,6 +619,9 @@ impl BamCtrl {
     /// dirty; the write-back happens on eviction), mirroring
     /// [`agile_core::AgileCtrl::write_warp`] at BaM's per-call costs.
     /// Returns the cost and whether the store landed (false = retry later).
+    /// Untenanted: cache accounting is skipped and trace events carry the
+    /// pre-threading tenant value (0); multi-tenant workloads use
+    /// [`BamCtrl::write_warp_sync_as`].
     pub fn write_warp_sync(
         &self,
         warp: u64,
@@ -610,9 +630,23 @@ impl BamCtrl {
         token: PageToken,
         now: Cycles,
     ) -> (Cycles, bool) {
+        self.write_warp_sync_as(warp, agile_cache::NO_TENANT, dev, lba, token, now)
+    }
+
+    /// [`BamCtrl::write_warp_sync`] with an explicit tenant identity (cache
+    /// accounting and line ownership only).
+    pub fn write_warp_sync_as(
+        &self,
+        warp: u64,
+        tenant: u32,
+        dev: u32,
+        lba: Lba,
+        token: PageToken,
+        now: Cycles,
+    ) -> (Cycles, bool) {
         self.cache.set_time_hint(now.raw());
         let api = &self.cfg.costs.api;
-        let (cost, ok) = match self.cache.lookup_or_reserve(dev, lba) {
+        let (cost, ok) = match self.cache.lookup_or_reserve_as(dev, lba, tenant) {
             CacheLookup::Hit { line, .. } => {
                 self.cache.store(line, token);
                 self.cache.unpin(line);

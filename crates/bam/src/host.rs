@@ -14,7 +14,9 @@ use agile_sim::Cycles;
 use gpu_sim::{
     occupancy, Engine, EngineSched, ExecutionReport, GpuConfig, KernelFactory, LaunchConfig,
 };
-use nvme_sim::{FlatArray, MemBacking, PageBacking, ShardedArray, SsdConfig, StorageTopology};
+use nvme_sim::{
+    FlatArray, MemBacking, PageBacking, Placement, ShardedArray, SsdConfig, StorageTopology,
+};
 use std::sync::Arc;
 
 /// Host-side owner of the BaM testbed.
@@ -24,6 +26,8 @@ pub struct BamHost {
     pending_devices: Vec<(SsdConfig, Arc<dyn PageBacking>)>,
     /// 0 = flat (single lock); ≥ 1 = sharded with that many lock shards.
     shards: usize,
+    /// Placement seed of the striping layer (interleave by default).
+    placement: Placement,
     /// Scheduling loop of the engine (event-driven ready-queue by default).
     engine_sched: EngineSched,
     topology: Option<Arc<dyn StorageTopology>>,
@@ -39,6 +43,7 @@ impl BamHost {
             config,
             pending_devices: Vec::new(),
             shards: 0,
+            placement: Placement::default(),
             engine_sched: EngineSched::default(),
             topology: None,
             ctrl: None,
@@ -65,6 +70,17 @@ impl BamHost {
             "set_shards must be called before init_nvme"
         );
         self.shards = shards;
+    }
+
+    /// Select the striping layer's placement seed, mirroring
+    /// [`agile_core::host::AgileHost::set_placement`]. Must be called before
+    /// [`BamHost::init_nvme`].
+    pub fn set_placement(&mut self, placement: Placement) {
+        assert!(
+            self.topology.is_none(),
+            "set_placement must be called before init_nvme"
+        );
+        self.placement = placement;
     }
 
     /// Register an SSD with a default in-memory backing.
@@ -97,9 +113,9 @@ impl BamHost {
         assert!(self.topology.is_none(), "init_nvme called twice");
         let parts = std::mem::take(&mut self.pending_devices);
         let topology: Arc<dyn StorageTopology> = if self.shards == 0 {
-            Arc::new(FlatArray::from_parts(parts))
+            Arc::new(FlatArray::from_parts(parts).with_placement(self.placement))
         } else {
-            Arc::new(ShardedArray::from_parts(parts, self.shards))
+            Arc::new(ShardedArray::from_parts(parts, self.shards).with_placement(self.placement))
         };
         let per_device_queues =
             topology.register_queues(self.config.queue_pairs_per_ssd, self.config.queue_depth);

@@ -135,6 +135,91 @@ fn main() {
     }
 
     print_header(
+        "Cached-path noisy neighbour",
+        "uniform flood vs Zipf hot-set reader through the HBM cache — \
+         clock vs TenantShare eviction (AGILE; BaM hard-codes clock)",
+    );
+    let cn_ops: u64 = if quick_mode() { 6_144 } else { 16_384 };
+    let trace =
+        TraceSpec::cached_noisy_neighbor("cached-noisy", seed, 1, 1 << 13, cn_ops).generate();
+    let cached_contended = ReplayConfig {
+        queue_pairs: 8,
+        queue_depth: 128,
+        ..ReplayConfig::quick()
+    }
+    .cached()
+    .tenant_partitioned();
+    for policy in ["clock", "tenant-share"] {
+        let cfg = if policy == "clock" {
+            cached_contended.clone()
+        } else {
+            cached_contended.clone().tenant_share(vec![1, 1])
+        };
+        let r = run_trace_replay(&trace, ReplaySystem::Agile, &cfg);
+        let victim_cache = r.tenant_cache.iter().find(|t| t.tenant == 1);
+        let victim = &r.tenants[1];
+        print_row(&[
+            ("system", r.system.to_string()),
+            ("policy", policy.to_string()),
+            ("ops", r.ops.to_string()),
+            (
+                "victim_hit_rate",
+                victim_cache.map_or("-".into(), |t| format!("{:.3}", t.hit_rate())),
+            ),
+            (
+                "victim_occ",
+                victim_cache.map_or("-".into(), |t| t.occupancy.to_string()),
+            ),
+            (
+                "victim_evictions",
+                victim_cache.map_or("-".into(), |t| t.evictions.to_string()),
+            ),
+            ("victim_p50_us", format!("{:.2}", victim.p50_us)),
+            ("victim_p99_us", format!("{:.2}", victim.p99_us)),
+            ("iops", format!("{:.0}", r.iops)),
+            ("deadlocked", r.deadlocked.to_string()),
+        ]);
+    }
+
+    print_header(
+        "Prefetch depth × eviction policy",
+        "cached replay: AGILE batch-ahead depth {0,1,2,4} under clock and \
+         TenantShare vs the demand-fill BaM baseline — the AGILE-vs-BaM \
+         cached-replay gap is this pipeline-depth/cache-pressure trade",
+    );
+    for depth in [0u32, 1, 2, 4] {
+        for policy in ["clock", "tenant-share"] {
+            let mut cfg = cached_contended.clone().with_prefetch_depth(depth);
+            if policy == "tenant-share" {
+                cfg = cfg.tenant_share(vec![1, 1]);
+            }
+            let r = run_trace_replay(&trace, ReplaySystem::Agile, &cfg);
+            print_row(&[
+                ("system", r.system.to_string()),
+                ("depth", depth.to_string()),
+                ("policy", policy.to_string()),
+                ("ops", r.ops.to_string()),
+                ("p50_us", format!("{:.2}", r.p50_us)),
+                ("p99_us", format!("{:.2}", r.p99_us)),
+                ("iops", format!("{:.0}", r.iops)),
+                ("deadlocked", r.deadlocked.to_string()),
+            ]);
+        }
+    }
+    // The synchronous baseline: no prefetch by construction, clock fixed.
+    let bam = run_trace_replay(&trace, ReplaySystem::Bam, &cached_contended);
+    print_row(&[
+        ("system", bam.system.to_string()),
+        ("depth", "-".to_string()),
+        ("policy", "clock".to_string()),
+        ("ops", bam.ops.to_string()),
+        ("p50_us", format!("{:.2}", bam.p50_us)),
+        ("p99_us", format!("{:.2}", bam.p99_us)),
+        ("iops", format!("{:.0}", bam.iops)),
+        ("deadlocked", bam.deadlocked.to_string()),
+    ]);
+
+    print_header(
         "Service scale-out",
         "AGILE aggregate IOPS vs service_shards × storage shards at 8 SSDs \
          (32 QPs/SSD: the single service's CQ visit period gates slot recycling)",

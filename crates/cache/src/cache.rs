@@ -19,6 +19,7 @@
 
 use crate::line::{LineState, Way};
 use crate::policy::CachePolicy;
+use crate::tenant::{TenantCacheStats, TenantTable, NO_TENANT};
 use agile_sim::trace::{TraceEvent, TraceEventKind, TraceSink};
 use agile_sim::units::SSD_PAGE_SIZE;
 use nvme_sim::{DmaHandle, Lba, PageToken};
@@ -127,6 +128,15 @@ pub enum CacheLookup {
 struct SetMeta {
     /// Tag per way: `(device, lba)`; `None` when the way holds nothing.
     tags: Vec<Option<(u32, Lba)>>,
+    /// Owner tenant per way ([`NO_TENANT`] when unowned): the tenant whose
+    /// lookup most recently filled the way. Accounting only — ownership
+    /// never gates a fill or a write-back.
+    owners: Vec<u32>,
+    /// Owner displaced by the in-flight reservation of each way, so
+    /// [`SoftwareCache::reinstate_victim`] can return the line (and its
+    /// occupancy accounting) to the evicted tenant when the victim's
+    /// write-back could not issue.
+    displaced: Vec<u32>,
 }
 
 /// The software cache.
@@ -137,6 +147,9 @@ pub struct SoftwareCache {
     assoc: usize,
     policy: Box<dyn CachePolicy>,
     stats: StatsCells,
+    /// Per-tenant accounting (hits/misses/fills/evictions + live occupancy),
+    /// shared with tenant-aware policies via `CachePolicy::bind_tenants`.
+    tenants: Arc<TenantTable>,
     /// Optional trace recorder; one atomic load when disabled.
     trace: OnceLock<Arc<dyn TraceSink>>,
     /// Latest sim time reported by a caller (the cache's lookup API carries
@@ -155,12 +168,16 @@ impl SoftwareCache {
         assert!(cfg.associativity > 0, "associativity must be positive");
         let num_sets = cfg.num_sets();
         let assoc = cfg.associativity as usize;
+        let tenants = Arc::new(TenantTable::new());
         policy.configure(num_sets, assoc);
+        policy.bind_tenants(Arc::clone(&tenants));
         SoftwareCache {
             sets: (0..num_sets)
                 .map(|_| {
                     Mutex::new(SetMeta {
                         tags: vec![None; assoc],
+                        owners: vec![NO_TENANT; assoc],
+                        displaced: vec![NO_TENANT; assoc],
                     })
                 })
                 .collect(),
@@ -168,6 +185,7 @@ impl SoftwareCache {
             assoc,
             policy,
             stats: StatsCells::default(),
+            tenants,
             cfg,
             trace: OnceLock::new(),
             trace_now: AtomicU64::new(0),
@@ -190,10 +208,12 @@ impl SoftwareCache {
     }
 
     #[inline]
-    fn trace_lookup(&self, kind: TraceEventKind, dev: u32, lba: Lba) {
+    fn trace_lookup(&self, kind: TraceEventKind, dev: u32, lba: Lba, tenant: u32) {
         if let Some(sink) = self.trace.get() {
             let at = self.trace_now.load(Ordering::Relaxed);
-            sink.record(TraceEvent::new(kind, at).target(dev, lba));
+            // Untenanted lookups record tenant 0, the pre-threading value.
+            let tenant = if tenant == NO_TENANT { 0 } else { tenant };
+            sink.record(TraceEvent::new(kind, at).target(dev, lba).tenant(tenant));
         }
     }
 
@@ -210,6 +230,17 @@ impl SoftwareCache {
     /// Number of lines.
     pub fn num_lines(&self) -> usize {
         self.ways.len()
+    }
+
+    /// Per-tenant counter snapshot, ordered by tenant id (empty until a
+    /// tenant-attributed lookup arrives).
+    pub fn tenant_stats(&self) -> Vec<TenantCacheStats> {
+        self.tenants.snapshot()
+    }
+
+    /// The shared per-tenant accounting table (live occupancy gauges).
+    pub fn tenant_table(&self) -> &Arc<TenantTable> {
+        &self.tenants
     }
 
     /// Snapshot of the counters.
@@ -241,8 +272,21 @@ impl SoftwareCache {
         &self.ways[line.0 as usize]
     }
 
-    /// Non-blocking lookup; see the module docs for the case mapping.
+    /// Non-blocking lookup without tenant attribution (the pre-threading
+    /// entry point, kept for preloads and bare rigs); see the module docs
+    /// for the case mapping.
     pub fn lookup_or_reserve(&self, dev: u32, lba: Lba) -> CacheLookup {
+        self.lookup_or_reserve_as(dev, lba, NO_TENANT)
+    }
+
+    /// [`SoftwareCache::lookup_or_reserve`] with an explicit requesting
+    /// tenant. Attribution is **accounting only**: hits/misses are counted
+    /// against `tenant`, a reserved line becomes owned by `tenant` (fills
+    /// are attributed to the requester), and an evicted line's previous
+    /// owner is charged the eviction — but the lookup outcome, the victim
+    /// choice under a tenant-oblivious policy, and the fill/write-back I/O
+    /// are bit-identical to the untenanted path.
+    pub fn lookup_or_reserve_as(&self, dev: u32, lba: Lba, tenant: u32) -> CacheLookup {
         let set_idx = self.set_of(dev, lba);
         let mut meta = self.sets[set_idx].lock();
 
@@ -255,7 +299,8 @@ impl SoftwareCache {
                         way.pin();
                         self.policy.on_access(set_idx, way_idx);
                         self.stats.hits.fetch_add(1, Ordering::Relaxed);
-                        self.trace_lookup(TraceEventKind::CacheHit, dev, lba);
+                        self.tenants.record_hit(tenant);
+                        self.trace_lookup(TraceEventKind::CacheHit, dev, lba, tenant);
                         CacheLookup::Hit {
                             line: self.line_id(set_idx, way_idx),
                             token: way.data.load(),
@@ -263,18 +308,21 @@ impl SoftwareCache {
                     }
                     LineState::Busy => {
                         self.stats.busy_hits.fetch_add(1, Ordering::Relaxed);
-                        self.trace_lookup(TraceEventKind::CacheBusy, dev, lba);
+                        self.trace_lookup(TraceEventKind::CacheBusy, dev, lba, tenant);
                         CacheLookup::Busy {
                             line: self.line_id(set_idx, way_idx),
                         }
                     }
                     LineState::Invalid => {
-                        // Tag present but invalid (fill failed): re-reserve it.
+                        // Tag present but invalid (fill failed): re-reserve
+                        // it, transferring ownership to the new requester.
                         way.set_state(LineState::Busy);
                         way.pin();
+                        self.transfer_owner(&mut meta, way_idx, tenant);
                         self.policy.on_fill(set_idx, way_idx);
                         self.stats.misses.fetch_add(1, Ordering::Relaxed);
-                        self.trace_lookup(TraceEventKind::CacheMiss, dev, lba);
+                        self.tenants.record_miss_fill(tenant);
+                        self.trace_lookup(TraceEventKind::CacheMiss, dev, lba, tenant);
                         CacheLookup::Miss {
                             line: self.line_id(set_idx, way_idx),
                             dma: way.data.clone(),
@@ -289,11 +337,13 @@ impl SoftwareCache {
         if let Some(way_idx) = (0..self.assoc).find(|&w| meta.tags[w].is_none()) {
             let way = &self.ways[set_idx * self.assoc + way_idx];
             meta.tags[way_idx] = Some((dev, lba));
+            meta.owners[way_idx] = tenant;
             way.set_state(LineState::Busy);
             way.pin();
             self.policy.on_fill(set_idx, way_idx);
             self.stats.misses.fetch_add(1, Ordering::Relaxed);
-            self.trace_lookup(TraceEventKind::CacheMiss, dev, lba);
+            self.tenants.record_miss_fill_occupy(tenant);
+            self.trace_lookup(TraceEventKind::CacheMiss, dev, lba, tenant);
             return CacheLookup::Miss {
                 line: self.line_id(set_idx, way_idx),
                 dma: way.data.clone(),
@@ -301,13 +351,20 @@ impl SoftwareCache {
             };
         }
 
-        // 3. Miss with eviction: ask the policy for a victim among evictable ways.
+        // 3. Miss with eviction: ask the policy for a victim among evictable
+        //    ways, handing it the per-way owner view (tenant-aware policies
+        //    use it to bound each tenant's occupancy to its share).
         let evictable: Vec<bool> = (0..self.assoc)
             .map(|w| self.ways[set_idx * self.assoc + w].evictable())
             .collect();
-        let Some(victim) = self.policy.choose_victim(set_idx, &evictable) else {
+        let Some(victim) = self.policy.choose_victim(set_idx, &evictable, &meta.owners) else {
+            // A transient resource stall (every way pinned/busy), not a data
+            // miss: the caller retries and the retry is what gets counted.
+            // Charging it per tenant would let retry churn drown the
+            // hit-rate signal the per-tenant stats exist for; the aggregate
+            // `no_line` counter still records every occurrence.
             self.stats.no_line.fetch_add(1, Ordering::Relaxed);
-            self.trace_lookup(TraceEventKind::CacheNoLine, dev, lba);
+            self.trace_lookup(TraceEventKind::CacheNoLine, dev, lba, tenant);
             return CacheLookup::NoLineAvailable;
         };
         debug_assert!(evictable[victim], "policy chose a non-evictable way");
@@ -317,7 +374,7 @@ impl SoftwareCache {
             LineState::Modified => {
                 self.stats.writebacks.fetch_add(1, Ordering::Relaxed);
                 if let Some((d, l)) = old_tag {
-                    self.trace_lookup(TraceEventKind::Writeback, d, l);
+                    self.trace_lookup(TraceEventKind::Writeback, d, l, meta.owners[victim]);
                 }
                 old_tag.map(|(d, l)| (d, l, way.data.load()))
             }
@@ -325,7 +382,11 @@ impl SoftwareCache {
         };
         self.stats.evictions.fetch_add(1, Ordering::Relaxed);
         self.stats.misses.fetch_add(1, Ordering::Relaxed);
-        self.trace_lookup(TraceEventKind::CacheMiss, dev, lba);
+        self.tenants.record_miss_fill_occupy(tenant);
+        self.tenants.record_eviction(meta.owners[victim]);
+        meta.displaced[victim] = meta.owners[victim];
+        meta.owners[victim] = tenant;
+        self.trace_lookup(TraceEventKind::CacheMiss, dev, lba, tenant);
         meta.tags[victim] = Some((dev, lba));
         way.set_state(LineState::Busy);
         way.pin();
@@ -334,6 +395,17 @@ impl SoftwareCache {
             line: self.line_id(set_idx, victim),
             dma: way.data.clone(),
             writeback,
+        }
+    }
+
+    /// Move ownership of `way_idx` (whose set lock the caller holds via
+    /// `meta`) to `tenant`, keeping the occupancy gauges balanced.
+    fn transfer_owner(&self, meta: &mut SetMeta, way_idx: usize, tenant: u32) {
+        let old = meta.owners[way_idx];
+        if old != tenant {
+            self.tenants.vacate(old);
+            self.tenants.occupy(tenant);
+            meta.owners[way_idx] = tenant;
         }
     }
 
@@ -402,6 +474,17 @@ impl SoftwareCache {
             "reinstate_victim on a line that was not reserved"
         );
         meta.tags[way_idx] = Some((dev, lba));
+        // Ownership (and its occupancy accounting) returns to the displaced
+        // tenant; the requester's fill never happened. The victim's eviction
+        // counter stays advanced — the displacement was real, it just could
+        // not complete.
+        let displaced = meta.displaced[way_idx];
+        let requester = meta.owners[way_idx];
+        if displaced != requester {
+            self.tenants.vacate(requester);
+            self.tenants.occupy(displaced);
+            meta.owners[way_idx] = displaced;
+        }
         way.data.store(token);
         way.set_state(LineState::Modified);
         way.unpin();
@@ -623,6 +706,125 @@ mod tests {
         let s = c.stats();
         assert_eq!(s.misses, 1);
         assert_eq!(s.busy_hits, 7);
+    }
+
+    #[test]
+    fn tenant_attribution_tracks_ownership_and_eviction() {
+        // One set of 4 ways: tenant 0 fills 3 lines, tenant 1 fills 1, then
+        // tenant 1's fourth fill evicts one of tenant 0's lines.
+        let c = SoftwareCache::new(
+            CacheConfig {
+                capacity_bytes: 4 * SSD_PAGE_SIZE,
+                line_size: SSD_PAGE_SIZE,
+                associativity: 4,
+            },
+            Box::new(LruPolicy::new()),
+        );
+        for lba in 0..3u64 {
+            let CacheLookup::Miss { line, dma, .. } = c.lookup_or_reserve_as(0, lba, 0) else {
+                panic!("expected miss");
+            };
+            dma.store(PageToken(lba));
+            c.complete_fill(line);
+            c.unpin(line);
+        }
+        let CacheLookup::Miss { line, dma, .. } = c.lookup_or_reserve_as(0, 3, 1) else {
+            panic!("expected miss");
+        };
+        dma.store(PageToken(3));
+        c.complete_fill(line);
+        c.unpin(line);
+        // A hit is attributed to the requesting tenant, not the owner.
+        let CacheLookup::Hit { line, .. } = c.lookup_or_reserve_as(0, 0, 1) else {
+            panic!("expected hit");
+        };
+        c.unpin(line);
+        let stats = c.tenant_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!((stats[0].fills, stats[0].occupancy), (3, 3));
+        assert_eq!(
+            (stats[1].fills, stats[1].hits, stats[1].occupancy),
+            (1, 1, 1)
+        );
+        // Fifth distinct LBA from tenant 1 evicts one of tenant 0's lines
+        // (LRU: lba 1 is the least recently used).
+        let CacheLookup::Miss { line, .. } = c.lookup_or_reserve_as(0, 100, 1) else {
+            panic!("expected eviction miss");
+        };
+        c.complete_fill(line);
+        c.unpin(line);
+        let stats = c.tenant_stats();
+        assert_eq!(stats[0].evictions, 1, "tenant 0 lost a line");
+        assert_eq!(stats[0].occupancy, 2);
+        assert_eq!(stats[1].occupancy, 2, "tenant 1 gained the way");
+        assert_eq!(c.tenant_table().total_occupancy(), 4);
+    }
+
+    #[test]
+    fn untenanted_lookups_keep_the_table_empty() {
+        let c = small_cache();
+        assert!(c.preload(0, 1, PageToken(9)));
+        let CacheLookup::Hit { line, .. } = c.lookup_or_reserve(0, 1) else {
+            panic!("expected hit");
+        };
+        c.unpin(line);
+        assert!(c.tenant_stats().is_empty());
+    }
+
+    #[test]
+    fn tenant_share_protects_the_victim_hot_set_end_to_end() {
+        use crate::policy::TenantShare;
+        // 16 lines, 4-way. Tenant 0 floods with always-new addresses while
+        // tenant 1 re-reads a 4-page hot set. Under the clock policy the
+        // flood keeps evicting the hot set; under TenantShare the flood's
+        // over-quota lines are evicted in preference, so the hot set
+        // survives and the victim's hit count jumps.
+        let run = |policy: Box<dyn CachePolicy>| -> Vec<CacheStats> {
+            let c = SoftwareCache::new(
+                CacheConfig {
+                    capacity_bytes: 16 * SSD_PAGE_SIZE,
+                    line_size: SSD_PAGE_SIZE,
+                    associativity: 4,
+                },
+                policy,
+            );
+            let fill =
+                |dev: u32, lba: u64, tenant: u32| match c.lookup_or_reserve_as(dev, lba, tenant) {
+                    CacheLookup::Hit { line, .. } => c.unpin(line),
+                    CacheLookup::Miss { line, dma, .. } => {
+                        dma.store(PageToken(lba));
+                        c.complete_fill(line);
+                        c.unpin(line);
+                    }
+                    CacheLookup::Busy { .. } | CacheLookup::NoLineAvailable => {}
+                };
+            for round in 0..200u64 {
+                fill(0, 1_000 + round, 0);
+                fill(0, round % 4, 1);
+            }
+            c.tenant_stats()
+                .into_iter()
+                .map(|t| CacheStats {
+                    hits: t.hits,
+                    misses: t.misses,
+                    ..CacheStats::default()
+                })
+                .collect()
+        };
+        let clock = run(Box::<ClockPolicy>::default());
+        let shared = run(Box::<TenantShare>::default());
+        assert!(
+            shared[1].hits > clock[1].hits,
+            "TenantShare must lift the victim's hits over clock ({} vs {})",
+            shared[1].hits,
+            clock[1].hits
+        );
+        assert!(
+            shared[1].hits > 150,
+            "the 4-page hot set must be near-always resident under \
+             TenantShare (hits={})",
+            shared[1].hits
+        );
     }
 
     #[test]

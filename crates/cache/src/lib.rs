@@ -20,7 +20,9 @@
 //!
 //! * [`line`] — line state words, pinning, and the per-line DMA slot;
 //! * [`policy`] — the [`policy::CachePolicy`] trait plus Clock / LRU / FIFO /
-//!   Random implementations;
+//!   Random implementations and the tenant-aware [`policy::TenantShare`];
+//! * [`tenant`] — per-tenant accounting (hits/misses/fills/evictions and
+//!   live occupancy) shared between the cache and tenant-aware policies;
 //! * [`cache`] — the set-associative [`cache::SoftwareCache`];
 //! * [`share_table`] — the MOESI-inspired [`share_table::ShareTable`].
 
@@ -31,8 +33,10 @@ pub mod cache;
 pub mod line;
 pub mod policy;
 pub mod share_table;
+pub mod tenant;
 
 pub use cache::{CacheConfig, CacheLookup, CacheStats, LineId, SoftwareCache};
 pub use line::LineState;
-pub use policy::{CachePolicy, ClockPolicy, FifoPolicy, LruPolicy, RandomPolicy};
+pub use policy::{CachePolicy, ClockPolicy, FifoPolicy, LruPolicy, RandomPolicy, TenantShare};
 pub use share_table::{BufState, ShareTable, ShareTableStats, SharedBuf};
+pub use tenant::{TenantCacheStats, TenantTable, NO_TENANT};

@@ -7,11 +7,16 @@
 //! cache calls the policy on every access/fill and asks it to pick a victim
 //! among the evictable ways of a set.
 //!
-//! Four built-in policies are provided: [`ClockPolicy`] (the paper's default,
-//! second-chance), [`LruPolicy`], [`FifoPolicy`] and [`RandomPolicy`].
-//! All of them are lock-free: metadata is kept in per-way atomics.
+//! Five built-in policies are provided: [`ClockPolicy`] (the paper's default,
+//! second-chance), [`LruPolicy`], [`FifoPolicy`], [`RandomPolicy`], and the
+//! tenant-aware [`TenantShare`]. The tenant-oblivious four are lock-free:
+//! metadata is kept in per-way atomics — and they ignore the per-way owner
+//! view entirely, so their victim choices are bit-identical to the
+//! pre-tenant-threading stack (asserted by the golden-trace suite).
 
+use crate::tenant::{TenantTable, NO_TENANT};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A pluggable replacement policy.
 ///
@@ -25,6 +30,14 @@ pub trait CachePolicy: Send + Sync {
     /// Called once by the cache with its geometry before use.
     fn configure(&mut self, num_sets: usize, associativity: usize);
 
+    /// Called once by the cache after [`CachePolicy::configure`] with the
+    /// shared per-tenant accounting table. Tenant-aware policies keep the
+    /// `Arc` and read live occupancies from it; the default implementation
+    /// drops it (tenant-oblivious policies need no view).
+    fn bind_tenants(&mut self, tenants: Arc<TenantTable>) {
+        let _ = tenants;
+    }
+
     /// A hit on `(set, way)` was served.
     fn on_access(&self, set: usize, way: usize);
 
@@ -32,10 +45,12 @@ pub trait CachePolicy: Send + Sync {
     fn on_fill(&self, set: usize, way: usize);
 
     /// Choose a victim among the ways of `set` for which `evictable[way]` is
-    /// true. Returns `None` when no way is evictable (all pinned or busy);
-    /// the cache then reports `NoLineAvailable` and the caller retries, which
-    /// is AGILE's answer to the eviction-deadlock scenario of §2.3.2.
-    fn choose_victim(&self, set: usize, evictable: &[bool]) -> Option<usize>;
+    /// true. `owners[way]` is the tenant currently owning the way's line
+    /// ([`NO_TENANT`] for unowned ways); tenant-oblivious policies ignore it.
+    /// Returns `None` when no way is evictable (all pinned or busy); the
+    /// cache then reports `NoLineAvailable` and the caller retries, which is
+    /// AGILE's answer to the eviction-deadlock scenario of §2.3.2.
+    fn choose_victim(&self, set: usize, evictable: &[bool], owners: &[u32]) -> Option<usize>;
 }
 
 /// The clock (second-chance) policy used by the paper's DLRM evaluation.
@@ -84,7 +99,7 @@ impl CachePolicy for ClockPolicy {
     fn on_fill(&self, set: usize, way: usize) {
         self.ref_bits[self.idx(set, way)].store(1, Ordering::Relaxed);
     }
-    fn choose_victim(&self, set: usize, evictable: &[bool]) -> Option<usize> {
+    fn choose_victim(&self, set: usize, evictable: &[bool], _owners: &[u32]) -> Option<usize> {
         if !evictable.iter().any(|&e| e) {
             return None;
         }
@@ -154,7 +169,7 @@ impl CachePolicy for LruPolicy {
     fn on_fill(&self, set: usize, way: usize) {
         self.touch(set, way);
     }
-    fn choose_victim(&self, set: usize, evictable: &[bool]) -> Option<usize> {
+    fn choose_victim(&self, set: usize, evictable: &[bool], _owners: &[u32]) -> Option<usize> {
         evictable
             .iter()
             .enumerate()
@@ -206,7 +221,7 @@ impl CachePolicy for FifoPolicy {
         let t = self.tick.fetch_add(1, Ordering::Relaxed);
         self.filled_at[self.idx(set, way)].store(t, Ordering::Relaxed);
     }
-    fn choose_victim(&self, set: usize, evictable: &[bool]) -> Option<usize> {
+    fn choose_victim(&self, set: usize, evictable: &[bool], _owners: &[u32]) -> Option<usize> {
         evictable
             .iter()
             .enumerate()
@@ -245,7 +260,7 @@ impl CachePolicy for RandomPolicy {
     fn configure(&mut self, _num_sets: usize, _associativity: usize) {}
     fn on_access(&self, _set: usize, _way: usize) {}
     fn on_fill(&self, _set: usize, _way: usize) {}
-    fn choose_victim(&self, _set: usize, evictable: &[bool]) -> Option<usize> {
+    fn choose_victim(&self, _set: usize, evictable: &[bool], _owners: &[u32]) -> Option<usize> {
         let candidates: Vec<usize> = evictable
             .iter()
             .enumerate()
@@ -260,6 +275,132 @@ impl CachePolicy for RandomPolicy {
     }
 }
 
+/// Tenant-aware eviction: bound each tenant's occupancy to a weighted share
+/// of the cache, preferring to evict lines of tenants that are **over**
+/// their quota.
+///
+/// A tenant's quota is its weighted fraction of the total line count,
+/// computed over the tenants *currently holding lines*:
+/// `share(t) = lines × weight(t) / Σ active weights` (at least one line).
+/// On eviction the policy first restricts the candidate ways to those owned
+/// by over-quota tenants and picks among them with an interior clock
+/// (second-chance) order; when no over-quota line is evictable it falls back
+/// to the plain clock choice over every evictable way — so a tenant alone in
+/// the cache (or sharing it with idle tenants) still uses the whole
+/// capacity: the policy is **work-conserving**, exactly like the raw-path
+/// `WeightedFair` SQ scheduler it mirrors.
+///
+/// The live occupancy gauge comes from the cache's [`TenantTable`], bound at
+/// construction through [`CachePolicy::bind_tenants`]. Quota enforcement is
+/// eviction-side only: fills are never blocked (a fill is system traffic —
+/// deferring it would violate the QoS-exemption invariant), so a burst can
+/// transiently exceed its share and is then preferentially reclaimed.
+pub struct TenantShare {
+    /// Interior recency order (second-chance) shared by the filtered and the
+    /// fallback victim choice.
+    inner: ClockPolicy,
+    /// Explicit per-tenant weights; tenants not listed get `default_weight`.
+    weights: std::collections::BTreeMap<u32, u64>,
+    default_weight: u64,
+    /// Total lines (sets × associativity), fixed by `configure`.
+    total_lines: u64,
+    /// Live per-tenant occupancy view, bound by the owning cache.
+    tenants: Option<Arc<TenantTable>>,
+}
+
+impl TenantShare {
+    /// Equal-weight shares.
+    pub fn new() -> Self {
+        TenantShare {
+            inner: ClockPolicy::new(),
+            weights: std::collections::BTreeMap::new(),
+            default_weight: 1,
+            total_lines: 0,
+            tenants: None,
+        }
+    }
+
+    /// Shares from explicit weights indexed by tenant id (tenants beyond the
+    /// slice fall back to weight 1; zero weights are clamped to 1).
+    pub fn from_weights(weights: &[u64]) -> Self {
+        let mut policy = TenantShare::new();
+        for (tenant, &w) in weights.iter().enumerate() {
+            policy.weights.insert(tenant as u32, w.max(1));
+        }
+        policy
+    }
+
+    /// Override one tenant's weight (builder-style).
+    pub fn with_weight(mut self, tenant: u32, weight: u64) -> Self {
+        self.weights.insert(tenant, weight.max(1));
+        self
+    }
+
+    fn weight(&self, tenant: u32) -> u64 {
+        *self.weights.get(&tenant).unwrap_or(&self.default_weight)
+    }
+}
+
+impl Default for TenantShare {
+    fn default() -> Self {
+        TenantShare::new()
+    }
+}
+
+impl CachePolicy for TenantShare {
+    fn name(&self) -> &str {
+        "tenant-share"
+    }
+    fn configure(&mut self, num_sets: usize, associativity: usize) {
+        self.inner.configure(num_sets, associativity);
+        self.total_lines = (num_sets * associativity) as u64;
+    }
+    fn bind_tenants(&mut self, tenants: Arc<TenantTable>) {
+        self.tenants = Some(tenants);
+    }
+    fn on_access(&self, set: usize, way: usize) {
+        self.inner.on_access(set, way);
+    }
+    fn on_fill(&self, set: usize, way: usize) {
+        self.inner.on_fill(set, way);
+    }
+    fn choose_victim(&self, set: usize, evictable: &[bool], owners: &[u32]) -> Option<usize> {
+        let Some(table) = &self.tenants else {
+            // No occupancy view bound (bare policy rigs): plain clock.
+            return self.inner.choose_victim(set, evictable, owners);
+        };
+        let active = table.active_occupancies();
+        let active_weight: u64 = active.iter().map(|&(t, _)| self.weight(t)).sum();
+        if active_weight > 0 {
+            // Candidate ways owned by a tenant over its weighted share.
+            let over_quota = |tenant: u32| -> bool {
+                if tenant == NO_TENANT {
+                    return false;
+                }
+                let Some(&(_, occ)) = active.iter().find(|&&(t, _)| t == tenant) else {
+                    return false;
+                };
+                let share = ((self.total_lines as u128 * self.weight(tenant) as u128)
+                    / active_weight as u128)
+                    .max(1) as u64;
+                occ > share
+            };
+            let filtered: Vec<bool> = evictable
+                .iter()
+                .zip(owners)
+                .map(|(&e, &o)| e && over_quota(o))
+                .collect();
+            if filtered.iter().any(|&b| b) {
+                if let Some(victim) = self.inner.choose_victim(set, &filtered, owners) {
+                    return Some(victim);
+                }
+            }
+        }
+        // Work-conserving fallback: nobody (evictable) is over quota.
+        self.inner.choose_victim(set, evictable, owners)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -267,6 +408,11 @@ mod tests {
     fn configured<P: CachePolicy>(mut p: P) -> P {
         p.configure(4, 4);
         p
+    }
+
+    /// Owner view of an all-unowned set.
+    fn unowned(n: usize) -> Vec<u32> {
+        vec![NO_TENANT; n]
     }
 
     #[test]
@@ -278,7 +424,7 @@ mod tests {
         // Way 1 is hot (recently accessed every time); others decay.
         p.on_access(0, 1);
         let evictable = vec![true; 4];
-        let v1 = p.choose_victim(0, &evictable).unwrap();
+        let v1 = p.choose_victim(0, &evictable, &unowned(4)).unwrap();
         assert_ne!(v1, 1, "hot way should survive the first sweep");
     }
 
@@ -292,7 +438,7 @@ mod tests {
         p.on_access(0, 2);
         p.on_access(0, 3);
         // Way 1 is now the least recently used.
-        assert_eq!(p.choose_victim(0, [true; 4].as_ref()), Some(1));
+        assert_eq!(p.choose_victim(0, [true; 4].as_ref(), &unowned(4)), Some(1));
     }
 
     #[test]
@@ -304,7 +450,7 @@ mod tests {
         // Hits on way 0 must not save it: it was filled first.
         p.on_access(0, 0);
         p.on_access(0, 0);
-        assert_eq!(p.choose_victim(0, [true; 4].as_ref()), Some(0));
+        assert_eq!(p.choose_victim(0, [true; 4].as_ref(), &unowned(4)), Some(0));
     }
 
     #[test]
@@ -312,7 +458,7 @@ mod tests {
         let p = RandomPolicy::new(42);
         let evictable = vec![false, true, false, true];
         for _ in 0..100 {
-            let v = p.choose_victim(0, &evictable).unwrap();
+            let v = p.choose_victim(0, &evictable, &unowned(4)).unwrap();
             assert!(v == 1 || v == 3);
         }
     }
@@ -320,10 +466,24 @@ mod tests {
     #[test]
     fn all_policies_return_none_when_nothing_evictable() {
         let none = vec![false; 4];
-        assert_eq!(configured(ClockPolicy::new()).choose_victim(0, &none), None);
-        assert_eq!(configured(LruPolicy::new()).choose_victim(0, &none), None);
-        assert_eq!(configured(FifoPolicy::new()).choose_victim(0, &none), None);
-        assert_eq!(RandomPolicy::new(1).choose_victim(0, &none), None);
+        let owners = unowned(4);
+        assert_eq!(
+            configured(ClockPolicy::new()).choose_victim(0, &none, &owners),
+            None
+        );
+        assert_eq!(
+            configured(LruPolicy::new()).choose_victim(0, &none, &owners),
+            None
+        );
+        assert_eq!(
+            configured(FifoPolicy::new()).choose_victim(0, &none, &owners),
+            None
+        );
+        assert_eq!(RandomPolicy::new(1).choose_victim(0, &none, &owners), None);
+        assert_eq!(
+            configured(TenantShare::new()).choose_victim(0, &none, &owners),
+            None
+        );
     }
 
     #[test]
@@ -334,6 +494,88 @@ mod tests {
         }
         // Oldest way (0) is not evictable ⇒ next oldest (1) chosen.
         let evictable = vec![false, true, true, true];
-        assert_eq!(p.choose_victim(1, &evictable), Some(1));
+        assert_eq!(p.choose_victim(1, &evictable, &unowned(4)), Some(1));
+    }
+
+    /// A TenantShare over 16 lines with a bound occupancy table.
+    fn tenant_share_with(table: &Arc<TenantTable>, weights: &[u64]) -> TenantShare {
+        let mut p = TenantShare::from_weights(weights);
+        p.configure(4, 4);
+        p.bind_tenants(Arc::clone(table));
+        p
+    }
+
+    #[test]
+    fn tenant_share_prefers_over_quota_owners() {
+        let table = Arc::new(TenantTable::new());
+        // Tenant 0 hogs 12 of 16 lines; tenant 1 holds 4. Equal weights ⇒
+        // shares of 8 each: tenant 0 is over quota, tenant 1 is not.
+        for _ in 0..12 {
+            table.occupy(0);
+        }
+        for _ in 0..4 {
+            table.occupy(1);
+        }
+        let p = tenant_share_with(&table, &[1, 1]);
+        let evictable = vec![true; 4];
+        // Ways 0/2 owned by the hog, 1 by the victim, 3 unowned.
+        let owners = vec![0, 1, 0, NO_TENANT];
+        for _ in 0..20 {
+            let v = p.choose_victim(0, &evictable, &owners).unwrap();
+            assert!(
+                v == 0 || v == 2,
+                "victim must be one of the over-quota tenant's ways, got {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn tenant_share_is_work_conserving_when_nobody_is_over_quota() {
+        let table = Arc::new(TenantTable::new());
+        // A lone tenant filling the whole cache is never over its share
+        // (share = all 16 lines), so eviction falls back to plain clock.
+        for _ in 0..16 {
+            table.occupy(7);
+        }
+        let p = tenant_share_with(&table, &[]);
+        let evictable = vec![true; 4];
+        let owners = vec![7; 4];
+        assert!(p.choose_victim(0, &evictable, &owners).is_some());
+    }
+
+    #[test]
+    fn tenant_share_weights_skew_the_quota() {
+        let table = Arc::new(TenantTable::new());
+        // 3:1 weights over 16 lines ⇒ shares 12 and 4. Tenant 1 holding 6
+        // is over quota even though tenant 0 holds more lines (10 < 12).
+        for _ in 0..10 {
+            table.occupy(0);
+        }
+        for _ in 0..6 {
+            table.occupy(1);
+        }
+        let p = tenant_share_with(&table, &[3, 1]);
+        let evictable = vec![true; 4];
+        let owners = vec![0, 1, 0, 1];
+        for _ in 0..20 {
+            let v = p.choose_victim(0, &evictable, &owners).unwrap();
+            assert!(v == 1 || v == 3, "only tenant 1 is over its share, got {v}");
+        }
+    }
+
+    #[test]
+    fn tenant_share_respects_evictability_within_the_preference() {
+        let table = Arc::new(TenantTable::new());
+        for _ in 0..16 {
+            table.occupy(0);
+        }
+        table.occupy(1);
+        let p = tenant_share_with(&table, &[1, 1]);
+        // The over-quota tenant's only way is pinned: fall back to the
+        // evictable rest instead of returning None.
+        let evictable = vec![false, true, true, true];
+        let owners = vec![0, 1, 1, NO_TENANT];
+        let v = p.choose_victim(0, &evictable, &owners).unwrap();
+        assert_ne!(v, 0, "pinned way must never be chosen");
     }
 }

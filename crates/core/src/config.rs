@@ -25,6 +25,10 @@ pub enum CachePolicyKind {
     Fifo,
     /// Uniform random.
     Random,
+    /// Tenant-aware weighted occupancy shares over an interior clock order
+    /// ([`agile_cache::TenantShare`]); per-tenant weights come from
+    /// [`AgileConfig::cache_shares`] (empty = equal shares).
+    TenantShare,
 }
 
 /// Complete AGILE configuration.
@@ -38,12 +42,21 @@ pub struct AgileConfig {
     pub cache: CacheConfig,
     /// Replacement policy.
     pub cache_policy: CachePolicyKind,
+    /// Per-tenant cache-occupancy weights, indexed by tenant id, consumed by
+    /// [`CachePolicyKind::TenantShare`] (tenants beyond the slice weigh 1;
+    /// empty = equal shares). Ignored by the tenant-oblivious policies.
+    pub cache_shares: Vec<u64>,
     /// Enable the Share Table (coherent user buffers, §3.4.1).
     pub share_table_enabled: bool,
     /// Maximum entries the Share Table tracks (0 = unbounded).
     pub share_table_capacity: usize,
     /// Warps dedicated to the AGILE service kernel.
     pub service_warps: u32,
+    /// Derive each service partition's warp count from its CQ target count
+    /// ([`crate::service::auto_service_warps`]) instead of the fixed
+    /// `service_warps` geometry. Off by default (the paper's fixed geometry,
+    /// bit-identical).
+    pub auto_service_warps: bool,
     /// Thread blocks used by the service kernel (warps are split across them).
     pub service_blocks: u32,
     /// Enable the lock-chain deadlock-debug option (§3.5).
@@ -61,9 +74,11 @@ impl AgileConfig {
             queue_depth: 256,
             cache: CacheConfig::with_capacity(2 * GIB),
             cache_policy: CachePolicyKind::Clock,
+            cache_shares: Vec::new(),
             share_table_enabled: true,
             share_table_capacity: 0,
             service_warps: 8,
+            auto_service_warps: false,
             service_blocks: 2,
             debug_lock_chain: false,
             costs: CostModel::default(),
@@ -78,9 +93,11 @@ impl AgileConfig {
             queue_depth: 64,
             cache: CacheConfig::with_capacity(4 * MIB),
             cache_policy: CachePolicyKind::Clock,
+            cache_shares: Vec::new(),
             share_table_enabled: true,
             share_table_capacity: 0,
             service_warps: 2,
+            auto_service_warps: false,
             service_blocks: 1,
             debug_lock_chain: false,
             costs: CostModel::default(),
@@ -111,6 +128,13 @@ impl AgileConfig {
         self
     }
 
+    /// Set the per-tenant cache-occupancy weights for
+    /// [`CachePolicyKind::TenantShare`] (indexed by tenant id).
+    pub fn with_cache_shares(mut self, shares: Vec<u64>) -> Self {
+        self.cache_shares = shares;
+        self
+    }
+
     /// Enable or disable the Share Table.
     pub fn with_share_table(mut self, enabled: bool) -> Self {
         self.share_table_enabled = enabled;
@@ -126,6 +150,13 @@ impl AgileConfig {
     /// Override the number of service warps.
     pub fn with_service_warps(mut self, warps: u32) -> Self {
         self.service_warps = warps.max(1);
+        self
+    }
+
+    /// Auto-size each service partition's warps from its CQ target count
+    /// (see [`crate::service::auto_service_warps`]).
+    pub fn with_auto_service_warps(mut self) -> Self {
+        self.auto_service_warps = true;
         self
     }
 

@@ -32,7 +32,7 @@ use crate::sq_protocol::AgileSq;
 use crate::transaction::{AgileBuf, Barrier, Transaction};
 use agile_cache::{
     CacheLookup, CachePolicy, ClockPolicy, FifoPolicy, LruPolicy, RandomPolicy, ShareTable,
-    SoftwareCache,
+    SoftwareCache, TenantShare,
 };
 use agile_sim::trace::{TraceEvent, TraceEventKind, TraceSink};
 use agile_sim::Cycles;
@@ -138,12 +138,13 @@ pub struct AgileCtrl {
     qos: OnceLock<Arc<dyn QosPolicy>>,
 }
 
-fn build_policy(kind: CachePolicyKind) -> Box<dyn CachePolicy> {
-    match kind {
+fn build_policy(cfg: &AgileConfig) -> Box<dyn CachePolicy> {
+    match cfg.cache_policy {
         CachePolicyKind::Clock => Box::new(ClockPolicy::new()),
         CachePolicyKind::Lru => Box::new(LruPolicy::new()),
         CachePolicyKind::Fifo => Box::new(FifoPolicy::new()),
         CachePolicyKind::Random => Box::new(RandomPolicy::new(0x5EED)),
+        CachePolicyKind::TenantShare => Box::new(TenantShare::from_weights(&cfg.cache_shares)),
     }
 }
 
@@ -173,7 +174,7 @@ impl AgileCtrl {
         device_queues: Vec<Vec<Arc<QueuePair>>>,
         topology: Option<Arc<dyn StorageTopology>>,
     ) -> Self {
-        let cache = SoftwareCache::new(cfg.cache.clone(), build_policy(cfg.cache_policy));
+        let cache = SoftwareCache::new(cfg.cache.clone(), build_policy(&cfg));
         let share_table = cfg
             .share_table_enabled
             .then(|| ShareTable::with_capacity(cfg.share_table_capacity));
@@ -451,9 +452,30 @@ impl AgileCtrl {
     /// in flight, or were issued successfully need no further action — the
     /// data will be readable through [`AgileCtrl::read_warp`] once the AGILE
     /// service processes the completions.
+    ///
+    /// Untenanted: cache accounting is skipped and trace events carry the
+    /// pre-threading tenant value (0); multi-tenant workloads use
+    /// [`AgileCtrl::prefetch_warp_as`].
     pub fn prefetch_warp(
         &self,
         warp: u64,
+        requests: &[(u32, Lba)],
+        now: Cycles,
+    ) -> (Cycles, Vec<(u32, Lba)>) {
+        self.prefetch_warp_as(warp, agile_cache::NO_TENANT, requests, now)
+    }
+
+    /// [`AgileCtrl::prefetch_warp`] with an explicit tenant identity: cache
+    /// hits/misses are attributed to `tenant`, filled lines become owned by
+    /// it (the per-way view a tenant-aware eviction policy bounds), and
+    /// cache trace events carry it. **Accounting only** — the fills and any
+    /// dirty-victim write-backs still issue through the QoS-exempt
+    /// [`AgileCtrl::issue_to_device`] path: system ops never wait behind
+    /// tenant arbitration.
+    pub fn prefetch_warp_as(
+        &self,
+        warp: u64,
+        tenant: u32,
         requests: &[(u32, Lba)],
         now: Cycles,
     ) -> (Cycles, Vec<(u32, Lba)>) {
@@ -469,7 +491,7 @@ impl AgileCtrl {
         let mut retry = Vec::new();
 
         for &(dev, lba) in &coalesced.unique {
-            match self.cache.lookup_or_reserve(dev, lba) {
+            match self.cache.lookup_or_reserve_as(dev, lba, tenant) {
                 CacheLookup::Hit { line, .. } => {
                     cost += Cycles(api.agile_cache_hit);
                     self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -539,10 +561,25 @@ impl AgileCtrl {
 
     /// Array-like synchronous read for one warp: returns the tokens for all
     /// lanes if everything is resident, otherwise issues the missing fills
-    /// and asks the caller to retry.
+    /// and asks the caller to retry. Untenanted: cache accounting is
+    /// skipped and trace events carry the pre-threading tenant value (0);
+    /// multi-tenant workloads use [`AgileCtrl::read_warp_as`].
     pub fn read_warp(
         &self,
         warp: u64,
+        requests: &[(u32, Lba)],
+        now: Cycles,
+    ) -> (Cycles, ReadOutcome) {
+        self.read_warp_as(warp, agile_cache::NO_TENANT, requests, now)
+    }
+
+    /// [`AgileCtrl::read_warp`] with an explicit tenant identity, mirroring
+    /// [`AgileCtrl::raw_read_as`]: cache accounting and line ownership are
+    /// attributed to `tenant`; the fill/write-back I/O stays QoS-exempt.
+    pub fn read_warp_as(
+        &self,
+        warp: u64,
+        tenant: u32,
         requests: &[(u32, Lba)],
         now: Cycles,
     ) -> (Cycles, ReadOutcome) {
@@ -559,7 +596,7 @@ impl AgileCtrl {
         let mut all_ready = true;
 
         for (uidx, &(dev, lba)) in coalesced.unique.iter().enumerate() {
-            match self.cache.lookup_or_reserve(dev, lba) {
+            match self.cache.lookup_or_reserve_as(dev, lba, tenant) {
                 CacheLookup::Hit { line, token } => {
                     cost += Cycles(api.agile_cache_hit);
                     self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -635,6 +672,9 @@ impl AgileCtrl {
     /// flash happens on eviction. Evicting a dirty victim issues its
     /// write-back NVMe command first, exactly like the read path. Returns
     /// the cost and whether the store landed (false = retry later).
+    /// Untenanted: cache accounting is skipped and trace events carry the
+    /// pre-threading tenant value (0); multi-tenant workloads use
+    /// [`AgileCtrl::write_warp_as`].
     pub fn write_warp(
         &self,
         warp: u64,
@@ -643,9 +683,24 @@ impl AgileCtrl {
         token: PageToken,
         now: Cycles,
     ) -> (Cycles, bool) {
+        self.write_warp_as(warp, agile_cache::NO_TENANT, dev, lba, token, now)
+    }
+
+    /// [`AgileCtrl::write_warp`] with an explicit tenant identity (cache
+    /// accounting and line ownership only; the eviction write-back stays
+    /// QoS-exempt).
+    pub fn write_warp_as(
+        &self,
+        warp: u64,
+        tenant: u32,
+        dev: u32,
+        lba: Lba,
+        token: PageToken,
+        now: Cycles,
+    ) -> (Cycles, bool) {
         self.cache.set_time_hint(now.raw());
         let api = &self.cfg.costs.api;
-        match self.cache.lookup_or_reserve(dev, lba) {
+        match self.cache.lookup_or_reserve_as(dev, lba, tenant) {
             CacheLookup::Hit { line, .. } => {
                 self.cache.store(line, token);
                 self.cache.unpin(line);

@@ -30,7 +30,7 @@
 use crate::config::AgileConfig;
 use crate::ctrl::AgileCtrl;
 use crate::qos::QosPolicy;
-use crate::service::{AgileServiceKernel, ServicePartition, ServiceSet};
+use crate::service::{auto_service_warps, AgileServiceKernel, ServicePartition, ServiceSet};
 use agile_sim::trace::TraceSink;
 use agile_sim::Cycles;
 use gpu_sim::registers::agile_footprints;
@@ -38,7 +38,9 @@ use gpu_sim::{
     occupancy, Engine, EngineSched, ExecutionReport, ExternalDevice, GpuConfig, KernelFactory,
     LaunchConfig,
 };
-use nvme_sim::{FlatArray, MemBacking, PageBacking, ShardedArray, SsdConfig, StorageTopology};
+use nvme_sim::{
+    FlatArray, MemBacking, PageBacking, Placement, ShardedArray, SsdConfig, StorageTopology,
+};
 use std::sync::Arc;
 
 /// The common host surface shared by the AGILE host and the BaM baseline
@@ -119,6 +121,8 @@ pub struct AgileHost {
     pending_devices: Vec<(SsdConfig, Arc<dyn PageBacking>)>,
     /// 0 = flat (single lock); ≥ 1 = sharded with that many lock shards.
     shards: usize,
+    /// Placement seed of the striping layer (interleave by default).
+    placement: Placement,
     /// Shard-affine service partitions (one persistent kernel each);
     /// 1 = the paper's single service, bit-identical.
     service_shards: usize,
@@ -143,6 +147,7 @@ impl AgileHost {
             config,
             pending_devices: Vec::new(),
             shards: 0,
+            placement: Placement::default(),
             service_shards: 1,
             engine_sched: EngineSched::default(),
             topology: None,
@@ -172,6 +177,17 @@ impl AgileHost {
             "set_shards must be called before init_nvme"
         );
         self.shards = shards;
+    }
+
+    /// Select the striping layer's placement seed
+    /// ([`Placement::Interleave`] by default — the golden-guarded paper
+    /// layout). Must be called before [`AgileHost::init_nvme`].
+    pub fn set_placement(&mut self, placement: Placement) {
+        assert!(
+            self.topology.is_none(),
+            "set_placement must be called before init_nvme"
+        );
+        self.placement = placement;
     }
 
     /// Scale the AGILE service out to `shards` shard-affine partitions, one
@@ -239,9 +255,9 @@ impl AgileHost {
         assert!(self.topology.is_none(), "init_nvme called twice");
         let parts = std::mem::take(&mut self.pending_devices);
         let topology: Arc<dyn StorageTopology> = if self.shards == 0 {
-            Arc::new(FlatArray::from_parts(parts))
+            Arc::new(FlatArray::from_parts(parts).with_placement(self.placement))
         } else {
-            Arc::new(ShardedArray::from_parts(parts, self.shards))
+            Arc::new(ShardedArray::from_parts(parts, self.shards).with_placement(self.placement))
         };
         let per_device_queues =
             topology.register_queues(self.config.queue_pairs_per_ssd, self.config.queue_depth);
@@ -319,9 +335,16 @@ impl AgileHost {
         let set = ServiceSet::new(&ctrl, self.service_shards);
 
         let blocks = self.config.service_blocks.max(1);
-        let total_warps = self.config.service_warps.max(1);
-        let warps_per_block = total_warps.div_ceil(blocks);
         for partition in set.partitions() {
+            // Fixed geometry by default (the paper's, bit-identical); with
+            // auto-sizing on, each partition derives its warp count from the
+            // CQs it owns, so scale-out does not multiply idle pollers.
+            let total_warps = if self.config.auto_service_warps {
+                auto_service_warps(partition.target_count())
+            } else {
+                self.config.service_warps.max(1)
+            };
+            let warps_per_block = total_warps.div_ceil(blocks);
             let launch = LaunchConfig::new(blocks, warps_per_block * self.gpu.warp_size)
                 .with_registers(agile_footprints::SERVICE_KERNEL_REGISTERS)
                 .persistent();
@@ -464,6 +487,27 @@ mod tests {
         );
         assert!(!report.deadlocked);
         assert!(host.topology().total_bytes_read() > 0);
+    }
+
+    #[test]
+    fn auto_sized_service_still_completes_fills() {
+        let mut host = AgileHost::new(
+            GpuConfig::tiny(4),
+            AgileConfig::small_test().with_auto_service_warps(),
+        );
+        host.add_nvme_dev(1 << 16);
+        host.init_nvme();
+        host.start_agile();
+        let ctrl = host.ctrl();
+        let report = host.run_kernel(
+            LaunchConfig::new(2, 64).with_registers(32),
+            Box::new(PrefetchComputeKernel::new(ctrl.clone(), 4, 3_000)),
+        );
+        assert!(!report.deadlocked);
+        assert!(
+            host.service().stats().completions > 0,
+            "the auto-sized service must process completions"
+        );
     }
 
     #[test]

@@ -74,6 +74,21 @@ pub fn partition_targets(
     parts
 }
 
+/// Auto-sized warp count for a service partition polling `targets` CQs
+/// (the "Service geometry tuning" opener): one warp per 8 owned CQs keeps a
+/// warp's round-robin visit period — the SQE-recycle latency ceiling the
+/// scale-out work measured — bounded as the CQ space grows, while idle
+/// partitions do not burn polling warps they cannot use. Clamped to
+/// `[1, 32]`: at least one warp even for an empty partition (the kernel
+/// must exist to observe the stop flag), and at most one thread block's
+/// worth of warps so the launch geometry stays within one SM's occupancy.
+///
+/// Used when [`crate::config::AgileConfig::auto_service_warps`] is set; the
+/// default remains the paper's fixed `service_warps` geometry.
+pub fn auto_service_warps(targets: usize) -> u32 {
+    (targets.div_ceil(8) as u32).clamp(1, 32)
+}
+
 /// Poll cursor of one CQ (owned by the service).
 struct CqPollState {
     /// Ring index of the first entry of the current 32-entry window.
@@ -621,6 +636,34 @@ mod tests {
             service.stats().cq_doorbells >= 2,
             "at least two windows consumed"
         );
+    }
+
+    #[test]
+    fn auto_service_warps_scale_with_the_cq_count() {
+        // One warp per 8 CQs, clamped to [1, 32].
+        assert_eq!(auto_service_warps(0), 1, "empty partitions keep one warp");
+        assert_eq!(auto_service_warps(1), 1);
+        assert_eq!(auto_service_warps(8), 1);
+        assert_eq!(auto_service_warps(9), 2);
+        assert_eq!(auto_service_warps(64), 8);
+        assert_eq!(auto_service_warps(128), 16, "paper default: 128 QPs/SSD");
+        assert_eq!(auto_service_warps(256), 32);
+        assert_eq!(auto_service_warps(10_000), 32, "clamped to one block");
+    }
+
+    #[test]
+    fn auto_service_warps_partition_math_composes_with_partition_targets() {
+        // 8 devices × 4 QPs split across 4 shard-affine partitions: each
+        // partition owns 8 CQs ⇒ 1 warp; the single-service fallback owns
+        // all 32 ⇒ 4 warps.
+        use nvme_sim::ShardedArray;
+        let topo: Arc<dyn nvme_sim::StorageTopology> = Arc::new(ShardedArray::new(8, 4));
+        let parts = partition_targets(Some(&topo), &[4; 8], 4);
+        for targets in &parts {
+            assert_eq!(auto_service_warps(targets.len()), 1);
+        }
+        let single = partition_targets(Some(&topo), &[4; 8], 1);
+        assert_eq!(auto_service_warps(single[0].len()), 4);
     }
 
     #[test]

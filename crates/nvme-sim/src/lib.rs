@@ -41,5 +41,5 @@ pub use spec::{
     CmdStatus, CommandId, DmaHandle, Lba, NvmeCommand, NvmeCompletion, Opcode, PageToken, QueueId,
 };
 pub use topology::{
-    DeviceSet, FlatArray, PageLocation, ShardedArray, StorageTopology, TopologyLock,
+    DeviceSet, FlatArray, PageLocation, Placement, ShardedArray, StorageTopology, TopologyLock,
 };

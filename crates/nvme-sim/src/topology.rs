@@ -196,12 +196,47 @@ pub struct PageLocation {
     pub page: Lba,
 }
 
-/// Interleaved striping shared by both topologies: global page `g` lives on
-/// device `g % devices` at local page `g / devices`. Bijective over
-/// `devices × pages_per_device` by construction.
-fn stripe(global: u64, devices: u64) -> (u32, Lba) {
+/// How the striping layer places global pages onto devices. Both topologies
+/// share one placement seed; every variant is **bijective** over
+/// `devices × pages_per_device` (property-tested in
+/// `tests/topology_striping.rs`), so changing the placement re-lays data out
+/// without losing or aliasing any page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Placement {
+    /// The paper's interleave: global page `g` lives on device
+    /// `g % devices` at local page `g / devices`. The golden-guarded
+    /// default — every checked-in trace replays against it.
+    #[default]
+    Interleave,
+    /// Hash-rotated interleave: the device order of each page *row*
+    /// (`devices` consecutive globals sharing a local page) is rotated by a
+    /// mixed hash of the row index, so sequential scans spread diagonally
+    /// instead of lock-stepping device 0, 1, 2, … — the first alternative
+    /// layout for data-placement experiments (range- and tenant-affine
+    /// variants are follow-ups).
+    Hash,
+}
+
+/// SplitMix64 finalizer: a cheap, well-distributed 64-bit mix.
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Striping shared by both topologies under the given placement seed.
+/// Bijective by construction: `Interleave` is the classic division pair;
+/// `Hash` permutes the device index within each page row (a rotation by a
+/// hash of the row), which preserves bijectivity row by row.
+fn stripe(global: u64, devices: u64, placement: Placement) -> (u32, Lba) {
     debug_assert!(devices > 0);
-    ((global % devices) as u32, global / devices)
+    let page = global / devices;
+    let slot = global % devices;
+    let dev = match placement {
+        Placement::Interleave => slot,
+        Placement::Hash => (slot + mix64(page)) % devices,
+    };
+    (dev as u32, page)
 }
 
 // ---------------------------------------------------------------------------
@@ -347,6 +382,7 @@ pub struct FlatArray {
     /// sits on the per-op replay hot path — no reason to take the lock.
     devices: usize,
     global_pages: u64,
+    placement: Placement,
 }
 
 impl FlatArray {
@@ -368,6 +404,7 @@ impl FlatArray {
             set: Mutex::new(set),
             lock: TopologyLock::new(1, DEFAULT_LOCK_HOLD_CYCLES),
             global_pages,
+            placement: Placement::default(),
         }
     }
 
@@ -379,6 +416,13 @@ impl FlatArray {
     /// Override the modeled lock-hold cycles (cost-model studies).
     pub fn with_lock_hold(mut self, hold: u64) -> Self {
         self.lock = TopologyLock::new(1, hold);
+        self
+    }
+
+    /// Select the striping layer's placement seed (default:
+    /// [`Placement::Interleave`], the golden-guarded paper layout).
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
         self
     }
 }
@@ -424,7 +468,7 @@ impl StorageTopology for FlatArray {
         self.global_pages
     }
     fn map_page(&self, global: u64) -> PageLocation {
-        let (device, page) = stripe(global, self.devices as u64);
+        let (device, page) = stripe(global, self.devices as u64, self.placement);
         PageLocation {
             shard: 0,
             device,
@@ -450,9 +494,10 @@ pub struct ShardedArray {
     /// One locked device set per shard.
     shards: Vec<Mutex<DeviceSet>>,
     /// Global device index → (shard, index within the shard's set).
-    placement: Vec<(usize, usize)>,
+    slots: Vec<(usize, usize)>,
     lock: TopologyLock,
     global_pages: u64,
+    placement: Placement,
 }
 
 impl ShardedArray {
@@ -476,10 +521,10 @@ impl ShardedArray {
         let device_count = parts.len();
         let mut per_shard: Vec<Vec<(SsdConfig, Arc<dyn PageBacking>)>> =
             (0..shards).map(|_| Vec::new()).collect();
-        let mut placement = Vec::with_capacity(device_count);
+        let mut slots = Vec::with_capacity(device_count);
         for (d, part) in parts.into_iter().enumerate() {
             let shard = d % shards;
-            placement.push((shard, per_shard[shard].len()));
+            slots.push((shard, per_shard[shard].len()));
             per_shard[shard].push(part);
         }
         let sets: Vec<DeviceSet> = per_shard.into_iter().map(DeviceSet::from_parts).collect();
@@ -492,8 +537,9 @@ impl ShardedArray {
         ShardedArray {
             global_pages: device_count as u64 * min_pages,
             shards: sets.into_iter().map(Mutex::new).collect(),
-            placement,
+            slots,
             lock: TopologyLock::new(shards, DEFAULT_LOCK_HOLD_CYCLES),
+            placement: Placement::default(),
         }
     }
 
@@ -503,14 +549,21 @@ impl ShardedArray {
         self
     }
 
+    /// Select the striping layer's placement seed (default:
+    /// [`Placement::Interleave`], the golden-guarded paper layout).
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+
     fn locate(&self, dev: usize) -> (usize, usize) {
-        self.placement[dev]
+        self.slots[dev]
     }
 }
 
 impl StorageTopology for ShardedArray {
     fn device_count(&self) -> usize {
-        self.placement.len()
+        self.slots.len()
     }
     fn shard_count(&self) -> usize {
         self.shards.len()
@@ -520,8 +573,8 @@ impl StorageTopology for ShardedArray {
     }
     fn register_queues(&self, per_device: usize, depth: u32) -> Vec<Vec<Arc<QueuePair>>> {
         // Register shard by shard, then reorder to global device order.
-        let mut by_global: Vec<Vec<Arc<QueuePair>>> = vec![Vec::new(); self.placement.len()];
-        for (global, &(shard, slot)) in self.placement.iter().enumerate() {
+        let mut by_global: Vec<Vec<Arc<QueuePair>>> = vec![Vec::new(); self.slots.len()];
+        for (global, &(shard, slot)) in self.slots.iter().enumerate() {
             let mut set = self.shards[shard].lock();
             by_global[global] = (0..per_device)
                 .map(|q| {
@@ -578,7 +631,7 @@ impl StorageTopology for ShardedArray {
         self.global_pages
     }
     fn map_page(&self, global: u64) -> PageLocation {
-        let (device, page) = stripe(global, self.placement.len() as u64);
+        let (device, page) = stripe(global, self.slots.len() as u64, self.placement);
         PageLocation {
             shard: self.shard_of(device as usize) as u32,
             device,

@@ -24,11 +24,16 @@ pub const EVENT_LOG_MAGIC: [u8; 4] = *b"AGEV";
 pub const TRACE_MAGIC: [u8; 4] = *b"AGTR";
 /// Current version of both wire formats, written by the encoders. Version
 /// history: 1 = initial; 2 = the `QosDefer` event kind joined the event-kind
-/// space (record layouts unchanged). Readers accept any version up to the
-/// current one — a version-1 reader handed a version-2 log fails with the
-/// explicit [`TraceFormatError::UnsupportedVersion`] rather than a confusing
-/// `BadKind` on the first scheduler event.
-pub const FORMAT_VERSION: u16 = 2;
+/// space (record layouts unchanged); 3 = cache-path events (`CacheHit`/
+/// `CacheMiss`/`CacheBusy`/`CacheNoLine`/`Writeback`) carry the requesting
+/// tenant in the already-present `tenant` field instead of zero (record
+/// layouts again unchanged — the bump marks the semantic change so readers
+/// comparing cache events across captures know which convention a log used).
+/// Readers accept any version up to the current one — an old reader handed a
+/// newer log fails with the explicit
+/// [`TraceFormatError::UnsupportedVersion`] rather than a confusing
+/// misreading of the record stream.
+pub const FORMAT_VERSION: u16 = 3;
 
 const EVENT_RECORD_BYTES: usize = 32;
 const OP_RECORD_BYTES: usize = 24;
@@ -471,18 +476,20 @@ mod tests {
 
     #[test]
     fn older_format_versions_still_parse() {
-        // The checked-in golden traces were written at version 1; the v2
-        // reader must keep accepting them (record layouts are unchanged),
+        // The checked-in golden traces were written at versions 1 and 2; the
+        // v3 reader must keep accepting them (record layouts are unchanged),
         // while versions from the future stay rejected.
         let events = sample_events();
-        let mut v1 = encode_events(&events);
-        v1[4..6].copy_from_slice(&1u16.to_le_bytes());
-        assert_eq!(decode_events(&v1).unwrap(), events);
-        let mut v3 = encode_events(&events);
-        v3[4..6].copy_from_slice(&3u16.to_le_bytes());
+        for old in [1u16, 2] {
+            let mut bytes = encode_events(&events);
+            bytes[4..6].copy_from_slice(&old.to_le_bytes());
+            assert_eq!(decode_events(&bytes).unwrap(), events, "version {old}");
+        }
+        let mut v4 = encode_events(&events);
+        v4[4..6].copy_from_slice(&4u16.to_le_bytes());
         assert_eq!(
-            decode_events(&v3),
-            Err(TraceFormatError::UnsupportedVersion(3))
+            decode_events(&v4),
+            Err(TraceFormatError::UnsupportedVersion(4))
         );
         let mut v0 = encode_events(&events);
         v0[4..6].copy_from_slice(&0u16.to_le_bytes());

@@ -221,6 +221,36 @@ impl TraceSpec {
         }
     }
 
+    /// The cached-path noisy-neighbour mixture: tenant 0 ("noisy") streams
+    /// uniform reads over the whole LBA space back-to-back — a
+    /// cache-polluting flood with no reuse — while tenant 1 ("victim")
+    /// re-reads a Zipf(1.1) hot set at a ~10× lower rate. Under a
+    /// tenant-oblivious eviction policy the flood keeps evicting the
+    /// victim's hot lines (its hit-rate collapses); a share-bounding policy
+    /// (`TenantShare`) preferentially reclaims the flood's over-quota lines
+    /// and the hot set stays resident. The cached-path twin of
+    /// [`TraceSpec::noisy_neighbor`].
+    pub fn cached_noisy_neighbor(
+        name: &str,
+        seed: u64,
+        devices: u32,
+        lba_space: u64,
+        total_ops: u64,
+    ) -> Self {
+        let noisy = total_ops * 9 / 10;
+        let victim = total_ops - noisy;
+        TraceSpec {
+            name: name.to_string(),
+            seed,
+            devices,
+            lba_space,
+            tenants: vec![
+                TenantSpec::new(noisy, AddressPattern::Uniform, 0.0, 20),
+                TenantSpec::new(victim, AddressPattern::Zipf { theta: 1.1 }, 0.0, 200),
+            ],
+        }
+    }
+
     /// The tenants' QoS weights, indexed by tenant id (the shape
     /// `WeightedFair::from_weights` takes).
     pub fn weights(&self) -> Vec<u64> {

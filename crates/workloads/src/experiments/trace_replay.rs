@@ -11,6 +11,8 @@ use crate::experiments::testbed::experiment_gpu;
 use crate::trace_replay::{
     AgileTraceReplayKernel, BamTraceReplayKernel, ReplayCollector, ReplayPath, TraceReplayParams,
 };
+use agile_cache::TenantCacheStats;
+use agile_core::config::CachePolicyKind;
 use agile_core::qos::{Fifo, QosPolicy, StrictPriority, WeightedFair};
 use agile_core::service::ServiceStats;
 use agile_core::{AgileConfig, GpuStorageHost};
@@ -19,6 +21,7 @@ use agile_sim::units::SSD_PAGE_SIZE;
 use agile_trace::Trace;
 use bam_baseline::{BamConfig, HostBuilder};
 use gpu_sim::{EngineSched, LaunchConfig};
+use nvme_sim::Placement;
 use std::sync::Arc;
 
 /// Which QoS policy a replay installs on the host's submission path.
@@ -124,6 +127,16 @@ pub struct ReplayReport {
     pub qos: &'static str,
     /// Per-tenant latency percentiles, ordered by tenant id.
     pub tenants: Vec<TenantLatency>,
+    /// Cache replacement policy of the run (`clock` when default).
+    pub cache_policy: &'static str,
+    /// Effective cached-path prefetch depth (batches of lookahead; 1 =
+    /// historical). Always 1 for runs that cannot prefetch (BaM, raw path).
+    pub prefetch_depth: u32,
+    /// Per-tenant cache accounting (hits/misses/fills/evictions and final
+    /// occupancy), ordered by tenant id. Populated only for tenant-partitioned
+    /// runs, where each warp carries exactly one tenant and the attribution
+    /// is exact; empty otherwise (warp-as-tenant attribution would be noise).
+    pub tenant_cache: Vec<TenantCacheStats>,
     /// Shard-affine service partitions the AGILE host ran (1 = the paper's
     /// single service; BaM has no service and echoes the configured value).
     pub service_shards: usize,
@@ -157,10 +170,16 @@ impl ReplayReport {
         );
         // The qos field is appended only for non-FIFO runs so the pre-QoS
         // golden summaries stay byte-identical (FIFO ⇒ no behaviour drift,
-        // and no format drift either). The same rule covers service_shards:
-        // the default single service prints nothing.
+        // and no format drift either). The same rule covers service_shards,
+        // cache_policy and prefetch_depth: the defaults print nothing.
         if self.qos != "fifo" {
             s.push_str(&format!(" qos={}", self.qos));
+        }
+        if self.cache_policy != "clock" {
+            s.push_str(&format!(" cache={}", self.cache_policy));
+        }
+        if self.prefetch_depth != 1 {
+            s.push_str(&format!(" prefetch={}", self.prefetch_depth));
         }
         if self.service_shards > 1 {
             s.push_str(&format!(" service_shards={}", self.service_shards));
@@ -170,6 +189,21 @@ impl ReplayReport {
                 " | tenant{} ops={} p50={:.2}us p95={:.2}us p99={:.2}us",
                 t.tenant, t.ops, t.p50_us, t.p95_us, t.p99_us
             ));
+        }
+        // Per-tenant cache rows appear only under a non-default policy, the
+        // runs where per-tenant cache behaviour is the point.
+        if self.cache_policy != "clock" {
+            for t in &self.tenant_cache {
+                s.push_str(&format!(
+                    " | ct{} hits={} misses={} hr={:.3} evict={} occ={}",
+                    t.tenant,
+                    t.hits,
+                    t.misses,
+                    t.hit_rate(),
+                    t.evictions,
+                    t.occupancy
+                ));
+            }
         }
         if self.service_shards > 1 {
             for (shard, svc) in self.service_stats.iter().enumerate() {
@@ -203,8 +237,21 @@ pub struct ReplayConfig {
     /// device/page layout for flat and sharded, so comparisons isolate the
     /// lock partitioning).
     pub stripe: bool,
+    /// Placement seed of the striping layer (interleave = the golden-guarded
+    /// paper layout; only meaningful together with `stripe`).
+    pub placement: Placement,
     /// QoS policy installed on the host's submission path.
     pub qos: QosSpec,
+    /// Cache replacement policy (AGILE only — BaM hard-codes clock, which is
+    /// the paper's flexibility-gap point). `TenantShare` + `cache_shares`
+    /// bound each tenant's HBM-cache occupancy to a weighted share.
+    pub cache_policy: CachePolicyKind,
+    /// Per-tenant cache-occupancy weights for `TenantShare` (indexed by
+    /// tenant id; empty = equal shares).
+    pub cache_shares: Vec<u64>,
+    /// Cached-path prefetch depth in batches of lookahead (1 = the
+    /// historical one-batch pipeline; 0 = demand fills only).
+    pub prefetch_depth: u32,
     /// Partition warps by tenant (each warp replays one tenant's ops) — the
     /// per-tenant virtual queues a QoS policy arbitrates. See
     /// [`TraceReplayParams::tenant_warps`].
@@ -228,7 +275,11 @@ impl Default for ReplayConfig {
             path: ReplayPath::Raw,
             shards: 0,
             stripe: false,
+            placement: Placement::Interleave,
             qos: QosSpec::Fifo,
+            cache_policy: CachePolicyKind::Clock,
+            cache_shares: Vec::new(),
+            prefetch_depth: 1,
             tenant_warps: false,
             service_shards: 1,
             engine_sched: EngineSched::EventQueue,
@@ -308,6 +359,46 @@ impl ReplayConfig {
         self.tenant_warps = true;
         self
     }
+
+    /// Select the cache replacement policy (AGILE only).
+    pub fn with_cache_policy(mut self, policy: CachePolicyKind) -> Self {
+        self.cache_policy = policy;
+        self
+    }
+
+    /// Bound each tenant's cache occupancy to a weighted share
+    /// (`TenantShare` eviction; `weights` indexed by tenant id, empty =
+    /// equal shares). The cached-path counterpart of
+    /// [`ReplayConfig::weighted_fair`].
+    pub fn tenant_share(mut self, weights: Vec<u64>) -> Self {
+        self.cache_policy = CachePolicyKind::TenantShare;
+        self.cache_shares = weights;
+        self
+    }
+
+    /// Set the cached-path prefetch depth (batches of lookahead).
+    pub fn with_prefetch_depth(mut self, depth: u32) -> Self {
+        self.prefetch_depth = depth;
+        self
+    }
+
+    /// Select the striping layer's placement seed (pair with
+    /// [`ReplayConfig::striped`] / [`ReplayConfig::sharded`]).
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Short lowercase cache-policy name for reports.
+    pub fn cache_policy_name(&self) -> &'static str {
+        match self.cache_policy {
+            CachePolicyKind::Clock => "clock",
+            CachePolicyKind::Lru => "lru",
+            CachePolicyKind::Fifo => "fifo",
+            CachePolicyKind::Random => "random",
+            CachePolicyKind::TenantShare => "tenant-share",
+        }
+    }
 }
 
 fn finish_report(
@@ -362,6 +453,15 @@ fn finish_report(
         deadlocked,
         qos: cfg.qos.name(),
         tenants,
+        cache_policy: cfg.cache_policy_name(),
+        // Only the AGILE cached path actually prefetches: report the inert
+        // default elsewhere so no summary claims a knob that never ran.
+        prefetch_depth: if system == ReplaySystem::Agile && cfg.path == ReplayPath::Cached {
+            cfg.prefetch_depth
+        } else {
+            1
+        },
+        tenant_cache: Vec::new(),
         service_shards: cfg.service_shards,
         service_stats: Vec::new(),
         engine_rounds,
@@ -404,12 +504,22 @@ pub fn run_trace_replay_with_sink(
     // untenanted cache fills and dirty-victim write-backs, which bypass the
     // admission gate by design (deferring a write-back drops the dirty
     // snapshot). Refuse the combination rather than report a policy name
-    // for a run the scheduler never touched; cached-path tenant attribution
-    // is a ROADMAP item ("Cached-path QoS").
+    // for a run the scheduler never touched; cached-path QoS is the
+    // `TenantShare` eviction policy (`ReplayConfig::tenant_share`), which
+    // bounds occupancy instead of gating submissions.
     assert!(
         cfg.path == ReplayPath::Raw || cfg.qos == QosSpec::Fifo,
         "non-FIFO QoS policies only arbitrate the raw replay path \
-         (cached-path tenant attribution is not wired yet — see ROADMAP)"
+         (cached-path QoS is the TenantShare eviction policy — \
+         use ReplayConfig::tenant_share)"
+    );
+    // The BaM baseline hard-codes the clock policy (the paper's
+    // flexibility-gap point); a non-default policy there would silently run
+    // clock, so refuse it.
+    assert!(
+        system == ReplaySystem::Agile || cfg.cache_policy == CachePolicyKind::Clock,
+        "the BaM baseline hard-codes the clock cache policy; \
+         pluggable eviction is AGILE-only"
     );
     let devices = trace.meta.devices.max(1) as usize;
     let pages = trace.meta.lba_space.max(1);
@@ -421,6 +531,7 @@ pub fn run_trace_replay_with_sink(
         path: cfg.path,
         stripe: cfg.stripe,
         tenant_warps: cfg.tenant_warps,
+        prefetch_depth: cfg.prefetch_depth,
     };
     let blocks = cfg.total_warps.div_ceil(8).max(1) as u32;
     match system {
@@ -433,6 +544,9 @@ pub fn run_trace_replay_with_sink(
                 .devices(devices, pages)
                 .service_shards(cfg.service_shards)
                 .engine_sched(cfg.engine_sched)
+                .placement(cfg.placement)
+                .cache_policy(cfg.cache_policy)
+                .cache_shares(cfg.cache_shares.clone())
                 .qos(cfg.qos.policy());
             if cfg.shards > 0 {
                 builder = builder.shards(cfg.shards);
@@ -444,13 +558,16 @@ pub fn run_trace_replay_with_sink(
             let ctrl = host.ctrl();
             let launch = LaunchConfig::new(blocks, 256).with_registers(40);
             let factory = Box::new(AgileTraceReplayKernel::new(
-                ctrl,
+                Arc::clone(&ctrl),
                 Arc::clone(&trace),
                 Arc::clone(&collector),
                 params,
             ));
             let mut report = drive(&mut host, launch, factory, system, &trace, cfg, &collector);
             report.service_stats = host.service_set().partition_stats();
+            if cfg.tenant_warps {
+                report.tenant_cache = ctrl.cache().tenant_stats();
+            }
             report
         }
         ReplaySystem::Bam => {
@@ -461,6 +578,7 @@ pub fn run_trace_replay_with_sink(
                 .gpu(experiment_gpu())
                 .devices(devices, pages)
                 .engine_sched(cfg.engine_sched)
+                .placement(cfg.placement)
                 .qos(cfg.qos.policy());
             if cfg.shards > 0 {
                 builder = builder.shards(cfg.shards);
@@ -473,12 +591,16 @@ pub fn run_trace_replay_with_sink(
             // BaM's polling lives in the user kernel: heavier footprint.
             let launch = LaunchConfig::new(blocks, 256).with_registers(56);
             let factory = Box::new(BamTraceReplayKernel::new(
-                ctrl,
+                Arc::clone(&ctrl),
                 Arc::clone(&trace),
                 Arc::clone(&collector),
                 params,
             ));
-            drive(&mut host, launch, factory, system, &trace, cfg, &collector)
+            let mut report = drive(&mut host, launch, factory, system, &trace, cfg, &collector);
+            if cfg.tenant_warps {
+                report.tenant_cache = ctrl.cache().tenant_stats();
+            }
+            report
         }
     }
 }
@@ -583,6 +705,65 @@ mod tests {
         let trace = TraceSpec::multi_tenant("unit-cached-qos", 3, 1, 1 << 12, 64).generate();
         let cfg = ReplayConfig::quick().cached().weighted_fair(vec![1, 1]);
         let _ = run_trace_replay(&trace, ReplaySystem::Agile, &cfg);
+    }
+
+    #[test]
+    fn cached_tenant_share_reports_per_tenant_cache_stats() {
+        let trace = TraceSpec::multi_tenant("unit-ts", 5, 1, 1 << 12, 512).generate();
+        let cfg = ReplayConfig::quick()
+            .cached()
+            .tenant_partitioned()
+            .tenant_share(vec![1, 1, 1]);
+        let report = run_trace_replay(&trace, ReplaySystem::Agile, &cfg);
+        assert!(!report.deadlocked);
+        assert_eq!(report.ops, 512);
+        assert_eq!(report.cache_policy, "tenant-share");
+        assert_eq!(
+            report.tenant_cache.len(),
+            trace.meta.tenants as usize,
+            "tenant-partitioned cached runs report exact per-tenant stats"
+        );
+        for t in &report.tenant_cache {
+            assert!(t.hits + t.misses > 0, "tenant {} saw no lookups", t.tenant);
+        }
+        let summary = report.summary();
+        assert!(summary.contains(" cache=tenant-share"));
+        assert!(summary.contains(" | ct0 hits="));
+    }
+
+    #[test]
+    fn prefetch_depth_knob_completes_at_every_depth() {
+        let trace = TraceSpec::zipfian("unit-depth", 6, 1, 1 << 13, 512, 0.99).generate();
+        for depth in [0u32, 1, 4] {
+            let cfg = ReplayConfig::quick().cached().with_prefetch_depth(depth);
+            let report = run_trace_replay(&trace, ReplaySystem::Agile, &cfg);
+            assert!(!report.deadlocked, "depth {depth} deadlocked");
+            assert_eq!(report.ops, 512, "depth {depth} lost ops");
+            if depth != 1 {
+                assert!(report.summary().contains(&format!(" prefetch={depth}")));
+            }
+        }
+    }
+
+    #[test]
+    fn default_summary_carries_no_new_fields() {
+        // The tenant-aware knobs must be invisible at defaults, or the
+        // golden summaries (and every downstream parser) would break.
+        let trace = TraceSpec::uniform("unit-default", 8, 1, 1 << 13, 256).generate();
+        let cfg = ReplayConfig::quick().cached();
+        let report = run_trace_replay(&trace, ReplaySystem::Agile, &cfg);
+        let summary = report.summary();
+        assert!(!summary.contains("cache="));
+        assert!(!summary.contains("prefetch="));
+        assert!(report.tenant_cache.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "hard-codes the clock")]
+    fn bam_rejects_pluggable_cache_policies() {
+        let trace = TraceSpec::uniform("unit-bam-policy", 9, 1, 1 << 12, 64).generate();
+        let cfg = ReplayConfig::quick().cached().tenant_share(vec![1, 1]);
+        let _ = run_trace_replay(&trace, ReplaySystem::Bam, &cfg);
     }
 
     #[test]

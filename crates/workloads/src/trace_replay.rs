@@ -136,9 +136,21 @@ pub struct TraceReplayParams {
     /// tenant as its own appropriately-sized kernel — the per-tenant virtual
     /// queues a QoS scheduler arbitrates — so a 9:1 op mix really is a 9:1
     /// pressure mix, and removes the head-of-line coupling where one warp's
-    /// stream interleaves every tenant. Requires at least one warp per
-    /// tenant with ops. Off by default (the historical interleave).
+    /// stream interleaves every tenant. With partitioning on, each warp's
+    /// single tenant is also what its cached-path accesses are attributed to
+    /// (`read_warp_as`/`write_warp_as`/`prefetch_warp_as`), so per-tenant
+    /// cache hit-rates and occupancies are exact. Requires at least one warp
+    /// per tenant with ops. Off by default (the historical interleave, where
+    /// cached accesses stay untenanted — no per-tenant cache accounting).
     pub tenant_warps: bool,
+    /// Cached path only: how many batches ahead the AGILE variant prefetches
+    /// (Method 1 of §3.5). `1` is the historical one-batch lookahead
+    /// (bit-identical default), `0` disables prefetch entirely — BaM's
+    /// demand-fill behaviour on AGILE's async stack — and larger depths
+    /// trade cache pressure for fill/consume overlap, which is exactly the
+    /// knob the AGILE-vs-BaM cached-replay gap turns on. Ignored by the BaM
+    /// variant (no prefetch) and by the raw path.
+    pub prefetch_depth: u32,
 }
 
 impl Default for TraceReplayParams {
@@ -149,6 +161,7 @@ impl Default for TraceReplayParams {
             path: ReplayPath::Raw,
             stripe: false,
             tenant_warps: false,
+            prefetch_depth: 1,
         }
     }
 }
@@ -504,6 +517,17 @@ impl WarpKernel for IdleWarp {
     }
 }
 
+/// The tenant a warp's cached accesses are attributed to: with tenant
+/// partitioning, the single tenant whose ops the cursor holds; otherwise
+/// `None` (the caller falls back to the untenanted path — no per-tenant
+/// accounting, trace events keep the pre-threading tenant value).
+fn cursor_tenant(cursor: &OpCursor, trace: &Trace, partitioned: bool) -> Option<u32> {
+    if !partitioned {
+        return None;
+    }
+    cursor.peek().map(|idx| trace.ops[idx].tenant)
+}
+
 impl KernelFactory for AgileTraceReplayKernel {
     fn create_warp(&self, block: u32, warp: u32) -> Box<dyn WarpKernel> {
         // Launches use 256-thread blocks (8 warps per block).
@@ -518,6 +542,7 @@ impl KernelFactory for AgileTraceReplayKernel {
             &self.trace,
             self.partition.as_ref(),
         );
+        let tenant = cursor_tenant(&cursor, &self.trace, self.partition.is_some());
         match self.params.path {
             ReplayPath::Raw => Box::new(AgileReplayWarp {
                 ctrl: Arc::clone(&self.ctrl),
@@ -535,7 +560,9 @@ impl KernelFactory for AgileTraceReplayKernel {
                 collector: Arc::clone(&self.collector),
                 cursor,
                 warp_flat,
+                tenant,
                 stripe: self.params.stripe,
+                prefetch_depth: self.params.prefetch_depth,
                 batch_reads: Vec::new(),
                 batch_writes: Vec::new(),
                 batch_started: 0,
@@ -557,7 +584,12 @@ struct AgileCachedReplayWarp {
     collector: Arc<ReplayCollector>,
     cursor: OpCursor,
     warp_flat: u64,
+    /// Single tenant of this warp's ops under tenant partitioning; `None`
+    /// on the historical interleave (warp-as-tenant attribution).
+    tenant: Option<u32>,
     stripe: bool,
+    /// Batches of lookahead to prefetch (0 = none, 1 = historical default).
+    prefetch_depth: u32,
     /// Pending reads of the current batch: (device, lba, tenant).
     batch_reads: Vec<(u32, u64, u32)>,
     batch_writes: Vec<TraceOp>,
@@ -573,6 +605,13 @@ impl AgileCachedReplayWarp {
         } else {
             (op.dev, op.lba)
         }
+    }
+
+    /// The tenant this warp's cache accesses are attributed to: the warp's
+    /// single tenant under tenant partitioning, otherwise untenanted (no
+    /// per-tenant accounting — attribution by warp id would be noise).
+    fn cache_tenant(&self) -> u32 {
+        self.tenant.unwrap_or(agile_cache::NO_TENANT)
     }
 
     /// Read targets of the up-to-`lanes` ops ahead of the cursor (prefetch).
@@ -619,11 +658,19 @@ impl WarpKernel for AgileCachedReplayWarp {
             // stamp — otherwise bursty traces would fold their idle gaps
             // into the cached-path percentiles.
             self.batch_started = ctx.now.raw() + cost.raw();
-            // Prefetch the following batch so its fills overlap this one.
-            let lookahead = self.lookahead_reads(ctx.lanes);
-            if !lookahead.is_empty() {
-                let (c, _retry) = self.ctrl.prefetch_warp(self.warp_flat, &lookahead, ctx.now);
-                cost += c;
+            // Prefetch the following `prefetch_depth` batches so their fills
+            // overlap this batch's consumption (depth 0 = demand fills only).
+            if self.prefetch_depth > 0 {
+                let lookahead = self.lookahead_reads(ctx.lanes * self.prefetch_depth);
+                if !lookahead.is_empty() {
+                    let (c, _retry) = self.ctrl.prefetch_warp_as(
+                        self.warp_flat,
+                        self.cache_tenant(),
+                        &lookahead,
+                        ctx.now,
+                    );
+                    cost += c;
+                }
             }
             return WarpStep::Busy(cost.max(Cycles(1)));
         }
@@ -635,9 +682,14 @@ impl WarpKernel for AgileCachedReplayWarp {
         for op in std::mem::take(&mut self.batch_writes) {
             let (dev, lba) = self.target(&op);
             let token = PageToken(lba ^ (op.tenant as u64) << 48);
-            let (c, ok) = self
-                .ctrl
-                .write_warp(self.warp_flat, dev, lba, token, ctx.now);
+            let (c, ok) = self.ctrl.write_warp_as(
+                self.warp_flat,
+                self.cache_tenant(),
+                dev,
+                lba,
+                token,
+                ctx.now,
+            );
             cost += c;
             if ok {
                 self.collector.record(
@@ -659,7 +711,9 @@ impl WarpKernel for AgileCachedReplayWarp {
                 .iter()
                 .map(|&(dev, lba, _)| (dev, lba))
                 .collect();
-            let (c, outcome) = self.ctrl.read_warp(self.warp_flat, &requests, ctx.now);
+            let (c, outcome) =
+                self.ctrl
+                    .read_warp_as(self.warp_flat, self.cache_tenant(), &requests, ctx.now);
             cost += c;
             let latency = ctx.now.raw().saturating_sub(self.batch_started);
             match outcome {
@@ -861,6 +915,7 @@ impl KernelFactory for BamTraceReplayKernel {
             &self.trace,
             self.partition.as_ref(),
         );
+        let tenant = cursor_tenant(&cursor, &self.trace, self.partition.is_some());
         match self.params.path {
             ReplayPath::Raw => Box::new(BamReplayWarp {
                 ctrl: Arc::clone(&self.ctrl),
@@ -878,6 +933,7 @@ impl KernelFactory for BamTraceReplayKernel {
                 collector: Arc::clone(&self.collector),
                 cursor,
                 warp_flat,
+                tenant,
                 stripe: self.params.stripe,
                 batch_reads: Vec::new(),
                 batch_writes: Vec::new(),
@@ -901,6 +957,9 @@ struct BamCachedReplayWarp {
     collector: Arc<ReplayCollector>,
     cursor: OpCursor,
     warp_flat: u64,
+    /// Single tenant of this warp's ops under tenant partitioning; `None`
+    /// on the historical interleave (warp-as-tenant attribution).
+    tenant: Option<u32>,
     stripe: bool,
     /// Pending reads of the current batch: (device, lba, tenant).
     batch_reads: Vec<(u32, u64, u32)>,
@@ -919,6 +978,13 @@ impl BamCachedReplayWarp {
         } else {
             (op.dev, op.lba)
         }
+    }
+
+    /// The tenant this warp's cache accesses are attributed to: the warp's
+    /// single tenant under tenant partitioning, otherwise untenanted (no
+    /// per-tenant accounting — attribution by warp id would be noise).
+    fn cache_tenant(&self) -> u32 {
+        self.tenant.unwrap_or(agile_cache::NO_TENANT)
     }
 }
 
@@ -955,9 +1021,14 @@ impl WarpKernel for BamCachedReplayWarp {
         for op in std::mem::take(&mut self.batch_writes) {
             let (dev, lba) = self.target(&op);
             let token = PageToken(lba ^ (op.tenant as u64) << 48);
-            let (c, ok) = self
-                .ctrl
-                .write_warp_sync(self.warp_flat, dev, lba, token, ctx.now);
+            let (c, ok) = self.ctrl.write_warp_sync_as(
+                self.warp_flat,
+                self.cache_tenant(),
+                dev,
+                lba,
+                token,
+                ctx.now,
+            );
             cost += c;
             if ok {
                 self.collector.record(
@@ -978,7 +1049,12 @@ impl WarpKernel for BamCachedReplayWarp {
                 .iter()
                 .map(|&(dev, lba, _)| (dev, lba))
                 .collect();
-            let (c, ready) = self.ctrl.read_warp_sync(self.warp_flat, &requests, ctx.now);
+            let (c, ready) = self.ctrl.read_warp_sync_as(
+                self.warp_flat,
+                self.cache_tenant(),
+                &requests,
+                ctx.now,
+            );
             cost += c;
             let latency = ctx.now.raw().saturating_sub(self.batch_started);
             match ready {
