@@ -31,6 +31,7 @@ use crate::host::BamHost;
 use agile_core::config::AgileConfig;
 use agile_core::host::{AgileHost, GpuStorageHost};
 use agile_core::qos::QosPolicy;
+use agile_metrics::{MetricsRegistry, WindowedSampler};
 use agile_sim::trace::TraceSink;
 use gpu_sim::{EngineSched, GpuConfig};
 use nvme_sim::{PageBacking, Placement};
@@ -77,6 +78,8 @@ pub struct HostBuilder<S: HostSystem> {
     engine_sched: EngineSched,
     sink: Option<Arc<dyn TraceSink>>,
     qos: Option<Arc<dyn QosPolicy>>,
+    metrics: Option<Arc<MetricsRegistry>>,
+    sampler: Option<Arc<WindowedSampler>>,
 }
 
 impl HostBuilder<AgileSystem> {
@@ -92,6 +95,8 @@ impl HostBuilder<AgileSystem> {
             engine_sched: EngineSched::default(),
             sink: None,
             qos: None,
+            metrics: None,
+            sampler: None,
         }
     }
 
@@ -147,6 +152,8 @@ impl HostBuilder<BamSystem> {
             engine_sched: EngineSched::default(),
             sink: None,
             qos: None,
+            metrics: None,
+            sampler: None,
         }
     }
 }
@@ -223,6 +230,25 @@ impl<S: HostSystem> HostBuilder<S> {
         self.qos = Some(policy);
         self
     }
+
+    /// Instrument the whole stack with a metrics registry
+    /// ([`agile_metrics::MetricsRegistry`]): submit-path and engine counters
+    /// plus snapshot-time collectors over the cache, topology, devices and
+    /// (on AGILE) service partitions. Without this call every metrics hook
+    /// is a no-op and replay output is byte-identical to an uninstrumented
+    /// build.
+    pub fn metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
+    /// Attach a windowed sampler ([`agile_metrics::WindowedSampler`]) driven
+    /// by the simulated clock; pair with [`HostBuilder::metrics`] over the
+    /// same registry to get per-window time series out of a run.
+    pub fn metrics_sampler(mut self, sampler: Arc<WindowedSampler>) -> Self {
+        self.sampler = Some(sampler);
+        self
+    }
 }
 
 impl HostBuilder<AgileSystem> {
@@ -252,6 +278,12 @@ impl HostBuilder<AgileSystem> {
         }
         if let Some(qos) = self.qos {
             host.set_qos_policy(qos);
+        }
+        if let Some(registry) = self.metrics {
+            host.set_metrics(registry);
+        }
+        if let Some(sampler) = self.sampler {
+            host.set_metrics_sampler(sampler);
         }
         host.start_agile();
         host
@@ -284,6 +316,12 @@ impl HostBuilder<BamSystem> {
         }
         if let Some(qos) = self.qos {
             host.set_qos_policy(qos);
+        }
+        if let Some(registry) = self.metrics {
+            host.set_metrics(registry);
+        }
+        if let Some(sampler) = self.sampler {
+            host.set_metrics_sampler(sampler);
         }
         host.start();
         host

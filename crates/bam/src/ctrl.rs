@@ -11,9 +11,11 @@
 
 use agile_cache::{CacheConfig, CacheLookup, ClockPolicy, SoftwareCache};
 use agile_core::coalesce::coalesce_warp;
+use agile_core::ctrl::CtrlMetrics;
 use agile_core::qos::{QosDecision, QosPolicy};
 use agile_core::sq_protocol::AgileSq;
 use agile_core::transaction::{Barrier, Transaction};
+use agile_metrics::MetricsRegistry;
 use agile_sim::costs::CostModel;
 use agile_sim::trace::{TraceEvent, TraceEventKind, TraceSink};
 use agile_sim::Cycles;
@@ -77,6 +79,11 @@ impl BamConfig {
 }
 
 /// Counters kept by the BaM controller.
+///
+/// Note: for cross-layer observability prefer the unified registry
+/// (`HostBuilder::metrics` + `agile_metrics::MetricsRegistry::snapshot`),
+/// which exports these under `agile_*` names with exporters and windowed
+/// series; this struct stays for direct programmatic access.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct BamStats {
     /// Synchronous warp reads.
@@ -138,6 +145,9 @@ pub struct BamCtrl {
     /// same hook as the AGILE controller, so AGILE-vs-BaM comparisons under a
     /// scheduler stay apples-to-apples. Absent ⇒ FIFO.
     qos: OnceLock<Arc<dyn QosPolicy>>,
+    /// Optional submit-path instruments (`agile_submit_*`, shared naming
+    /// with the AGILE controller so dashboards compare directly).
+    metrics: OnceLock<CtrlMetrics>,
 }
 
 impl BamCtrl {
@@ -198,7 +208,15 @@ impl BamCtrl {
             stats: StatCells::default(),
             trace: OnceLock::new(),
             qos: OnceLock::new(),
+            metrics: OnceLock::new(),
         }
+    }
+
+    /// Install submit-path instruments bound to `registry`. Returns `false`
+    /// if instruments were already installed (the first binding wins).
+    /// Mirrors [`agile_core::AgileCtrl::bind_metrics`].
+    pub fn bind_metrics(&self, registry: &Arc<MetricsRegistry>) -> bool {
+        self.metrics.set(CtrlMetrics::bind(registry)).is_ok()
     }
 
     /// Install a QoS policy on the tenant-attributed submission path (the
@@ -322,6 +340,9 @@ impl BamCtrl {
             if decision == QosDecision::Defer {
                 let cost = Cycles(self.cfg.costs.gpu.poll_iteration);
                 self.stats.qos_deferrals.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = self.metrics.get() {
+                    m.qos_deferral(tenant);
+                }
                 self.stats
                     .io_cycles
                     .fetch_add(cost.raw(), Ordering::Relaxed);
@@ -368,6 +389,9 @@ impl BamCtrl {
                     self.stats
                         .io_cycles
                         .fetch_add(cost.raw(), Ordering::Relaxed);
+                    if let Some(m) = self.metrics.get() {
+                        m.admission();
+                    }
                     if let Some(sink) = self.trace.get() {
                         let cmd = build(receipt.cid);
                         let qid = sq.queue_pair().id();
@@ -393,6 +417,9 @@ impl BamCtrl {
             }
         }
         self.stats.sq_full_retries.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = self.metrics.get() {
+            m.sq_full_retry();
+        }
         self.stats
             .io_cycles
             .fetch_add(cost.raw(), Ordering::Relaxed);
@@ -783,6 +810,15 @@ impl BamCtrl {
             },
             now,
         )
+    }
+}
+
+impl agile_core::telemetry::CacheStatsProvider for BamCtrl {
+    fn cache_stats(&self) -> agile_cache::CacheStats {
+        self.cache().stats()
+    }
+    fn cache_tenant_stats(&self) -> Vec<agile_cache::TenantCacheStats> {
+        self.cache().tenant_stats()
     }
 }
 

@@ -9,6 +9,8 @@
 use crate::ctrl::{BamConfig, BamCtrl};
 use agile_core::host::{GpuStorageHost, SsdBridge};
 use agile_core::qos::QosPolicy;
+use agile_core::telemetry::{CacheCollector, MetricsBridge, TopologyCollector};
+use agile_metrics::{MetricsRegistry, WindowedSampler};
 use agile_sim::trace::TraceSink;
 use agile_sim::Cycles;
 use gpu_sim::{
@@ -33,6 +35,10 @@ pub struct BamHost {
     topology: Option<Arc<dyn StorageTopology>>,
     ctrl: Option<Arc<BamCtrl>>,
     engine: Option<Engine>,
+    /// Optional metrics registry instrumenting the whole stack.
+    metrics: Option<Arc<MetricsRegistry>>,
+    /// Optional windowed sampler, bridged into the engine at start.
+    sampler: Option<Arc<WindowedSampler>>,
 }
 
 impl BamHost {
@@ -48,6 +54,8 @@ impl BamHost {
             topology: None,
             ctrl: None,
             engine: None,
+            metrics: None,
+            sampler: None,
         }
     }
 
@@ -149,6 +157,42 @@ impl BamHost {
         self.ctrl().set_qos_policy(policy)
     }
 
+    /// Instrument the stack with `registry`, mirroring
+    /// [`agile_core::host::AgileHost::set_metrics`]: the controller's submit
+    /// path gains direct counters; cache / topology / device statistics are
+    /// exported through snapshot-time collectors. Call after
+    /// [`BamHost::init_nvme`] and before [`BamHost::start`].
+    pub fn set_metrics(&mut self, registry: Arc<MetricsRegistry>) {
+        assert!(
+            self.ctrl.is_some(),
+            "set_metrics must be called after init_nvme"
+        );
+        assert!(
+            self.engine.is_none(),
+            "set_metrics must be called before start"
+        );
+        let ctrl = self.ctrl();
+        ctrl.bind_metrics(&registry);
+        registry.register_collector(Box::new(CacheCollector::new(ctrl)));
+        registry.register_collector(Box::new(TopologyCollector::new(self.topology())));
+        self.metrics = Some(registry);
+    }
+
+    /// Attach a windowed sampler, bridged into the engine as a passive
+    /// device at [`BamHost::start`]. Call before `start`.
+    pub fn set_metrics_sampler(&mut self, sampler: Arc<WindowedSampler>) {
+        assert!(
+            self.engine.is_none(),
+            "set_metrics_sampler must be called before start"
+        );
+        self.sampler = Some(sampler);
+    }
+
+    /// The installed metrics registry, if any.
+    pub fn metrics(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.metrics.as_ref()
+    }
+
     /// The shared storage topology.
     pub fn topology(&self) -> Arc<dyn StorageTopology> {
         Arc::clone(self.topology.as_ref().expect("init_nvme not called"))
@@ -165,6 +209,12 @@ impl BamHost {
         let mut engine = Engine::new(self.gpu.clone());
         engine.set_scheduler(self.engine_sched);
         engine.add_device(Box::new(SsdBridge::new(self.topology())));
+        if let Some(registry) = &self.metrics {
+            engine.set_metrics(gpu_sim::EngineMetrics::bind(registry));
+        }
+        if let Some(sampler) = &self.sampler {
+            engine.add_device(Box::new(MetricsBridge::new(Arc::clone(sampler))));
+        }
         self.engine = Some(engine);
     }
 

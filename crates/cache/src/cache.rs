@@ -66,6 +66,10 @@ impl CacheConfig {
 }
 
 /// Counters the cache maintains (all monotone, readable at any time).
+///
+/// Note: for cross-layer observability prefer the unified registry, which
+/// exports these as `agile_cache_*` (snapshot-time collector, exporters,
+/// windowed series); this struct stays for direct programmatic access.
 #[derive(Debug, Default, Serialize, Deserialize, Clone)]
 pub struct CacheStats {
     /// Hits on valid data.

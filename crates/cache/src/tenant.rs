@@ -34,6 +34,9 @@ use std::sync::Arc;
 pub const NO_TENANT: u32 = u32::MAX;
 
 /// Snapshot of one tenant's cache accounting.
+///
+/// Note: the unified registry exports these as `agile_cache_tenant_*`
+/// labelled by tenant; this struct stays for direct programmatic access.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TenantCacheStats {
     /// Tenant id.

@@ -34,6 +34,7 @@ use agile_cache::{
     CacheLookup, CachePolicy, ClockPolicy, FifoPolicy, LruPolicy, RandomPolicy, ShareTable,
     SoftwareCache, TenantShare,
 };
+use agile_metrics::{Counter, CounterFamily, LabelDim, Labels, MetricsRegistry};
 use agile_sim::trace::{TraceEvent, TraceEventKind, TraceSink};
 use agile_sim::Cycles;
 use nvme_sim::{DmaHandle, Lba, NvmeCommand, Opcode, PageToken, QueuePair, StorageTopology};
@@ -65,6 +66,10 @@ pub enum ReadOutcome {
 }
 
 /// Per-category API statistics (used by tests and the Figure 11 breakdown).
+///
+/// Note: for cross-layer observability prefer the unified registry
+/// (`agile_submit_*` and friends via `HostBuilder::metrics`); this struct
+/// stays for direct programmatic access.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ApiStats {
     /// prefetch_warp invocations.
@@ -112,6 +117,45 @@ struct ApiStatCells {
     io_cycles: AtomicU64,
 }
 
+/// Submit-path instruments (the `agile_submit_*` metric family), installed
+/// once via [`AgileCtrl::bind_metrics`]. When absent every hook costs one
+/// atomic load (the `OnceLock` probe), preserving the uninstrumented path.
+pub struct CtrlMetrics {
+    admissions: Counter,
+    sq_full_retries: Counter,
+    qos_deferrals: CounterFamily,
+}
+
+impl CtrlMetrics {
+    /// Register (or reuse) the submit-path instruments in `registry`.
+    pub fn bind(registry: &Arc<MetricsRegistry>) -> Self {
+        CtrlMetrics {
+            admissions: registry.counter("agile_submit_admissions_total", Labels::NONE),
+            sq_full_retries: registry.counter("agile_submit_sq_full_retries_total", Labels::NONE),
+            qos_deferrals: registry
+                .counter_family("agile_submit_qos_deferrals_total", LabelDim::Tenant),
+        }
+    }
+
+    /// Count one successful SQ admission.
+    #[inline]
+    pub fn admission(&self) {
+        self.admissions.inc();
+    }
+
+    /// Count one every-SQ-full retry.
+    #[inline]
+    pub fn sq_full_retry(&self) {
+        self.sq_full_retries.inc();
+    }
+
+    /// Count one QoS deferral charged to `tenant`.
+    #[inline]
+    pub fn qos_deferral(&self, tenant: u32) {
+        self.qos_deferrals.inc(tenant);
+    }
+}
+
 /// The queues of one SSD.
 pub struct DeviceQueues {
     /// AGILE-managed submission queues (one per I/O queue pair).
@@ -136,6 +180,8 @@ pub struct AgileCtrl {
     /// Optional QoS policy arbitrating tenant-attributed SQ admission.
     /// Absent ⇒ FIFO (pre-QoS behaviour, bit-for-bit).
     qos: OnceLock<Arc<dyn QosPolicy>>,
+    /// Optional submit-path instruments (`agile_submit_*`).
+    metrics: OnceLock<CtrlMetrics>,
 }
 
 fn build_policy(cfg: &AgileConfig) -> Box<dyn CachePolicy> {
@@ -199,7 +245,14 @@ impl AgileCtrl {
             stats: ApiStatCells::default(),
             trace: OnceLock::new(),
             qos: OnceLock::new(),
+            metrics: OnceLock::new(),
         }
+    }
+
+    /// Install submit-path instruments bound to `registry`. Returns `false`
+    /// if instruments were already installed (the first binding wins).
+    pub fn bind_metrics(&self, registry: &Arc<MetricsRegistry>) -> bool {
+        self.metrics.set(CtrlMetrics::bind(registry)).is_ok()
     }
 
     /// Install a QoS policy on the tenant-attributed submission path (the
@@ -352,6 +405,9 @@ impl AgileCtrl {
             if decision == QosDecision::Defer {
                 let cost = Cycles(self.cfg.costs.gpu.poll_iteration);
                 self.stats.qos_deferrals.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = self.metrics.get() {
+                    m.qos_deferrals.inc(tenant);
+                }
                 self.stats
                     .io_cycles
                     .fetch_add(cost.raw(), Ordering::Relaxed);
@@ -401,6 +457,9 @@ impl AgileCtrl {
                     self.stats
                         .io_cycles
                         .fetch_add(cost.raw(), Ordering::Relaxed);
+                    if let Some(m) = self.metrics.get() {
+                        m.admissions.inc();
+                    }
                     if let Some(sink) = self.trace.get() {
                         // Rebuild the command for its lba/opcode; `build` is a
                         // cheap constructor and this path only runs when
@@ -433,6 +492,9 @@ impl AgileCtrl {
             }
         }
         self.stats.sq_full_retries.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = self.metrics.get() {
+            m.sq_full_retries.inc();
+        }
         self.stats
             .io_cycles
             .fetch_add(cost.raw(), Ordering::Relaxed);

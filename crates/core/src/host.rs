@@ -31,6 +31,8 @@ use crate::config::AgileConfig;
 use crate::ctrl::AgileCtrl;
 use crate::qos::QosPolicy;
 use crate::service::{auto_service_warps, AgileServiceKernel, ServicePartition, ServiceSet};
+use crate::telemetry::{CacheCollector, MetricsBridge, ServiceCollector, TopologyCollector};
+use agile_metrics::{MetricsRegistry, WindowedSampler};
 use agile_sim::trace::TraceSink;
 use agile_sim::Cycles;
 use gpu_sim::registers::agile_footprints;
@@ -133,6 +135,10 @@ pub struct AgileHost {
     service: Option<ServiceSet>,
     engine: Option<Engine>,
     service_started: bool,
+    /// Optional metrics registry instrumenting the whole stack.
+    metrics: Option<Arc<MetricsRegistry>>,
+    /// Optional windowed sampler, bridged into the engine at start.
+    sampler: Option<Arc<WindowedSampler>>,
 }
 
 impl AgileHost {
@@ -155,6 +161,8 @@ impl AgileHost {
             service: None,
             engine: None,
             service_started: false,
+            metrics: None,
+            sampler: None,
         }
     }
 
@@ -292,6 +300,45 @@ impl AgileHost {
         self.ctrl().set_qos_policy(policy)
     }
 
+    /// Instrument the stack with `registry`: the controller's submit path
+    /// gains direct counters, and the cache / topology / device statistics
+    /// are exported through snapshot-time collectors (zero hot-path cost —
+    /// see [`crate::telemetry`]). Call after [`AgileHost::init_nvme`] and
+    /// before [`AgileHost::start_agile`] (the engine and service bind at
+    /// start). Without a registry every metrics hook is a no-op.
+    pub fn set_metrics(&mut self, registry: Arc<MetricsRegistry>) {
+        assert!(
+            self.ctrl.is_some(),
+            "set_metrics must be called after init_nvme"
+        );
+        assert!(
+            !self.service_started,
+            "set_metrics must be called before start_agile"
+        );
+        let ctrl = self.ctrl();
+        ctrl.bind_metrics(&registry);
+        registry.register_collector(Box::new(CacheCollector::new(ctrl)));
+        registry.register_collector(Box::new(TopologyCollector::new(self.topology())));
+        self.metrics = Some(registry);
+    }
+
+    /// Attach a windowed sampler, bridged into the engine as a passive
+    /// device at [`AgileHost::start_agile`]: it observes the simulated clock
+    /// every scheduling round without perturbing event timing. Call before
+    /// `start_agile`.
+    pub fn set_metrics_sampler(&mut self, sampler: Arc<WindowedSampler>) {
+        assert!(
+            !self.service_started,
+            "set_metrics_sampler must be called before start_agile"
+        );
+        self.sampler = Some(sampler);
+    }
+
+    /// The installed metrics registry, if any.
+    pub fn metrics(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.metrics.as_ref()
+    }
+
     /// The AGILE service set (available after [`AgileHost::start_agile`]).
     pub fn service_set(&self) -> &ServiceSet {
         self.service.as_ref().expect("start_agile not called")
@@ -329,10 +376,19 @@ impl AgileHost {
         let mut engine = Engine::new(self.gpu.clone());
         engine.set_scheduler(self.engine_sched);
         engine.add_device(Box::new(SsdBridge::new(self.topology())));
+        if let Some(registry) = &self.metrics {
+            engine.set_metrics(gpu_sim::EngineMetrics::bind(registry));
+        }
+        if let Some(sampler) = &self.sampler {
+            engine.add_device(Box::new(MetricsBridge::new(Arc::clone(sampler))));
+        }
 
         let ctrl = self.ctrl();
         ctrl.reset_service_stop();
         let set = ServiceSet::new(&ctrl, self.service_shards);
+        if let Some(registry) = &self.metrics {
+            registry.register_collector(Box::new(ServiceCollector::new(set.partitions().to_vec())));
+        }
 
         let blocks = self.config.service_blocks.max(1);
         for partition in set.partitions() {

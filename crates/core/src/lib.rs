@@ -68,12 +68,16 @@ pub mod lockchain;
 pub mod qos;
 pub mod service;
 pub mod sq_protocol;
+pub mod telemetry;
 pub mod transaction;
 
 pub use config::AgileConfig;
-pub use ctrl::{AgileCtrl, ApiStats, IssueOutcome, ReadOutcome};
+pub use ctrl::{AgileCtrl, ApiStats, CtrlMetrics, IssueOutcome, ReadOutcome};
 pub use host::{AgileHost, GpuStorageHost};
 pub use lockchain::{AgileLockChain, DeadlockReport, LockRegistry};
 pub use qos::{Fifo, QosDecision, QosPolicy, QosTenantStats, StrictPriority, WeightedFair};
 pub use service::{partition_targets, ServicePartition, ServiceSet, ServiceStats};
+pub use telemetry::{
+    CacheCollector, CacheStatsProvider, MetricsBridge, ServiceCollector, TopologyCollector,
+};
 pub use transaction::{AgileBuf, Barrier};

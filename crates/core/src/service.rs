@@ -110,6 +110,9 @@ impl CqPollState {
 }
 
 /// Statistics of the service kernel.
+///
+/// Note: the unified registry exports these as `agile_service_*` labelled
+/// by partition; this struct stays for direct programmatic access.
 #[derive(Debug, Clone, Default)]
 pub struct ServiceStats {
     /// Completions processed.

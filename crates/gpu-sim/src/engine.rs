@@ -51,6 +51,31 @@ pub enum EngineSched {
     FullScan,
 }
 
+/// Engine-level instruments (the `agile_engine_*` metric family), bound once
+/// from a registry. The scheduling loops accumulate into plain engine fields
+/// and flush to these atomics only every few thousand rounds (and at run
+/// end), so the hot loop never touches the registry — windowed series see
+/// engine counters at that flush granularity.
+pub struct EngineMetrics {
+    rounds: agile_metrics::Counter,
+    warp_steps: agile_metrics::Counter,
+    stale_wakes: agile_metrics::Counter,
+    ready_high_water: agile_metrics::Gauge,
+}
+
+impl EngineMetrics {
+    /// Register (or reuse) the engine instruments in `registry`.
+    pub fn bind(registry: &std::sync::Arc<agile_metrics::MetricsRegistry>) -> Self {
+        use agile_metrics::Labels;
+        EngineMetrics {
+            rounds: registry.counter("agile_engine_rounds_total", Labels::NONE),
+            warp_steps: registry.counter("agile_engine_warp_steps_total", Labels::NONE),
+            stale_wakes: registry.counter("agile_engine_stale_wakes_total", Labels::NONE),
+            ready_high_water: registry.gauge("agile_engine_ready_queue_high_water", Labels::NONE),
+        }
+    }
+}
+
 /// An external device co-simulated with the GPU (in practice: the SSD array).
 pub trait ExternalDevice {
     /// Advance the device's internal state to time `now`.
@@ -148,6 +173,16 @@ pub struct Engine {
     /// Rebuilt at the start of every event-driven run (warp slots are stable
     /// within a run because the event loop never compacts the SM warp lists).
     ready: BinaryHeap<Reverse<(u64, usize, usize)>>,
+    /// Optional engine instruments (`agile_engine_*`).
+    metrics: Option<EngineMetrics>,
+    /// Warp steps / stale wakes / ready-queue high water accumulated in
+    /// plain fields; [`Engine::flush_metrics`] mirrors them into the
+    /// registry on a coarse cadence.
+    m_steps: u64,
+    m_stale: u64,
+    m_ready_hw: u64,
+    /// (rounds, steps, stale) already flushed to the instruments.
+    m_flushed: (u64, u64, u64),
 }
 
 impl Engine {
@@ -167,7 +202,32 @@ impl Engine {
             rounds: 0,
             sched: EngineSched::default(),
             ready: BinaryHeap::new(),
+            metrics: None,
+            m_steps: 0,
+            m_stale: 0,
+            m_ready_hw: 0,
+            m_flushed: (0, 0, 0),
         }
+    }
+
+    /// Mirror the accumulated engine counts into the bound instruments
+    /// (no-op without metrics). Called every few thousand rounds and at run
+    /// end — the scheduling hot loops never touch an atomic.
+    fn flush_metrics(&mut self) {
+        if let Some(m) = &self.metrics {
+            let (rounds, steps, stale) = self.m_flushed;
+            m.rounds.add(self.rounds - rounds);
+            m.warp_steps.add(self.m_steps - steps);
+            m.stale_wakes.add(self.m_stale - stale);
+            m.ready_high_water.record_max(self.m_ready_hw);
+            self.m_flushed = (self.rounds, self.m_steps, self.m_stale);
+        }
+    }
+
+    /// Bind engine instruments. Scheduling is unaffected — the loops only
+    /// mirror counts they already track into the registry.
+    pub fn set_metrics(&mut self, metrics: EngineMetrics) {
+        self.metrics = Some(metrics);
     }
 
     /// Select the scheduling loop (default: [`EngineSched::EventQueue`]).
@@ -412,6 +472,10 @@ impl Engine {
         while !self.all_user_kernels_complete() {
             self.rounds += 1;
             let now = self.clock.now();
+            let depth = self.ready.len() as u64;
+            if depth > self.m_ready_hw {
+                self.m_ready_hw = depth;
+            }
 
             // 1. Let devices catch up so completions are visible to warps.
             for dev in &mut self.devices {
@@ -433,15 +497,23 @@ impl Engine {
 
             let mut progressed = false;
             let mut retired_blocks: Vec<(usize, usize)> = Vec::new(); // (sm, slot)
+            let (mut steps, mut stale) = (0u64, 0u64);
             for (sm_idx, widx) in batch {
                 if self.sms[sm_idx].warps[widx].done {
+                    stale += 1;
                     continue;
                 }
+                steps += 1;
                 let (wake, progress) = self.step_warp(sm_idx, widx, now, &mut retired_blocks);
                 if let Some(at) = wake {
                     self.ready.push(Reverse((at.raw(), sm_idx, widx)));
                 }
                 progressed |= progress;
+            }
+            self.m_steps += steps;
+            self.m_stale += stale;
+            if self.rounds & 0xFFF == 0 {
+                self.flush_metrics();
             }
 
             // 3. Place pending blocks freed capacity admits. The event loop
@@ -533,6 +605,7 @@ impl Engine {
             // 2. Step every ready warp once.
             let mut progressed = false;
             let mut retired_blocks: Vec<(usize, usize)> = Vec::new(); // (sm, slot)
+            let mut steps = 0u64;
             for sm_idx in 0..self.sms.len() {
                 for widx in 0..self.sms[sm_idx].warps.len() {
                     {
@@ -541,9 +614,14 @@ impl Engine {
                             continue;
                         }
                     }
+                    steps += 1;
                     let (_, progress) = self.step_warp(sm_idx, widx, now, &mut retired_blocks);
                     progressed |= progress;
                 }
+            }
+            self.m_steps += steps;
+            if self.rounds & 0xFFF == 0 {
+                self.flush_metrics();
             }
 
             // 3. Clean up retired blocks and place pending ones.
@@ -611,6 +689,7 @@ impl Engine {
         for dev in &mut self.devices {
             dev.advance_to(now);
         }
+        self.flush_metrics();
 
         let elapsed = self.clock.now() - start;
         ExecutionReport {

@@ -35,7 +35,9 @@ pub mod registers;
 pub mod sm;
 
 pub use config::GpuConfig;
-pub use engine::{Engine, EngineSched, ExecutionReport, ExternalDevice, KernelReport};
+pub use engine::{
+    Engine, EngineMetrics, EngineSched, ExecutionReport, ExternalDevice, KernelReport,
+};
 pub use kernel::{
     occupancy, KernelFactory, KernelId, LaunchConfig, WarpCtx, WarpId, WarpKernel, WarpStep,
 };

@@ -1,0 +1,206 @@
+//! Windowed time-series sampling driven by the *simulated* clock.
+//!
+//! The sampler is a passive observer: the host's engine calls
+//! [`WindowedSampler::observe`] with the current simulated time on every
+//! scheduling round (through a bridge device that never schedules wakeups of
+//! its own, so installing it cannot perturb replay timing). Whenever the
+//! clock crosses a window boundary the registry is snapshotted and the delta
+//! against the previous snapshot becomes that window's [`WindowSample`]:
+//! counters become per-window increments, histograms become the window's
+//! latency distribution (p50/p95/p99 via bucket deltas), gauges keep their
+//! end-of-window value.
+//!
+//! Window edges are observed at the first engine round **at or after** each
+//! boundary — activity between the boundary and that round smears into the
+//! earlier window. Engine rounds are deterministic, so the smear is too:
+//! identical runs produce identical series (pinned by the determinism test).
+
+use crate::registry::MetricsRegistry;
+use crate::snapshot::MetricsSnapshot;
+use parking_lot::Mutex;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One window of the time series: the registry delta over
+/// `[start, end)` simulated cycles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSample {
+    /// Window index (0-based).
+    pub index: u64,
+    /// Window start (cycles).
+    pub start: u64,
+    /// Window end (cycles; `start + window` except for a trailing partial
+    /// window flushed at [`WindowedSampler::finish`]).
+    pub end: u64,
+    /// Registry delta over the window (gauges: end-of-window values).
+    pub deltas: MetricsSnapshot,
+}
+
+impl WindowSample {
+    /// Per-second rate of counter `name{labels}` over this window.
+    pub fn rate(&self, name: &str, labels: crate::Labels, clock_ghz: f64) -> f64 {
+        let secs = (self.end - self.start) as f64 / (clock_ghz * 1e9);
+        if secs > 0.0 {
+            self.deltas.counter(name, labels) as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+struct SamplerState {
+    prev: MetricsSnapshot,
+    windows: Vec<WindowSample>,
+    finished: bool,
+}
+
+/// Snapshots a [`MetricsRegistry`] every `window` simulated cycles,
+/// producing a per-window time series.
+pub struct WindowedSampler {
+    registry: Arc<MetricsRegistry>,
+    window: u64,
+    /// Next boundary, readable without the state lock: the per-round fast
+    /// path is one relaxed load and a compare.
+    next_boundary: AtomicU64,
+    state: Mutex<SamplerState>,
+}
+
+impl WindowedSampler {
+    /// A sampler over `registry` with `window_cycles`-wide windows.
+    pub fn new(registry: Arc<MetricsRegistry>, window_cycles: u64) -> Arc<Self> {
+        let window = window_cycles.max(1);
+        Arc::new(WindowedSampler {
+            registry,
+            window,
+            next_boundary: AtomicU64::new(window),
+            state: Mutex::new(SamplerState {
+                prev: MetricsSnapshot::default(),
+                windows: Vec::new(),
+                finished: false,
+            }),
+        })
+    }
+
+    /// Window width in cycles.
+    pub fn window_cycles(&self) -> u64 {
+        self.window
+    }
+
+    /// Observe the simulated clock at `now` cycles; emits one window per
+    /// boundary crossed since the last call. Cheap when no boundary was
+    /// crossed (one relaxed atomic load).
+    pub fn observe(&self, now: u64) {
+        if now < self.next_boundary.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut state = self.state.lock();
+        if state.finished {
+            return;
+        }
+        let mut boundary = self.next_boundary.load(Ordering::Relaxed);
+        while now >= boundary {
+            let snap = self.registry.snapshot();
+            let deltas = snap.delta_since(&state.prev);
+            state.prev = snap;
+            state.windows.push(WindowSample {
+                index: boundary / self.window - 1,
+                start: boundary - self.window,
+                end: boundary,
+                deltas,
+            });
+            boundary += self.window;
+        }
+        self.next_boundary.store(boundary, Ordering::Relaxed);
+    }
+
+    /// Flush the trailing partial window `[last boundary, now)` (if any
+    /// time elapsed past the last emitted boundary) and stop sampling.
+    pub fn finish(&self, now: u64) {
+        self.observe(now);
+        let mut state = self.state.lock();
+        if state.finished {
+            return;
+        }
+        state.finished = true;
+        let boundary = self.next_boundary.load(Ordering::Relaxed);
+        let start = boundary - self.window;
+        if now > start {
+            let snap = self.registry.snapshot();
+            let deltas = snap.delta_since(&state.prev);
+            state.prev = snap;
+            state.windows.push(WindowSample {
+                index: boundary / self.window - 1,
+                start,
+                end: now,
+                deltas,
+            });
+        }
+    }
+
+    /// The emitted windows so far, in time order.
+    pub fn windows(&self) -> Vec<WindowSample> {
+        self.state.lock().windows.clone()
+    }
+}
+
+/// Serialize a window series as a JSON array (each entry: window bounds plus
+/// the delta snapshot in [`MetricsSnapshot::to_json`]'s sample format).
+pub fn windows_to_json(windows: &[WindowSample]) -> String {
+    let mut out = String::from("[");
+    for (i, w) in windows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let samples = w.deltas.to_json();
+        let _ = write!(
+            out,
+            "{{\"index\":{},\"start\":{},\"end\":{},\"deltas\":{}}}",
+            w.index, w.start, w.end, samples
+        );
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Labels;
+
+    #[test]
+    fn windows_split_counter_increments() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("agile_test_total", Labels::NONE);
+        let sampler = WindowedSampler::new(Arc::clone(&reg), 100);
+        c.add(3);
+        sampler.observe(40); // no boundary yet
+        c.add(4);
+        sampler.observe(110); // window 0 closes with all 7
+        c.add(5);
+        sampler.observe(330); // windows 1..3 close; only window at [200,300) is skipped over
+        sampler.finish(350);
+        let w = sampler.windows();
+        assert_eq!(w.len(), 4);
+        assert_eq!(w[0].deltas.counter("agile_test_total", Labels::NONE), 7);
+        // The boundary at 200 and 300 were crossed in one observe: the first
+        // crossed window absorbs the activity, the next is empty.
+        assert_eq!(w[1].deltas.counter("agile_test_total", Labels::NONE), 5);
+        assert_eq!(w[2].deltas.counter("agile_test_total", Labels::NONE), 0);
+        assert_eq!((w[3].start, w[3].end), (300, 350));
+    }
+
+    #[test]
+    fn finish_is_idempotent_and_stops_sampling() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("agile_test_total", Labels::NONE);
+        let sampler = WindowedSampler::new(Arc::clone(&reg), 100);
+        c.inc();
+        sampler.finish(50);
+        let n = sampler.windows().len();
+        c.inc();
+        sampler.observe(500);
+        sampler.finish(500);
+        assert_eq!(sampler.windows().len(), n);
+    }
+}

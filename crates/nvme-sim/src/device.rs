@@ -66,6 +66,9 @@ impl SsdConfig {
 }
 
 /// Aggregate statistics kept by the device.
+///
+/// Note: the unified registry exports these as `agile_device_*` labelled by
+/// device index; this struct stays for direct programmatic access.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct DeviceStats {
     /// Read commands completed.
@@ -232,6 +235,17 @@ impl SsdDevice {
     /// True when no commands are in flight and no completions are parked.
     pub fn quiescent(&self) -> bool {
         self.events.is_empty() && self.cq_cursors.iter().all(|c| c.parked.is_empty())
+    }
+
+    /// Commands currently in flight: scheduled completions plus completions
+    /// parked behind a full CQ (the `agile_device_inflight` gauge).
+    pub fn inflight(&self) -> u64 {
+        self.events.len() as u64
+            + self
+                .cq_cursors
+                .iter()
+                .map(|c| c.parked.len() as u64)
+                .sum::<u64>()
     }
 
     fn ns_to_cycles(&self, ns: agile_sim::Nanos) -> Cycles {

@@ -260,6 +260,12 @@ struct ShardLockState {
     /// wait (the warp is already past the queue; its later acquires happen
     /// back-to-back in real time even though the step reports one `now`).
     last: Option<(u64, u64)>,
+    /// Accumulated FIFO queue-wait cycles charged on this shard (the
+    /// contention signal surfaced as `agile_submit_lock_wait_cycles_total`
+    /// and the replay summary's `lock_wait=` field).
+    wait_cycles: u64,
+    /// Total acquisitions charged on this shard.
+    acquires: u64,
 }
 
 /// Deterministic FIFO model of the per-shard array lock.
@@ -291,6 +297,7 @@ impl TopologyLock {
     pub fn acquire(&self, shard: usize, warp: u64, now: Cycles) -> Cycles {
         let mut s = self.shards[shard % self.shards.len()].lock();
         let now = now.raw();
+        s.acquires += 1;
         if s.last == Some((warp, now)) {
             // Same warp, same step: back-to-back re-acquire, no queue wait.
             s.busy_until += self.hold;
@@ -299,12 +306,23 @@ impl TopologyLock {
         let wait = s.busy_until.saturating_sub(now);
         s.busy_until = s.busy_until.max(now) + self.hold;
         s.last = Some((warp, now));
+        s.wait_cycles += wait;
         Cycles(wait + self.hold)
     }
 
     /// Hold cycles per acquisition.
     pub fn hold_cycles(&self) -> u64 {
         self.hold
+    }
+
+    /// Accumulated queue-wait cycles per shard, in shard order.
+    pub fn wait_by_shard(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.lock().wait_cycles).collect()
+    }
+
+    /// Total acquisitions per shard, in shard order.
+    pub fn acquires_by_shard(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.lock().acquires).collect()
     }
 }
 
@@ -368,6 +386,29 @@ pub trait StorageTopology: Send + Sync {
     /// Charge one submission's pass through the array lock guarding device
     /// `dev`: FIFO wait behind earlier holders plus the hold itself.
     fn lock_acquire(&self, dev: usize, warp: u64, now: Cycles) -> Cycles;
+
+    /// Accumulated FIFO queue-wait cycles per lock shard, in shard order
+    /// (`agile_submit_lock_wait_cycles_total{shard}`).
+    fn lock_wait_by_shard(&self) -> Vec<u64> {
+        vec![0; self.shard_count()]
+    }
+
+    /// Total queue-wait cycles across all lock shards.
+    fn lock_wait_cycles(&self) -> u64 {
+        self.lock_wait_by_shard().iter().sum()
+    }
+
+    /// Total lock acquisitions per shard, in shard order.
+    fn lock_acquires_by_shard(&self) -> Vec<u64> {
+        vec![0; self.shard_count()]
+    }
+
+    /// Commands currently in flight on global device `dev` (scheduled
+    /// completions plus completions parked on a full CQ) — the per-device
+    /// queue-depth gauge.
+    fn device_inflight(&self, _dev: usize) -> u64 {
+        0
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -477,6 +518,15 @@ impl StorageTopology for FlatArray {
     }
     fn lock_acquire(&self, _dev: usize, warp: u64, now: Cycles) -> Cycles {
         self.lock.acquire(0, warp, now)
+    }
+    fn lock_wait_by_shard(&self) -> Vec<u64> {
+        self.lock.wait_by_shard()
+    }
+    fn lock_acquires_by_shard(&self) -> Vec<u64> {
+        self.lock.acquires_by_shard()
+    }
+    fn device_inflight(&self, dev: usize) -> u64 {
+        self.set.lock().device(dev).inflight()
     }
 }
 
@@ -640,6 +690,16 @@ impl StorageTopology for ShardedArray {
     }
     fn lock_acquire(&self, dev: usize, warp: u64, now: Cycles) -> Cycles {
         self.lock.acquire(self.shard_of(dev), warp, now)
+    }
+    fn lock_wait_by_shard(&self) -> Vec<u64> {
+        self.lock.wait_by_shard()
+    }
+    fn lock_acquires_by_shard(&self) -> Vec<u64> {
+        self.lock.acquires_by_shard()
+    }
+    fn device_inflight(&self, dev: usize) -> u64 {
+        let (shard, slot) = self.locate(dev);
+        self.shards[shard].lock().device(slot).inflight()
     }
 }
 

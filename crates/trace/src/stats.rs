@@ -30,7 +30,16 @@ impl Default for LatencyHistogram {
     }
 }
 
-fn bucket_index(value: u64) -> usize {
+/// Number of buckets in the log-linear layout. Shared with `agile-metrics`,
+/// whose atomic `Histo` reuses this exact bucketing so snapshots convert
+/// losslessly between the two.
+pub const fn bucket_count() -> usize {
+    NUM_BUCKETS
+}
+
+/// Bucket index of `value` in the log-linear layout (exact unit buckets below
+/// 32, then 32 linear sub-buckets per octave).
+pub fn bucket_index(value: u64) -> usize {
     if value < SUB_BUCKETS {
         value as usize
     } else {
@@ -42,7 +51,7 @@ fn bucket_index(value: u64) -> usize {
 
 /// Upper bound (inclusive) of the bucket at `index` — the value reported for
 /// quantiles landing in that bucket.
-fn bucket_upper_bound(index: usize) -> u64 {
+pub fn bucket_upper_bound(index: usize) -> u64 {
     if index < SUB_BUCKETS as usize {
         index as u64
     } else {

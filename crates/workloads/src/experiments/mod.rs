@@ -35,7 +35,8 @@ pub use fig11::{run_graph_breakdown, BreakdownRow, GraphScale};
 pub use fig12::run_register_table;
 pub use testbed::{agile_testbed, bam_testbed, TestbedScale};
 pub use trace_replay::{
-    run_trace_replay, run_trace_replay_with_sink, ReplayConfig, ReplayReport, ReplaySystem,
+    run_trace_replay, run_trace_replay_with_sink, MetricsReport, ReplayConfig, ReplayReport,
+    ReplaySystem,
 };
 
 pub use crate::trace_replay::ReplayPath;

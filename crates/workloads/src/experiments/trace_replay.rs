@@ -16,6 +16,9 @@ use agile_core::config::CachePolicyKind;
 use agile_core::qos::{Fifo, QosPolicy, StrictPriority, WeightedFair};
 use agile_core::service::ServiceStats;
 use agile_core::{AgileConfig, GpuStorageHost};
+use agile_metrics::{
+    windows_to_json, Labels, MetricsRegistry, MetricsSnapshot, WindowSample, WindowedSampler,
+};
 use agile_sim::trace::TraceSink;
 use agile_sim::units::SSD_PAGE_SIZE;
 use agile_trace::Trace;
@@ -92,6 +95,63 @@ pub struct TenantLatency {
     pub p99_us: f64,
 }
 
+/// Metrics captured by an instrumented replay ([`ReplayConfig::with_metrics`]):
+/// the final registry snapshot plus the sampler's windowed time series.
+#[derive(Debug, Clone)]
+pub struct MetricsReport {
+    /// End-of-run registry snapshot (counters are cumulative totals).
+    pub snapshot: MetricsSnapshot,
+    /// Per-window registry deltas, in time order.
+    pub windows: Vec<WindowSample>,
+    /// Sampler window width in simulated cycles.
+    pub window_cycles: u64,
+    /// GPU clock in GHz, for cycle → wall-time conversions.
+    pub clock_ghz: f64,
+}
+
+impl MetricsReport {
+    /// Per-window replay throughput of `tenant` in IOPS (the rate of
+    /// `agile_replay_ops_total{tenant}` over each window).
+    pub fn tenant_windowed_iops(&self, tenant: u32) -> Vec<f64> {
+        self.windows
+            .iter()
+            .map(|w| {
+                w.rate(
+                    "agile_replay_ops_total",
+                    Labels::tenant(tenant),
+                    self.clock_ghz,
+                )
+            })
+            .collect()
+    }
+
+    /// Per-window p99 replay latency of `tenant` in microseconds (`None` for
+    /// windows where the tenant completed nothing).
+    pub fn tenant_windowed_p99_us(&self, tenant: u32) -> Vec<Option<f64>> {
+        let cycles_per_us = self.clock_ghz * 1_000.0;
+        self.windows
+            .iter()
+            .map(|w| {
+                w.deltas
+                    .histo("agile_replay_latency_cycles", Labels::tenant(tenant))
+                    .and_then(|h| h.p99())
+                    .map(|c| c as f64 / cycles_per_us)
+            })
+            .collect()
+    }
+
+    /// JSON object with the window width, the final snapshot and the window
+    /// series (snapshot/window formats from [`MetricsSnapshot::to_json`]).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"window_cycles\":{},\"snapshot\":{},\"windows\":{}}}",
+            self.window_cycles,
+            self.snapshot.to_json(),
+            windows_to_json(&self.windows)
+        )
+    }
+}
+
 /// Latency + throughput results of one replay run.
 #[derive(Debug, Clone)]
 pub struct ReplayReport {
@@ -145,6 +205,13 @@ pub struct ReplayReport {
     /// Engine scheduling rounds of the run (not part of the summary: both
     /// engine schedulers replay bit-identically, rounds is what differs).
     pub engine_rounds: u64,
+    /// Submissions the QoS scheduler deferred at least once (always 0 under
+    /// FIFO, which never defers).
+    pub qos_deferrals: u64,
+    /// Total cycles warps spent queued on the topology's lock shards.
+    pub lock_wait_cycles: u64,
+    /// Metrics capture, present when [`ReplayConfig::with_metrics`] was set.
+    pub metrics: Option<MetricsReport>,
 }
 
 impl ReplayReport {
@@ -183,6 +250,19 @@ impl ReplayReport {
         }
         if self.service_shards > 1 {
             s.push_str(&format!(" service_shards={}", self.service_shards));
+        }
+        // qos_deferrals appears only when the scheduler actually deferred —
+        // FIFO never defers, so the pre-QoS goldens stay byte-identical.
+        if self.qos_deferrals > 0 {
+            s.push_str(&format!(" qos_deferrals={}", self.qos_deferrals));
+        }
+        // Lock wait is printed only for genuinely sharded topologies
+        // (shards > 1): the flat single-lock default always contends, so an
+        // unconditional field would invalidate every golden, and shards=1 is
+        // contractually byte-identical to flat — splitting contention across
+        // shards is exactly the comparison the number exists for.
+        if self.shards > 1 && self.lock_wait_cycles > 0 {
+            s.push_str(&format!(" lock_wait={}", self.lock_wait_cycles));
         }
         for t in &self.tenants {
             s.push_str(&format!(
@@ -263,6 +343,13 @@ pub struct ReplayConfig {
     /// Engine scheduling loop (event-driven ready-queue by default; the
     /// legacy full scan replays bit-identically but visits more rounds).
     pub engine_sched: EngineSched,
+    /// Instrument the run with a metrics registry + windowed sampler and
+    /// attach the capture to [`ReplayReport::metrics`]. Off by default —
+    /// un-instrumented replays are byte-identical to the pre-metrics stack
+    /// (the golden suite pins this).
+    pub metrics: bool,
+    /// Sampler window in simulated cycles (only meaningful with `metrics`).
+    pub metrics_window: u64,
 }
 
 impl Default for ReplayConfig {
@@ -283,6 +370,8 @@ impl Default for ReplayConfig {
             tenant_warps: false,
             service_shards: 1,
             engine_sched: EngineSched::EventQueue,
+            metrics: false,
+            metrics_window: 500_000,
         }
     }
 }
@@ -357,6 +446,22 @@ impl ReplayConfig {
     /// queues.
     pub fn tenant_partitioned(mut self) -> Self {
         self.tenant_warps = true;
+        self
+    }
+
+    /// Instrument the replay with the metrics stack: a registry wired through
+    /// the whole host (submit path, cache, topology, devices, service,
+    /// engine) plus a windowed sampler, captured in
+    /// [`ReplayReport::metrics`].
+    pub fn with_metrics(mut self) -> Self {
+        self.metrics = true;
+        self
+    }
+
+    /// Set the sampler window in simulated cycles (implies metrics).
+    pub fn with_metrics_window(mut self, cycles: u64) -> Self {
+        self.metrics = true;
+        self.metrics_window = cycles.max(1);
         self
     }
 
@@ -465,6 +570,9 @@ fn finish_report(
         service_shards: cfg.service_shards,
         service_stats: Vec::new(),
         engine_rounds,
+        qos_deferrals: 0,
+        lock_wait_cycles: 0,
+        metrics: None,
     }
 }
 
@@ -481,7 +589,7 @@ fn drive<H: GpuStorageHost>(
 ) -> ReplayReport {
     let report = host.run_kernel(launch, factory);
     host.stop();
-    finish_report(
+    let mut out = finish_report(
         system,
         trace,
         cfg,
@@ -489,7 +597,9 @@ fn drive<H: GpuStorageHost>(
         report.elapsed.raw(),
         report.deadlocked,
         report.rounds,
-    )
+    );
+    out.lock_wait_cycles = host.topology().lock_wait_cycles();
+    out
 }
 
 /// Replay `trace` through `system`, optionally capturing a fresh event log
@@ -525,6 +635,17 @@ pub fn run_trace_replay_with_sink(
     let pages = trace.meta.lba_space.max(1);
     let trace = Arc::new(trace.clone());
     let collector = Arc::new(ReplayCollector::new());
+    // One registry + sampler pair instruments whichever host runs; the
+    // replay collector mirrors its per-tenant accounting into the same
+    // registry so windowed IOPS/p99 series line up with the stack metrics.
+    let instruments = if cfg.metrics {
+        let registry = MetricsRegistry::new();
+        let sampler = WindowedSampler::new(Arc::clone(&registry), cfg.metrics_window);
+        collector.bind_metrics(&registry);
+        Some((registry, sampler))
+    } else {
+        None
+    };
     let params = TraceReplayParams {
         total_warps: cfg.total_warps,
         window: cfg.window,
@@ -554,6 +675,11 @@ pub fn run_trace_replay_with_sink(
             if let Some(sink) = sink {
                 builder = builder.trace_sink(sink);
             }
+            if let Some((registry, sampler)) = &instruments {
+                builder = builder
+                    .metrics(Arc::clone(registry))
+                    .metrics_sampler(Arc::clone(sampler));
+            }
             let mut host = builder.build();
             let ctrl = host.ctrl();
             let launch = LaunchConfig::new(blocks, 256).with_registers(40);
@@ -565,8 +691,18 @@ pub fn run_trace_replay_with_sink(
             ));
             let mut report = drive(&mut host, launch, factory, system, &trace, cfg, &collector);
             report.service_stats = host.service_set().partition_stats();
+            report.qos_deferrals = ctrl.stats().qos_deferrals;
             if cfg.tenant_warps {
                 report.tenant_cache = ctrl.cache().tenant_stats();
+            }
+            if let Some((registry, sampler)) = &instruments {
+                sampler.finish(host.now().raw());
+                report.metrics = Some(MetricsReport {
+                    snapshot: registry.snapshot(),
+                    windows: sampler.windows(),
+                    window_cycles: sampler.window_cycles(),
+                    clock_ghz: experiment_gpu().clock_ghz,
+                });
             }
             report
         }
@@ -586,6 +722,11 @@ pub fn run_trace_replay_with_sink(
             if let Some(sink) = sink {
                 builder = builder.trace_sink(sink);
             }
+            if let Some((registry, sampler)) = &instruments {
+                builder = builder
+                    .metrics(Arc::clone(registry))
+                    .metrics_sampler(Arc::clone(sampler));
+            }
             let mut host = builder.build();
             let ctrl = host.ctrl();
             // BaM's polling lives in the user kernel: heavier footprint.
@@ -597,8 +738,18 @@ pub fn run_trace_replay_with_sink(
                 params,
             ));
             let mut report = drive(&mut host, launch, factory, system, &trace, cfg, &collector);
+            report.qos_deferrals = ctrl.stats().qos_deferrals;
             if cfg.tenant_warps {
                 report.tenant_cache = ctrl.cache().tenant_stats();
+            }
+            if let Some((registry, sampler)) = &instruments {
+                sampler.finish(host.now().raw());
+                report.metrics = Some(MetricsReport {
+                    snapshot: registry.snapshot(),
+                    windows: sampler.windows(),
+                    window_cycles: sampler.window_cycles(),
+                    clock_ghz: experiment_gpu().clock_ghz,
+                });
             }
             report
         }

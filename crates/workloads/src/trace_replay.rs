@@ -33,6 +33,7 @@
 
 use agile_core::transaction::Barrier;
 use agile_core::{AgileCtrl, IssueOutcome, ReadOutcome};
+use agile_metrics::{CounterFamily, HistoFamily, LabelDim, MetricsRegistry};
 use agile_sim::Cycles;
 use agile_trace::{LatencyHistogram, Trace, TraceOp};
 use bam_baseline::BamCtrl;
@@ -41,7 +42,7 @@ use nvme_sim::{DmaHandle, PageToken};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Shared accumulator all replay warps record completions into: one
 /// aggregate latency histogram plus one histogram per tenant, so the replay
@@ -53,12 +54,39 @@ pub struct ReplayCollector {
     tenants: Mutex<BTreeMap<u32, LatencyHistogram>>,
     reads: AtomicU64,
     writes: AtomicU64,
+    /// Optional registry instruments mirroring the accumulators above
+    /// (`agile_replay_*`), so the windowed sampler can slice replay
+    /// completions into per-window per-tenant IOPS and percentiles.
+    metrics: OnceLock<ReplayMetrics>,
+}
+
+struct ReplayMetrics {
+    ops: CounterFamily,
+    latency: HistoFamily,
+    reads: agile_metrics::Counter,
+    writes: agile_metrics::Counter,
 }
 
 impl ReplayCollector {
     /// New, empty collector.
     pub fn new() -> Self {
         ReplayCollector::default()
+    }
+
+    /// Mirror every recorded completion into `registry` as
+    /// `agile_replay_ops_total{tenant}` / `agile_replay_latency_cycles{tenant}`
+    /// plus aggregate read/write counters. Returns `false` if instruments
+    /// were already installed (the first binding wins).
+    pub fn bind_metrics(&self, registry: &Arc<MetricsRegistry>) -> bool {
+        use agile_metrics::Labels;
+        self.metrics
+            .set(ReplayMetrics {
+                ops: registry.counter_family("agile_replay_ops_total", LabelDim::Tenant),
+                latency: registry.histo_family("agile_replay_latency_cycles", LabelDim::Tenant),
+                reads: registry.counter("agile_replay_reads_total", Labels::NONE),
+                writes: registry.counter("agile_replay_writes_total", Labels::NONE),
+            })
+            .is_ok()
     }
 
     /// Record one completed op of `tenant` observed `latency_cycles` after
@@ -74,6 +102,15 @@ impl ReplayCollector {
             self.writes.fetch_add(1, Ordering::Relaxed);
         } else {
             self.reads.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(m) = self.metrics.get() {
+            m.ops.inc(tenant);
+            m.latency.record(tenant, latency_cycles);
+            if write {
+                m.writes.inc();
+            } else {
+                m.reads.inc();
+            }
         }
     }
 

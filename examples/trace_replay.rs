@@ -11,7 +11,14 @@
 //!
 //! ```text
 //! cargo run --release --example trace_replay
+//! cargo run --release --example trace_replay -- --metrics-json metrics.json
 //! ```
+//!
+//! With `--metrics-json <path>`, the AGILE replay is re-run with the metrics
+//! stack enabled and the capture (final registry snapshot + windowed time
+//! series) is written to `<path>` as JSON. The instrumented run's summary is
+//! asserted byte-identical to the bare run — observing the stack does not
+//! perturb it.
 
 use agile_repro::trace::{decode_events, encode_events, MemorySink, Trace, TraceSpec};
 use agile_repro::workloads::experiments::trace_replay::{
@@ -20,6 +27,8 @@ use agile_repro::workloads::experiments::trace_replay::{
 use std::sync::Arc;
 
 fn main() {
+    let metrics_json = parse_args();
+
     // --- 1. Synthesize a zipfian multi-tenant workload -------------------
     // Tenant 0: zipf(0.99) hot-set reader; tenant 1: uniform mixed
     // read/write; tenant 2: bursty write-heavy. 2 SSDs.
@@ -115,5 +124,46 @@ fn main() {
         captured.ops.len()
     );
     assert!(captured.ops.len() as u64 >= agile.ops);
+
+    // --- 6. Optional metrics capture (--metrics-json <path>) -------------
+    if let Some(path) = metrics_json {
+        let metered = run_trace_replay(&trace, ReplaySystem::Agile, &cfg.clone().with_metrics());
+        assert_eq!(
+            metered.summary(),
+            agile.summary(),
+            "the metrics stack must not perturb the replay"
+        );
+        let m = metered.metrics.expect("with_metrics captures a report");
+        for tenant in 0..trace.meta.tenants {
+            let iops = m.tenant_windowed_iops(tenant);
+            let peak = iops.iter().cloned().fold(0.0f64, f64::max);
+            println!(
+                "tenant{tenant} windowed IOPS: {} windows, peak {peak:.0}",
+                iops.len()
+            );
+        }
+        std::fs::write(&path, m.to_json()).expect("write metrics JSON");
+        println!(
+            "metrics: {} windows x {} cycles -> {}",
+            m.windows.len(),
+            m.window_cycles,
+            path
+        );
+    }
     println!("done.");
+}
+
+/// Parse `--metrics-json <path>` (the only supported flag).
+fn parse_args() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    let mut path = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--metrics-json" => {
+                path = Some(args.next().expect("--metrics-json takes a path"));
+            }
+            other => panic!("unknown argument `{other}` (supported: --metrics-json <path>)"),
+        }
+    }
+    path
 }

@@ -26,6 +26,7 @@
 
 pub use agile_cache as cache;
 pub use agile_core as agile;
+pub use agile_metrics as metrics;
 pub use agile_sim as sim;
 pub use agile_trace as trace;
 pub use agile_workloads as workloads;

@@ -1,0 +1,201 @@
+//! Release-mode overhead gate for the metrics layer.
+//!
+//! CI runs this with `cargo test --release --test metrics_overhead`. The
+//! contract: replaying with the full metrics stack enabled (registry wired
+//! through every layer + windowed sampler bridged into the engine) costs at
+//! most 3 % over the un-instrumented replay.
+//!
+//! Methodology: wall-clock on shared CI hardware drifts by far more than the
+//! 3 % budget (frequency scaling, co-tenant interference — the same binary's
+//! floor moves ±20 % between invocations), so a timing comparison flaps no
+//! matter how it is aggregated. The replay itself is deterministic, though,
+//! so the gate instead counts **retired user-space instructions** via
+//! `perf_event_open(2)`: the counts are reproducible to a fraction of a
+//! percent and the metered/bare ratio measures exactly the instrumentation
+//! work added. Where perf is unavailable (no PMU in the VM, paranoid ≥ 3,
+//! non-x86-64, other OSes) the gate falls back to wall time: the median of
+//! per-round bare/metered pair ratios, guarded by a bare-vs-bare noise
+//! measurement that skips the assertion when the environment cannot resolve
+//! the budget at all. Debug builds skip the gate: unoptimised atomics are
+//! not what ships, and the overhead contract is a release-mode property.
+
+use agile_repro::trace::TraceSpec;
+use agile_repro::workloads::experiments::trace_replay::{
+    run_trace_replay, ReplayConfig, ReplaySystem,
+};
+use std::time::Instant;
+
+/// Self-profiling instruction counter over `perf_event_open(2)`, raw
+/// syscalls only — the repo carries no libc binding and the offline build
+/// cannot add one.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod perf {
+    /// `perf_event_attr` for VER5 kernels (4.1+): u32 type, u32 size,
+    /// u64 config, then sample_period / sample_type / read_format / flags.
+    #[repr(C, align(8))]
+    struct Attr([u8; 112]);
+
+    const SYS_PERF_EVENT_OPEN: i64 = 298;
+    const SYS_READ: i64 = 0;
+    const SYS_CLOSE: i64 = 3;
+    const SYS_IOCTL: i64 = 16;
+    const IOC_ENABLE: i64 = 0x2400;
+    const IOC_DISABLE: i64 = 0x2401;
+    const IOC_RESET: i64 = 0x2403;
+
+    unsafe fn syscall5(n: i64, a: i64, b: i64, c: i64, d: i64, e: i64) -> i64 {
+        let ret;
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") n => ret,
+            in("rdi") a,
+            in("rsi") b,
+            in("rdx") c,
+            in("r10") d,
+            in("r8") e,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    pub struct InstrCounter {
+        fd: i64,
+    }
+
+    impl InstrCounter {
+        /// A disabled counter of this process's retired user-space
+        /// instructions, or `None` where the kernel refuses one.
+        pub fn open() -> Option<Self> {
+            let mut attr = Attr([0; 112]);
+            attr.0[4..8].copy_from_slice(&112u32.to_ne_bytes()); // size
+            attr.0[8..16].copy_from_slice(&1u64.to_ne_bytes()); // PERF_COUNT_HW_INSTRUCTIONS
+                                                                // disabled | exclude_kernel | exclude_hv
+            attr.0[40..48].copy_from_slice(&0x61u64.to_ne_bytes());
+            let fd = unsafe { syscall5(SYS_PERF_EVENT_OPEN, attr.0.as_ptr() as i64, 0, -1, -1, 0) };
+            (fd >= 0).then_some(InstrCounter { fd })
+        }
+
+        /// Instructions retired while running `f`, plus its result.
+        pub fn measure<R>(&self, f: impl FnOnce() -> R) -> (u64, R) {
+            let out;
+            let mut count = 0u64;
+            unsafe {
+                syscall5(SYS_IOCTL, self.fd, IOC_RESET, 0, 0, 0);
+                syscall5(SYS_IOCTL, self.fd, IOC_ENABLE, 0, 0, 0);
+                out = f();
+                syscall5(SYS_IOCTL, self.fd, IOC_DISABLE, 0, 0, 0);
+                let n = syscall5(SYS_READ, self.fd, &mut count as *mut u64 as i64, 8, 0, 0);
+                assert_eq!(n, 8, "perf counter read failed");
+            }
+            (count, out)
+        }
+    }
+
+    impl Drop for InstrCounter {
+        fn drop(&mut self) {
+            unsafe {
+                syscall5(SYS_CLOSE, self.fd, 0, 0, 0, 0);
+            }
+        }
+    }
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+mod perf {
+    pub struct InstrCounter;
+    impl InstrCounter {
+        pub fn open() -> Option<Self> {
+            None
+        }
+        pub fn measure<R>(&self, f: impl FnOnce() -> R) -> (u64, R) {
+            (0, f())
+        }
+    }
+}
+
+#[test]
+fn metrics_overhead_is_within_three_percent() {
+    if cfg!(debug_assertions) {
+        eprintln!("metrics_overhead: skipped in debug builds (release-mode gate)");
+        return;
+    }
+    let trace = TraceSpec::multi_tenant("overhead-mt", 17, 2, 1 << 14, 16_384).generate();
+    let bare_cfg = ReplayConfig::default();
+    let metered_cfg = bare_cfg.clone().with_metrics();
+    let replay = |cfg: &ReplayConfig| {
+        let report = run_trace_replay(&trace, ReplaySystem::Agile, cfg);
+        assert!(!report.deadlocked);
+    };
+    // Warm-up pass for each configuration, outside the measurement.
+    replay(&bare_cfg);
+    replay(&metered_cfg);
+
+    let ratio = if let Some(counter) = perf::InstrCounter::open() {
+        // The replay is deterministic, so instruction counts barely move
+        // between runs; the min of three strips residual allocator jitter.
+        let floor = |cfg: &ReplayConfig| {
+            (0..3)
+                .map(|_| counter.measure(|| replay(cfg)).0)
+                .min()
+                .expect("non-empty")
+        };
+        let (bare, metered) = (floor(&bare_cfg), floor(&metered_cfg));
+        let ratio = metered as f64 / bare as f64;
+        eprintln!(
+            "metrics_overhead: instructions bare {bare}, metered {metered}, ratio {ratio:.4}"
+        );
+        ratio
+    } else {
+        // Wall-clock fallback. Each round runs bare, metered, metered, bare
+        // back-to-back: the pair ratio (m1+m2)/(b1+b2) cancels drift that is
+        // slow against a round, and the median over rounds sheds outliers.
+        // The two bare runs bracketing each round also measure the
+        // environment itself — they run identical work, so any spread
+        // between them is pure noise. When that noise floor exceeds the
+        // margin between the 3 % budget and the expected cost, wall time
+        // cannot resolve the contract and the gate reports and skips rather
+        // than flapping (quiet CI runners stay well under the threshold).
+        const ROUNDS: usize = 6;
+        let time = |cfg: &ReplayConfig| {
+            let start = Instant::now();
+            replay(cfg);
+            start.elapsed().as_secs_f64()
+        };
+        let mut ratios = Vec::with_capacity(ROUNDS);
+        let mut noise = Vec::with_capacity(ROUNDS);
+        for _ in 0..ROUNDS {
+            let b1 = time(&bare_cfg);
+            let m1 = time(&metered_cfg);
+            let m2 = time(&metered_cfg);
+            let b2 = time(&bare_cfg);
+            ratios.push((m1 + m2) / (b1 + b2));
+            noise.push(b1.max(b2) / b1.min(b2) - 1.0);
+        }
+        let median = |v: &mut [f64]| {
+            v.sort_by(|a, b| a.total_cmp(b));
+            v[v.len() / 2]
+        };
+        let noise_floor = median(&mut noise);
+        let ratio = median(&mut ratios);
+        eprintln!(
+            "metrics_overhead: no perf counters; median pair ratio {ratio:.4}, \
+             bare-vs-bare noise floor {:.2}%",
+            noise_floor * 100.0
+        );
+        if noise_floor > 0.02 {
+            eprintln!(
+                "metrics_overhead: environment noise exceeds the resolvable margin; \
+                 skipping the wall-clock assertion"
+            );
+            return;
+        }
+        ratio
+    };
+    assert!(
+        ratio <= 1.03,
+        "metrics overhead {:.2}% exceeds the 3% budget",
+        (ratio - 1.0) * 100.0
+    );
+}

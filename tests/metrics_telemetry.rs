@@ -1,0 +1,229 @@
+//! Integration tests for the unified metrics & telemetry layer.
+//!
+//! These exercise the whole instrumented stack through the trace-replay
+//! runner: the registry wired into submit path / cache / topology / service /
+//! engine, the windowed sampler bridged into the engine, both exporter
+//! round-trips, and — most importantly — the zero-perturbation contract:
+//! replaying with metrics on produces the byte-identical summary of the
+//! un-instrumented run.
+
+use agile_repro::metrics::{windows_to_json, Labels, MetricsSnapshot};
+use agile_repro::trace::TraceSpec;
+use agile_repro::workloads::experiments::trace_replay::{
+    run_trace_replay, QosSpec, ReplayConfig, ReplaySystem,
+};
+
+fn noisy_cfg(qos: QosSpec) -> ReplayConfig {
+    ReplayConfig {
+        total_warps: 32,
+        window: 32,
+        queue_pairs: 2,
+        queue_depth: 32,
+        qos,
+        ..ReplayConfig::quick()
+    }
+    .tenant_partitioned()
+}
+
+#[test]
+fn metrics_do_not_perturb_the_replay() {
+    let trace = TraceSpec::multi_tenant("metrics-mt", 7, 2, 1 << 13, 512).generate();
+    let cfg = ReplayConfig::quick();
+    for system in [ReplaySystem::Agile, ReplaySystem::Bam] {
+        let bare = run_trace_replay(&trace, system, &cfg);
+        let metered = run_trace_replay(&trace, system, &cfg.clone().with_metrics());
+        assert_eq!(
+            bare.summary(),
+            metered.summary(),
+            "{system:?}: instrumenting the stack must not change the replay"
+        );
+        assert!(bare.metrics.is_none(), "metrics off by default");
+        let m = metered.metrics.expect("with_metrics captures a report");
+        assert!(!m.windows.is_empty(), "sampler emitted windows");
+    }
+}
+
+#[test]
+fn instrumented_replay_covers_every_layer() {
+    let trace = TraceSpec::multi_tenant("metrics-cover", 9, 2, 1 << 13, 512).generate();
+    let report = run_trace_replay(
+        &trace,
+        ReplaySystem::Agile,
+        &ReplayConfig::quick().cached().with_metrics(),
+    );
+    let snap = report.metrics.expect("metrics captured").snapshot;
+    // Submit path (direct instruments on the controller). On the cached
+    // path only misses and write-backs reach the SQs, so admissions is
+    // positive but below the replayed op count.
+    let admissions = snap.counter("agile_submit_admissions_total", Labels::NONE);
+    assert!(admissions > 0, "cache misses were admitted to the SQs");
+    assert!(admissions < report.ops, "cache hits bypassed the SQs");
+    // Cache (collector-bridged from the cache's own stats).
+    let cache_touches = snap.counter("agile_cache_hits_total", Labels::NONE)
+        + snap.counter("agile_cache_misses_total", Labels::NONE);
+    assert!(cache_touches >= report.ops, "cached path touched the cache");
+    // Devices (collector-bridged per-device counters).
+    let dev_reads: u64 = snap
+        .family("agile_device_reads_completed_total")
+        .map(|s| s.value.as_u64())
+        .sum();
+    assert!(dev_reads > 0, "devices completed reads");
+    // Service (per-partition collector).
+    assert!(
+        snap.counter("agile_service_completions_total", Labels::partition(0)) > 0,
+        "the service recycled completions"
+    );
+    // Engine (direct instruments in the scheduling loop).
+    assert_eq!(
+        snap.counter("agile_engine_rounds_total", Labels::NONE),
+        report.engine_rounds,
+        "engine rounds counter matches the execution report"
+    );
+    assert!(snap.counter("agile_engine_warp_steps_total", Labels::NONE) > 0);
+    // Replay collector (per-tenant ops + latency mirrored into the registry).
+    let replay_ops: u64 = snap
+        .family("agile_replay_ops_total")
+        .map(|s| s.value.as_u64())
+        .sum();
+    assert_eq!(replay_ops, report.ops);
+}
+
+#[test]
+fn exporters_round_trip_a_real_snapshot() {
+    let trace = TraceSpec::zipfian("metrics-zipf", 5, 1, 1 << 13, 384, 0.99).generate();
+    let report = run_trace_replay(
+        &trace,
+        ReplaySystem::Agile,
+        &ReplayConfig::quick().with_metrics(),
+    );
+    let snap = report.metrics.expect("metrics captured").snapshot;
+    assert!(!snap.samples.is_empty());
+    let json = MetricsSnapshot::from_json(&snap.to_json()).expect("JSON parses back");
+    assert_eq!(json, snap, "JSON round-trip is exact");
+    let prom = MetricsSnapshot::from_prometheus(&snap.to_prometheus()).expect("text parses back");
+    assert_eq!(prom, snap, "Prometheus round-trip is exact");
+}
+
+#[test]
+fn sampler_series_is_deterministic() {
+    let trace = TraceSpec::noisy_neighbor("metrics-nn", 21, 2, 1 << 12, 768).generate();
+    let cfg = noisy_cfg(QosSpec::WeightedFair(vec![1, 1])).with_metrics_window(100_000);
+    let a = run_trace_replay(&trace, ReplaySystem::Agile, &cfg);
+    let b = run_trace_replay(&trace, ReplaySystem::Agile, &cfg);
+    let (ma, mb) = (a.metrics.expect("captured"), b.metrics.expect("captured"));
+    assert_eq!(
+        windows_to_json(&ma.windows),
+        windows_to_json(&mb.windows),
+        "same trace + seed + window must produce an identical series"
+    );
+    assert_eq!(ma.snapshot, mb.snapshot);
+}
+
+#[test]
+fn noisy_neighbour_emits_per_tenant_windowed_series() {
+    let trace = TraceSpec::noisy_neighbor("metrics-nn", 21, 2, 1 << 12, 768).generate();
+    let report = run_trace_replay(
+        &trace,
+        ReplaySystem::Agile,
+        &noisy_cfg(QosSpec::WeightedFair(vec![1, 1])).with_metrics_window(100_000),
+    );
+    let m = report.metrics.expect("metrics captured");
+    assert!(m.windows.len() >= 2, "run long enough for several windows");
+    for tenant in 0..trace.meta.tenants {
+        let iops = m.tenant_windowed_iops(tenant);
+        assert_eq!(iops.len(), m.windows.len());
+        assert!(
+            iops.iter().any(|&r| r > 0.0),
+            "tenant {tenant} completed ops in at least one window"
+        );
+        // The windowed ops deltas must sum back to the tenant's total.
+        let windowed: u64 = m
+            .windows
+            .iter()
+            .map(|w| {
+                w.deltas
+                    .counter("agile_replay_ops_total", Labels::tenant(tenant))
+            })
+            .sum();
+        let total = report
+            .tenants
+            .iter()
+            .find(|t| t.tenant == tenant)
+            .map(|t| t.ops)
+            .unwrap_or(0);
+        assert_eq!(windowed, total, "tenant {tenant} windows sum to its total");
+        let p99 = m.tenant_windowed_p99_us(tenant);
+        assert!(
+            p99.iter().any(|p| p.is_some_and(|us| us > 0.0)),
+            "tenant {tenant} has a p99 in at least one window"
+        );
+    }
+}
+
+#[test]
+fn qos_deferrals_surface_in_the_summary() {
+    let trace = TraceSpec::noisy_neighbor("metrics-nn", 21, 2, 1 << 12, 768).generate();
+    let fifo = run_trace_replay(&trace, ReplaySystem::Agile, &noisy_cfg(QosSpec::Fifo));
+    assert_eq!(fifo.qos_deferrals, 0, "FIFO never defers");
+    assert!(!fifo.summary().contains("qos_deferrals="));
+    let wfq = run_trace_replay(
+        &trace,
+        ReplaySystem::Agile,
+        &noisy_cfg(QosSpec::WeightedFair(vec![1, 1])).with_metrics(),
+    );
+    assert!(wfq.qos_deferrals > 0, "saturated WFQ defers the hog");
+    assert!(wfq
+        .summary()
+        .contains(&format!(" qos_deferrals={}", wfq.qos_deferrals)));
+    // The registry's per-tenant deferral family sums to the same total.
+    let snap = wfq.metrics.expect("metrics captured").snapshot;
+    let deferrals: u64 = snap
+        .family("agile_submit_qos_deferrals_total")
+        .map(|s| s.value.as_u64())
+        .sum();
+    assert_eq!(deferrals, wfq.qos_deferrals);
+}
+
+#[test]
+fn lock_wait_surfaces_only_for_sharded_topologies() {
+    let trace = TraceSpec::uniform("metrics-topo", 13, 4, 1 << 13, 1_024).generate();
+    let flat = run_trace_replay(
+        &trace,
+        ReplaySystem::Agile,
+        &ReplayConfig::quick().striped(),
+    );
+    assert!(
+        !flat.summary().contains("lock_wait="),
+        "flat default topology prints no lock_wait field (goldens)"
+    );
+    let one = run_trace_replay(
+        &trace,
+        ReplaySystem::Agile,
+        &ReplayConfig {
+            shards: 1,
+            ..ReplayConfig::quick().striped()
+        },
+    );
+    assert!(
+        !one.summary().contains("lock_wait="),
+        "shards=1 stays byte-identical to flat, so no lock_wait field"
+    );
+    let sharded = run_trace_replay(
+        &trace,
+        ReplaySystem::Agile,
+        &ReplayConfig::quick().sharded(2).with_metrics(),
+    );
+    if sharded.lock_wait_cycles > 0 {
+        assert!(sharded
+            .summary()
+            .contains(&format!(" lock_wait={}", sharded.lock_wait_cycles)));
+    }
+    // Whatever the contention, the registry's per-shard family must agree
+    // with the topology's own accounting.
+    let snap = sharded.metrics.expect("metrics captured").snapshot;
+    let wait: u64 = snap
+        .family("agile_submit_lock_wait_cycles_total")
+        .map(|s| s.value.as_u64())
+        .sum();
+    assert_eq!(wait, sharded.lock_wait_cycles);
+}
