@@ -28,6 +28,7 @@
 
 use crate::ctrl::BamConfig;
 use crate::host::BamHost;
+use agile_control::{ControlPolicy, SloSpec};
 use agile_core::config::AgileConfig;
 use agile_core::host::{AgileHost, GpuStorageHost};
 use agile_core::qos::QosPolicy;
@@ -80,7 +81,14 @@ pub struct HostBuilder<S: HostSystem> {
     qos: Option<Arc<dyn QosPolicy>>,
     metrics: Option<Arc<MetricsRegistry>>,
     sampler: Option<Arc<WindowedSampler>>,
+    control: Option<ControlPolicy>,
+    slos: Vec<SloSpec>,
 }
+
+/// Sampler window (cycles) auto-created when [`HostBuilder::control`] is
+/// requested without an explicit [`HostBuilder::metrics_sampler`] — matches
+/// the replay harness's default metrics window.
+const DEFAULT_CONTROL_WINDOW: u64 = 500_000;
 
 impl HostBuilder<AgileSystem> {
     /// Build an AGILE host (background service, asynchronous I/O API).
@@ -97,6 +105,8 @@ impl HostBuilder<AgileSystem> {
             qos: None,
             metrics: None,
             sampler: None,
+            control: None,
+            slos: Vec::new(),
         }
     }
 
@@ -154,6 +164,8 @@ impl HostBuilder<BamSystem> {
             qos: None,
             metrics: None,
             sampler: None,
+            control: None,
+            slos: Vec::new(),
         }
     }
 }
@@ -249,6 +261,39 @@ impl<S: HostSystem> HostBuilder<S> {
         self.sampler = Some(sampler);
         self
     }
+
+    /// Enable the closed-loop control plane ([`agile_control::Controller`])
+    /// under `policy`. Implies metrics: when no registry / sampler was
+    /// supplied, a registry and a [`DEFAULT_CONTROL_WINDOW`]-cycle sampler
+    /// are created automatically at build time. Pair with
+    /// [`HostBuilder::slos`] to enforce per-tenant objectives.
+    pub fn control(mut self, policy: ControlPolicy) -> Self {
+        self.control = Some(policy);
+        self
+    }
+
+    /// Declare per-tenant SLOs ([`agile_control::SloSpec`]) for the control
+    /// plane's AIMD loop. Only meaningful with [`HostBuilder::control`].
+    pub fn slos(mut self, slos: Vec<SloSpec>) -> Self {
+        self.slos = slos;
+        self
+    }
+
+    /// Resolve the metrics registry / sampler pair, auto-creating both when
+    /// the control plane was requested without explicit instrumentation.
+    fn metrics_parts(
+        metrics: Option<Arc<MetricsRegistry>>,
+        sampler: Option<Arc<WindowedSampler>>,
+        control: bool,
+    ) -> (Option<Arc<MetricsRegistry>>, Option<Arc<WindowedSampler>>) {
+        if !control {
+            return (metrics, sampler);
+        }
+        let registry = metrics.unwrap_or_default();
+        let sampler = sampler
+            .unwrap_or_else(|| WindowedSampler::new(Arc::clone(&registry), DEFAULT_CONTROL_WINDOW));
+        (Some(registry), Some(sampler))
+    }
 }
 
 impl HostBuilder<AgileSystem> {
@@ -279,11 +324,16 @@ impl HostBuilder<AgileSystem> {
         if let Some(qos) = self.qos {
             host.set_qos_policy(qos);
         }
-        if let Some(registry) = self.metrics {
+        let (metrics, sampler) =
+            Self::metrics_parts(self.metrics, self.sampler, self.control.is_some());
+        if let Some(registry) = metrics {
             host.set_metrics(registry);
         }
-        if let Some(sampler) = self.sampler {
+        if let Some(sampler) = sampler {
             host.set_metrics_sampler(sampler);
+        }
+        if let Some(policy) = self.control {
+            host.set_control(policy, self.slos);
         }
         host.start_agile();
         host
@@ -317,11 +367,16 @@ impl HostBuilder<BamSystem> {
         if let Some(qos) = self.qos {
             host.set_qos_policy(qos);
         }
-        if let Some(registry) = self.metrics {
+        let (metrics, sampler) =
+            Self::metrics_parts(self.metrics, self.sampler, self.control.is_some());
+        if let Some(registry) = metrics {
             host.set_metrics(registry);
         }
-        if let Some(sampler) = self.sampler {
+        if let Some(sampler) = sampler {
             host.set_metrics_sampler(sampler);
+        }
+        if let Some(policy) = self.control {
+            host.set_control(policy, self.slos);
         }
         host.start();
         host

@@ -247,6 +247,12 @@ impl BamCtrl {
         self.trace.set(sink).is_ok()
     }
 
+    /// The installed trace sink, if any (shared with the control plane so
+    /// its decisions land in the same capture).
+    pub fn trace_sink(&self) -> Option<&Arc<dyn TraceSink>> {
+        self.trace.get()
+    }
+
     /// The configuration.
     pub fn config(&self) -> &BamConfig {
         &self.cfg

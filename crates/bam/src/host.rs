@@ -7,6 +7,8 @@
 //! systems by switching which `crate::HostBuilder` constructor it calls.
 
 use crate::ctrl::{BamConfig, BamCtrl};
+use agile_control::{ControlBridge, ControlPolicy, Controller, KnobSet, SloSpec, TenantWeights};
+use agile_core::control::QosWeights;
 use agile_core::host::{GpuStorageHost, SsdBridge};
 use agile_core::qos::QosPolicy;
 use agile_core::telemetry::{CacheCollector, MetricsBridge, TopologyCollector};
@@ -39,6 +41,10 @@ pub struct BamHost {
     metrics: Option<Arc<MetricsRegistry>>,
     /// Optional windowed sampler, bridged into the engine at start.
     sampler: Option<Arc<WindowedSampler>>,
+    /// Pending control-plane request, consumed at [`BamHost::start`].
+    control: Option<(ControlPolicy, Vec<SloSpec>)>,
+    /// The live controller, once started with a control plane.
+    controller: Option<Arc<Controller>>,
 }
 
 impl BamHost {
@@ -56,6 +62,8 @@ impl BamHost {
             engine: None,
             metrics: None,
             sampler: None,
+            control: None,
+            controller: None,
         }
     }
 
@@ -193,6 +201,24 @@ impl BamHost {
         self.metrics.as_ref()
     }
 
+    /// Request the closed-loop control plane, mirroring
+    /// [`agile_core::host::AgileHost::set_control`]. BaM has no prefetch
+    /// pipeline, no AGILE service and a fixed clock cache, so only the WFQ
+    /// weight knob is wired — the SLO loop runs, the others stay dormant.
+    /// Requires a sampler; call after any [`BamHost::set_qos_policy`].
+    pub fn set_control(&mut self, policy: ControlPolicy, slos: Vec<SloSpec>) {
+        assert!(
+            self.engine.is_none(),
+            "set_control must be called before start"
+        );
+        self.control = Some((policy, slos));
+    }
+
+    /// The live controller, when the host was started with a control plane.
+    pub fn controller(&self) -> Option<&Arc<Controller>> {
+        self.controller.as_ref()
+    }
+
     /// The shared storage topology.
     pub fn topology(&self) -> Arc<dyn StorageTopology> {
         Arc::clone(self.topology.as_ref().expect("init_nvme not called"))
@@ -214,6 +240,32 @@ impl BamHost {
         }
         if let Some(sampler) = &self.sampler {
             engine.add_device(Box::new(MetricsBridge::new(Arc::clone(sampler))));
+        }
+        if let Some((policy, slos)) = self.control.take() {
+            let sampler = self
+                .sampler
+                .as_ref()
+                .expect("set_control requires a windowed sampler (set_metrics_sampler)");
+            let ctrl = self.ctrl();
+            let knobs = KnobSet {
+                wfq: ctrl
+                    .qos_policy()
+                    .map(|p| QosWeights::new(Arc::clone(p)) as Arc<dyn TenantWeights>),
+                ..KnobSet::none()
+            };
+            let controller = Controller::new(
+                policy,
+                slos,
+                knobs,
+                Arc::clone(sampler),
+                self.gpu.clock_ghz,
+                self.metrics.as_ref(),
+            );
+            if let Some(sink) = ctrl.trace_sink() {
+                controller.set_trace_sink(Arc::clone(sink));
+            }
+            engine.add_device(Box::new(ControlBridge::new(Arc::clone(&controller))));
+            self.controller = Some(controller);
         }
         self.engine = Some(engine);
     }

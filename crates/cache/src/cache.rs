@@ -231,6 +231,22 @@ impl SoftwareCache {
         self.policy.name()
     }
 
+    /// Online share-weight update for `tenant`, forwarded to the replacement
+    /// policy (the control plane's cache actuator). Tenant-oblivious
+    /// policies return [`crate::policy::ShareError::Unsupported`].
+    pub fn set_tenant_share(
+        &self,
+        tenant: u32,
+        weight: u64,
+    ) -> Result<u64, crate::policy::ShareError> {
+        self.policy.set_share(tenant, weight)
+    }
+
+    /// Current share weight of `tenant`, where the policy keeps one.
+    pub fn tenant_share(&self, tenant: u32) -> Option<u64> {
+        self.policy.share(tenant)
+    }
+
     /// Number of lines.
     pub fn num_lines(&self) -> usize {
         self.ways.len()

@@ -37,6 +37,9 @@ pub mod tenant;
 
 pub use cache::{CacheConfig, CacheLookup, CacheStats, LineId, SoftwareCache};
 pub use line::LineState;
-pub use policy::{CachePolicy, ClockPolicy, FifoPolicy, LruPolicy, RandomPolicy, TenantShare};
+pub use policy::{
+    CachePolicy, ClockPolicy, FifoPolicy, LruPolicy, RandomPolicy, ShareError, TenantShare,
+    MAX_ONLINE_SHARE,
+};
 pub use share_table::{BufState, ShareTable, ShareTableStats, SharedBuf};
 pub use tenant::{TenantCacheStats, TenantTable, NO_TENANT};

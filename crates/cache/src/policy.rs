@@ -15,8 +15,37 @@
 //! pre-tenant-threading stack (asserted by the golden-trace suite).
 
 use crate::tenant::{TenantTable, NO_TENANT};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Largest share weight an online update may install — the same bound the
+/// QoS layer's online weights use, keeping the `lines × weight` product
+/// (computed in u128 on the victim path) far from overflow.
+pub const MAX_ONLINE_SHARE: u64 = 1 << 32;
+
+/// Why an online share-weight update was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShareError {
+    /// A zero weight was requested. Constructors clamp zero to 1, but an
+    /// *online* update to zero is a controller bug — it could zero the
+    /// active-weight denominator — so the update path refuses it.
+    Zero,
+    /// The policy keeps no per-tenant shares (clock/LRU/FIFO/random).
+    Unsupported,
+}
+
+impl std::fmt::Display for ShareError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShareError::Zero => write!(f, "zero share weight rejected"),
+            ShareError::Unsupported => write!(f, "policy does not support online shares"),
+        }
+    }
+}
+
+impl std::error::Error for ShareError {}
 
 /// A pluggable replacement policy.
 ///
@@ -51,6 +80,21 @@ pub trait CachePolicy: Send + Sync {
     /// cache then reports `NoLineAvailable` and the caller retries, which is
     /// AGILE's answer to the eviction-deadlock scenario of §2.3.2.
     fn choose_victim(&self, set: usize, evictable: &[bool], owners: &[u32]) -> Option<usize>;
+
+    /// Online share-weight update for `tenant` (the control plane's
+    /// actuator). Returns the weight actually installed — values above
+    /// [`MAX_ONLINE_SHARE`] are clamped to it — or [`ShareError::Zero`] for
+    /// zero weights and [`ShareError::Unsupported`] (the default) for
+    /// tenant-oblivious policies.
+    fn set_share(&self, _tenant: u32, _weight: u64) -> Result<u64, ShareError> {
+        Err(ShareError::Unsupported)
+    }
+
+    /// Current share weight of `tenant`; `None` when the policy keeps no
+    /// shares or uses its default weight for the tenant.
+    fn share(&self, _tenant: u32) -> Option<u64> {
+        None
+    }
 }
 
 /// The clock (second-chance) policy used by the paper's DLRM evaluation.
@@ -300,7 +344,10 @@ pub struct TenantShare {
     /// fallback victim choice.
     inner: ClockPolicy,
     /// Explicit per-tenant weights; tenants not listed get `default_weight`.
-    weights: std::collections::BTreeMap<u32, u64>,
+    /// Behind a lock so the control plane can retune shares online
+    /// ([`CachePolicy::set_share`]) while warps evict concurrently; the
+    /// victim path takes it shared once per choice.
+    weights: RwLock<BTreeMap<u32, u64>>,
     default_weight: u64,
     /// Total lines (sets × associativity), fixed by `configure`.
     total_lines: u64,
@@ -313,7 +360,7 @@ impl TenantShare {
     pub fn new() -> Self {
         TenantShare {
             inner: ClockPolicy::new(),
-            weights: std::collections::BTreeMap::new(),
+            weights: RwLock::new(BTreeMap::new()),
             default_weight: 1,
             total_lines: 0,
             tenants: None,
@@ -323,21 +370,24 @@ impl TenantShare {
     /// Shares from explicit weights indexed by tenant id (tenants beyond the
     /// slice fall back to weight 1; zero weights are clamped to 1).
     pub fn from_weights(weights: &[u64]) -> Self {
-        let mut policy = TenantShare::new();
-        for (tenant, &w) in weights.iter().enumerate() {
-            policy.weights.insert(tenant as u32, w.max(1));
+        let policy = TenantShare::new();
+        {
+            let mut map = policy.weights.write();
+            for (tenant, &w) in weights.iter().enumerate() {
+                map.insert(tenant as u32, w.max(1));
+            }
         }
         policy
     }
 
     /// Override one tenant's weight (builder-style).
-    pub fn with_weight(mut self, tenant: u32, weight: u64) -> Self {
-        self.weights.insert(tenant, weight.max(1));
+    pub fn with_weight(self, tenant: u32, weight: u64) -> Self {
+        self.weights.write().insert(tenant, weight.max(1));
         self
     }
 
-    fn weight(&self, tenant: u32) -> u64 {
-        *self.weights.get(&tenant).unwrap_or(&self.default_weight)
+    fn weight_of(weights: &BTreeMap<u32, u64>, default_weight: u64, tenant: u32) -> u64 {
+        *weights.get(&tenant).unwrap_or(&default_weight)
     }
 }
 
@@ -370,7 +420,14 @@ impl CachePolicy for TenantShare {
             return self.inner.choose_victim(set, evictable, owners);
         };
         let active = table.active_occupancies();
-        let active_weight: u64 = active.iter().map(|&(t, _)| self.weight(t)).sum();
+        // One shared acquisition per victim choice: the weights are read into
+        // the closure below under a consistent snapshot, so a concurrent
+        // online retune flips the quota view atomically between choices.
+        let weights = self.weights.read();
+        let active_weight: u64 = active
+            .iter()
+            .map(|&(t, _)| Self::weight_of(&weights, self.default_weight, t))
+            .sum();
         if active_weight > 0 {
             // Candidate ways owned by a tenant over its weighted share.
             let over_quota = |tenant: u32| -> bool {
@@ -380,8 +437,8 @@ impl CachePolicy for TenantShare {
                 let Some(&(_, occ)) = active.iter().find(|&&(t, _)| t == tenant) else {
                     return false;
                 };
-                let share = ((self.total_lines as u128 * self.weight(tenant) as u128)
-                    / active_weight as u128)
+                let weight = Self::weight_of(&weights, self.default_weight, tenant);
+                let share = ((self.total_lines as u128 * weight as u128) / active_weight as u128)
                     .max(1) as u64;
                 occ > share
             };
@@ -398,6 +455,22 @@ impl CachePolicy for TenantShare {
         }
         // Work-conserving fallback: nobody (evictable) is over quota.
         self.inner.choose_victim(set, evictable, owners)
+    }
+
+    /// Rebind `tenant`'s occupancy share online: one write-lock store the
+    /// next victim choice observes (evictions are never blocked mid-choice —
+    /// the victim path holds the lock shared for the whole choice).
+    fn set_share(&self, tenant: u32, weight: u64) -> Result<u64, ShareError> {
+        if weight == 0 {
+            return Err(ShareError::Zero);
+        }
+        let applied = weight.min(MAX_ONLINE_SHARE);
+        self.weights.write().insert(tenant, applied);
+        Ok(applied)
+    }
+
+    fn share(&self, tenant: u32) -> Option<u64> {
+        self.weights.read().get(&tenant).copied()
     }
 }
 
@@ -561,6 +634,45 @@ mod tests {
             let v = p.choose_victim(0, &evictable, &owners).unwrap();
             assert!(v == 1 || v == 3, "only tenant 1 is over its share, got {v}");
         }
+    }
+
+    #[test]
+    fn tenant_share_online_share_update_flips_the_quota() {
+        let table = Arc::new(TenantTable::new());
+        // 10 vs 6 lines under equal weights (shares 8/8): tenant 0 over.
+        for _ in 0..10 {
+            table.occupy(0);
+        }
+        for _ in 0..6 {
+            table.occupy(1);
+        }
+        let p = tenant_share_with(&table, &[1, 1]);
+        let evictable = vec![true; 4];
+        let owners = vec![0, 1, 0, 1];
+        let v = p.choose_victim(0, &evictable, &owners).unwrap();
+        assert!(v == 0 || v == 2, "tenant 0 starts over quota");
+        // Retune online to 3:1 (shares 12/4): now tenant 1 is the one over.
+        assert_eq!(p.set_share(0, 3), Ok(3));
+        assert_eq!(p.share(0), Some(3));
+        for _ in 0..20 {
+            let v = p.choose_victim(0, &evictable, &owners).unwrap();
+            assert!(v == 1 || v == 3, "after the retune only tenant 1 is over");
+        }
+    }
+
+    #[test]
+    fn share_updates_reject_zero_and_clamp_overflow() {
+        let p = TenantShare::from_weights(&[2]);
+        assert_eq!(p.set_share(0, 0), Err(ShareError::Zero));
+        assert_eq!(p.share(0), Some(2), "rejected update must not apply");
+        assert_eq!(p.set_share(0, u64::MAX), Ok(MAX_ONLINE_SHARE));
+        assert_eq!(p.share(0), Some(MAX_ONLINE_SHARE));
+        // Tenant-oblivious policies refuse online shares.
+        assert_eq!(
+            configured(ClockPolicy::new()).set_share(0, 2),
+            Err(ShareError::Unsupported)
+        );
+        assert_eq!(configured(LruPolicy::new()).share(0), None);
     }
 
     #[test]

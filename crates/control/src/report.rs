@@ -1,0 +1,110 @@
+//! What the control plane did: the decision log and the final knob values,
+//! surfaced through replay reports.
+
+use crate::knobs::Knob;
+use std::fmt;
+
+/// One control decision: a knob moved from `old` to `new` at simulated time
+/// `at`, driven by window `window`'s metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CtrlDecision {
+    /// Index of the metrics window whose deltas triggered the decision.
+    pub window: u64,
+    /// Simulated time (cycles) the decision took effect — the window's end.
+    pub at: u64,
+    /// Which knob moved.
+    pub knob: Knob,
+    /// The affected tenant for per-tenant knobs, `None` for global ones.
+    pub tenant: Option<u32>,
+    /// Knob value before the decision.
+    pub old: u64,
+    /// Knob value after the decision.
+    pub new: u64,
+    /// Human-readable cause, stable for a given metric history (the
+    /// same-seed determinism property is asserted over these lines).
+    pub reason: String,
+}
+
+impl fmt::Display for CtrlDecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.tenant {
+            Some(t) => write!(
+                f,
+                "w{} @{}: {}[tenant={}] {} -> {} ({})",
+                self.window, self.at, self.knob, t, self.old, self.new, self.reason
+            ),
+            None => write!(
+                f,
+                "w{} @{}: {} {} -> {} ({})",
+                self.window, self.at, self.knob, self.old, self.new, self.reason
+            ),
+        }
+    }
+}
+
+/// Final knob values at the end of a controlled run — `None`/empty where the
+/// knob was not wired.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KnobValues {
+    /// Final cached-path prefetch depth.
+    pub prefetch_depth: Option<u32>,
+    /// Final service idle backoff (cycles).
+    pub idle_backoff: Option<u64>,
+    /// Final WFQ weight per SLO tenant, ordered by tenant id.
+    pub wfq_weights: Vec<(u32, u64)>,
+    /// Final cache share per SLO tenant, ordered by tenant id.
+    pub cache_shares: Vec<(u32, u64)>,
+}
+
+/// Everything a controlled run reports: the full decision log, how many
+/// windows drove it, and where the knobs ended up.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ControlReport {
+    /// Every knob move, in simulated-time order.
+    pub decisions: Vec<CtrlDecision>,
+    /// Metric windows the controller consumed.
+    pub windows_seen: u64,
+    /// Knob values at the end of the run.
+    pub final_knobs: KnobValues,
+}
+
+impl ControlReport {
+    /// The decision log as formatted lines (the determinism property is
+    /// asserted over exactly these strings).
+    pub fn decision_log(&self) -> Vec<String> {
+        self.decisions.iter().map(|d| d.to_string()).collect()
+    }
+
+    /// Decisions that moved `knob`.
+    pub fn decisions_for(&self, knob: Knob) -> Vec<&CtrlDecision> {
+        self.decisions.iter().filter(|d| d.knob == knob).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_lines_include_tenant_only_when_present() {
+        let global = CtrlDecision {
+            window: 3,
+            at: 2000,
+            knob: Knob::PrefetchDepth,
+            tenant: None,
+            old: 1,
+            new: 2,
+            reason: "hit rate 0.80".into(),
+        };
+        assert_eq!(
+            global.to_string(),
+            "w3 @2000: prefetch_depth 1 -> 2 (hit rate 0.80)"
+        );
+        let scoped = CtrlDecision {
+            tenant: Some(7),
+            knob: Knob::WfqWeight,
+            ..global
+        };
+        assert!(scoped.to_string().contains("wfq_weight[tenant=7]"));
+    }
+}

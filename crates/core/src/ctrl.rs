@@ -39,7 +39,7 @@ use agile_sim::trace::{TraceEvent, TraceEventKind, TraceSink};
 use agile_sim::Cycles;
 use nvme_sim::{DmaHandle, Lba, NvmeCommand, Opcode, PageToken, QueuePair, StorageTopology};
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// Outcome of an asynchronous issue (`asyncRead` / `asyncWrite` / raw I/O).
@@ -182,6 +182,14 @@ pub struct AgileCtrl {
     qos: OnceLock<Arc<dyn QosPolicy>>,
     /// Optional submit-path instruments (`agile_submit_*`).
     metrics: OnceLock<CtrlMetrics>,
+    /// Live cached-path prefetch depth in batches of lookahead (1 = the
+    /// historical one-batch pipeline). Warps read it per batch, the control
+    /// plane retunes it online; one relaxed load on the consumer side.
+    prefetch_depth: Arc<AtomicU32>,
+    /// Live idle backoff of the AGILE service sweeps in cycles. Partitions
+    /// clone the `Arc` at construction and read it per idle round, so an
+    /// online exponential-backoff controller reaches every partition.
+    idle_backoff: Arc<AtomicU64>,
 }
 
 fn build_policy(cfg: &AgileConfig) -> Box<dyn CachePolicy> {
@@ -234,6 +242,7 @@ impl AgileCtrl {
                     .collect(),
             })
             .collect();
+        let idle_backoff = cfg.costs.api.agile_service_idle_backoff.max(1);
         AgileCtrl {
             cfg,
             cache,
@@ -246,6 +255,8 @@ impl AgileCtrl {
             trace: OnceLock::new(),
             qos: OnceLock::new(),
             metrics: OnceLock::new(),
+            prefetch_depth: Arc::new(AtomicU32::new(1)),
+            idle_backoff: Arc::new(AtomicU64::new(idle_backoff)),
         }
     }
 
@@ -300,6 +311,31 @@ impl AgileCtrl {
     /// The software cache (exposed for preloading and statistics).
     pub fn cache(&self) -> &SoftwareCache {
         &self.cache
+    }
+
+    /// Current cached-path prefetch depth in batches of lookahead. Warps
+    /// load this at every batch boundary, so online updates take effect on
+    /// the very next batch a warp issues.
+    pub fn prefetch_depth(&self) -> u32 {
+        self.prefetch_depth.load(Ordering::Relaxed)
+    }
+
+    /// Set the cached-path prefetch depth (0 disables prefetching).
+    pub fn set_prefetch_depth(&self, depth: u32) {
+        self.prefetch_depth.store(depth, Ordering::Relaxed);
+    }
+
+    /// The shared prefetch-depth cell, for the control plane to actuate
+    /// without holding a controller reference.
+    pub fn prefetch_depth_cell(&self) -> Arc<AtomicU32> {
+        Arc::clone(&self.prefetch_depth)
+    }
+
+    /// The shared idle-backoff cell read by every service partition at each
+    /// idle round. Seeded from `agile_service_idle_backoff`; the control
+    /// plane may scale it online (exponential backoff under idleness).
+    pub fn idle_backoff_cell(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.idle_backoff)
     }
 
     /// The Share Table, when enabled.

@@ -28,10 +28,12 @@
 //! launches the persistent AGILE service kernel before user kernels run.
 
 use crate::config::AgileConfig;
+use crate::control::knob_set;
 use crate::ctrl::AgileCtrl;
 use crate::qos::QosPolicy;
 use crate::service::{auto_service_warps, AgileServiceKernel, ServicePartition, ServiceSet};
 use crate::telemetry::{CacheCollector, MetricsBridge, ServiceCollector, TopologyCollector};
+use agile_control::{ControlBridge, ControlPolicy, Controller, SloSpec};
 use agile_metrics::{MetricsRegistry, WindowedSampler};
 use agile_sim::trace::TraceSink;
 use agile_sim::Cycles;
@@ -139,6 +141,10 @@ pub struct AgileHost {
     metrics: Option<Arc<MetricsRegistry>>,
     /// Optional windowed sampler, bridged into the engine at start.
     sampler: Option<Arc<WindowedSampler>>,
+    /// Pending control-plane request, consumed at [`AgileHost::start_agile`].
+    control: Option<(ControlPolicy, Vec<SloSpec>)>,
+    /// The live controller, once started with a control plane.
+    controller: Option<Arc<Controller>>,
 }
 
 impl AgileHost {
@@ -163,6 +169,8 @@ impl AgileHost {
             service_started: false,
             metrics: None,
             sampler: None,
+            control: None,
+            controller: None,
         }
     }
 
@@ -339,6 +347,27 @@ impl AgileHost {
         self.metrics.as_ref()
     }
 
+    /// Request the closed-loop control plane: at [`AgileHost::start_agile`]
+    /// a deterministic [`Controller`] is built over the installed sampler's
+    /// window stream (a sampler is required — install one with
+    /// [`AgileHost::set_metrics_sampler`]), actuating the full AGILE knob
+    /// set (prefetch depth, idle backoff, and — when a QoS policy / share
+    /// policy is installed — WFQ weights and cache shares) for the declared
+    /// `slos`, and bridged into the engine as a passive device. Call after
+    /// any [`AgileHost::set_qos_policy`] so the WFQ knob is picked up.
+    pub fn set_control(&mut self, policy: ControlPolicy, slos: Vec<SloSpec>) {
+        assert!(
+            !self.service_started,
+            "set_control must be called before start_agile"
+        );
+        self.control = Some((policy, slos));
+    }
+
+    /// The live controller, when the host was started with a control plane.
+    pub fn controller(&self) -> Option<&Arc<Controller>> {
+        self.controller.as_ref()
+    }
+
     /// The AGILE service set (available after [`AgileHost::start_agile`]).
     pub fn service_set(&self) -> &ServiceSet {
         self.service.as_ref().expect("start_agile not called")
@@ -381,6 +410,26 @@ impl AgileHost {
         }
         if let Some(sampler) = &self.sampler {
             engine.add_device(Box::new(MetricsBridge::new(Arc::clone(sampler))));
+        }
+        if let Some((policy, slos)) = self.control.take() {
+            let sampler = self
+                .sampler
+                .as_ref()
+                .expect("set_control requires a windowed sampler (set_metrics_sampler)");
+            let ctrl = self.ctrl();
+            let controller = Controller::new(
+                policy,
+                slos,
+                knob_set(&ctrl),
+                Arc::clone(sampler),
+                self.gpu.clock_ghz,
+                self.metrics.as_ref(),
+            );
+            if let Some(sink) = ctrl.trace_sink() {
+                controller.set_trace_sink(Arc::clone(sink));
+            }
+            engine.add_device(Box::new(ControlBridge::new(Arc::clone(&controller))));
+            self.controller = Some(controller);
         }
 
         let ctrl = self.ctrl();

@@ -61,6 +61,7 @@
 
 pub mod coalesce;
 pub mod config;
+pub mod control;
 pub mod ctrl;
 pub mod host;
 pub mod kernels;
@@ -72,10 +73,14 @@ pub mod telemetry;
 pub mod transaction;
 
 pub use config::AgileConfig;
+pub use control::{knob_set, CacheShares, QosWeights};
 pub use ctrl::{AgileCtrl, ApiStats, CtrlMetrics, IssueOutcome, ReadOutcome};
 pub use host::{AgileHost, GpuStorageHost};
 pub use lockchain::{AgileLockChain, DeadlockReport, LockRegistry};
-pub use qos::{Fifo, QosDecision, QosPolicy, QosTenantStats, StrictPriority, WeightedFair};
+pub use qos::{
+    Fifo, QosDecision, QosPolicy, QosTenantStats, StrictPriority, WeightError, WeightedFair,
+    MAX_ONLINE_WEIGHT,
+};
 pub use service::{partition_targets, ServicePartition, ServiceSet, ServiceStats};
 pub use telemetry::{
     CacheCollector, CacheStatsProvider, MetricsBridge, ServiceCollector, TopologyCollector,

@@ -41,6 +41,7 @@ use agile_sim::trace::{TraceEvent, TraceEventKind, TraceSink};
 use agile_sim::Cycles;
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -68,6 +69,35 @@ pub fn gate_admission(
     }
     decision
 }
+
+/// Largest weight an online update may install. Keeps the
+/// `capacity × weight` product (computed in u128 on the admit path) far from
+/// overflow even with thousands of tenants at the maximum weight, and bounds
+/// how hard a runaway controller can skew the schedule in one step.
+pub const MAX_ONLINE_WEIGHT: u64 = 1 << 32;
+
+/// Why an online weight/share update was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightError {
+    /// A zero weight was requested. Constructors clamp zero to 1 (a declared
+    /// config is best-effort), but an *online* update to zero is always a
+    /// controller bug — it could zero the active-weight denominator — so the
+    /// update path refuses it outright instead of guessing.
+    Zero,
+    /// The policy keeps no per-tenant weights (`Fifo`, `StrictPriority`).
+    Unsupported,
+}
+
+impl fmt::Display for WeightError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WeightError::Zero => write!(f, "zero weight rejected (would empty the active set)"),
+            WeightError::Unsupported => write!(f, "policy does not support online weights"),
+        }
+    }
+}
+
+impl std::error::Error for WeightError {}
 
 /// Verdict of a QoS admission check.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,6 +152,22 @@ pub trait QosPolicy: Send + Sync {
     /// processed: its in-flight credit is free again. Called by the AGILE
     /// service (or BaM's user-thread poll path) for QoS-arbitrated commands.
     fn on_complete(&self, _tenant: u32) {}
+
+    /// Online weight update for `tenant` (the control plane's actuator).
+    /// Returns the weight actually installed — values above
+    /// [`MAX_ONLINE_WEIGHT`] are clamped to it — or an error for zero
+    /// weights ([`WeightError::Zero`]: an all-zero active set would zero the
+    /// share denominator) and for policies without per-tenant weights
+    /// ([`WeightError::Unsupported`], the default).
+    fn set_weight(&self, _tenant: u32, _weight: u64) -> Result<u64, WeightError> {
+        Err(WeightError::Unsupported)
+    }
+
+    /// Current weight of `tenant`, `None` when the policy keeps no weights
+    /// or has never seen the tenant.
+    fn weight(&self, _tenant: u32) -> Option<u64> {
+        None
+    }
 
     /// Per-tenant accounting, ordered by tenant id.
     fn tenant_stats(&self) -> Vec<QosTenantStats>;
@@ -366,6 +412,25 @@ impl QosPolicy for WeightedFair {
         if let Some(s) = self.tenants.read().get(&tenant) {
             WfTenant::saturating_dec(&s.in_flight);
         }
+    }
+
+    /// Rebind `tenant`'s credit share online: the per-tenant cells are
+    /// all-atomic, so the update is one release store the next `admit` call
+    /// observes — no admission is ever blocked behind a retune.
+    fn set_weight(&self, tenant: u32, weight: u64) -> Result<u64, WeightError> {
+        if weight == 0 {
+            return Err(WeightError::Zero);
+        }
+        let applied = weight.min(MAX_ONLINE_WEIGHT);
+        self.cell(tenant).weight.store(applied, Ordering::Release);
+        Ok(applied)
+    }
+
+    fn weight(&self, tenant: u32) -> Option<u64> {
+        self.tenants
+            .read()
+            .get(&tenant)
+            .map(|s| s.weight.load(Ordering::Acquire))
     }
 
     fn tenant_stats(&self) -> Vec<QosTenantStats> {
@@ -648,6 +713,45 @@ mod tests {
         let stats = p.tenant_stats();
         assert_eq!(stats[1].deferred, 1);
         assert_eq!(stats[1].admitted, 1);
+    }
+
+    #[test]
+    fn wfq_online_weight_update_rebinds_the_share() {
+        let p = WeightedFair::from_weights(&[1, 1]);
+        p.bind(64);
+        // Both active: equal weights ⇒ 32 slots each.
+        assert_eq!(p.admit(1, Cycles(0)), QosDecision::Admit);
+        // Retune tenant 0 to 3:1 online.
+        assert_eq!(p.set_weight(0, 3), Ok(3));
+        assert_eq!(p.weight(0), Some(3));
+        let mut admitted = 0;
+        for i in 1..=64u64 {
+            if p.admit(0, Cycles(i)) == QosDecision::Admit {
+                admitted += 1;
+            }
+        }
+        // share = 64 × 3 / 4 = 48.
+        assert_eq!(admitted, 48, "online weight must rebind the credit share");
+    }
+
+    #[test]
+    fn wfq_rejects_zero_and_clamps_overflow_weights() {
+        let p = WeightedFair::from_weights(&[2]);
+        assert_eq!(p.set_weight(0, 0), Err(WeightError::Zero));
+        assert_eq!(p.weight(0), Some(2), "rejected update must not apply");
+        assert_eq!(p.set_weight(0, u64::MAX), Ok(MAX_ONLINE_WEIGHT));
+        assert_eq!(p.weight(0), Some(MAX_ONLINE_WEIGHT));
+        // Unknown tenants are inserted (weights survive until first admit).
+        assert_eq!(p.set_weight(9, 5), Ok(5));
+        assert_eq!(p.weight(9), Some(5));
+    }
+
+    #[test]
+    fn fifo_and_prio_report_weights_unsupported() {
+        assert_eq!(Fifo.set_weight(0, 2), Err(WeightError::Unsupported));
+        assert_eq!(Fifo.weight(0), None);
+        let p = StrictPriority::from_classes(&[0, 1]);
+        assert_eq!(p.set_weight(1, 2), Err(WeightError::Unsupported));
     }
 
     #[test]

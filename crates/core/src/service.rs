@@ -148,8 +148,10 @@ pub struct ServicePartition {
     poll_round_cost: u64,
     /// Cycles a warp backs off when its round found nothing (keeps the
     /// simulation cheap without changing behaviour: an idle poll loop).
-    /// From `costs.api.agile_service_idle_backoff`.
-    idle_backoff: u64,
+    /// Seeded from `costs.api.agile_service_idle_backoff`; the cell is
+    /// shared with the controller so a control plane can retune it online —
+    /// partitions load it once per idle round.
+    idle_backoff: Arc<AtomicU64>,
 }
 
 /// The pre-scale-out name of [`ServicePartition`]; a single partition over
@@ -182,7 +184,7 @@ impl ServicePartition {
             .collect();
         let api = &ctrl.config().costs.api;
         let poll_round_cost = api.agile_service_poll_round;
-        let idle_backoff = api.agile_service_idle_backoff.max(1);
+        let idle_backoff = ctrl.idle_backoff_cell();
         Arc::new(ServicePartition {
             ctrl,
             shard,
@@ -323,7 +325,7 @@ impl ServicePartition {
         now: Cycles,
     ) -> Cycles {
         if self.targets.is_empty() {
-            return Cycles(self.idle_backoff);
+            return Cycles(self.idle_backoff.load(Ordering::Relaxed).max(1));
         }
         let idx = (offset + *rotation * stride) % self.targets.len();
         *rotation += 1;
@@ -333,7 +335,8 @@ impl ServicePartition {
             Cycles(self.poll_round_cost)
         } else {
             self.stats.idle_rounds.fetch_add(1, Ordering::Relaxed);
-            Cycles(self.poll_round_cost.max(self.idle_backoff))
+            let backoff = self.idle_backoff.load(Ordering::Relaxed).max(1);
+            Cycles(self.poll_round_cost.max(backoff))
         }
     }
 

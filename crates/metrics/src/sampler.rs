@@ -142,6 +142,22 @@ impl WindowedSampler {
     pub fn windows(&self) -> Vec<WindowSample> {
         self.state.lock().windows.clone()
     }
+
+    /// Number of windows emitted so far (cheap: no cloning).
+    pub fn window_count(&self) -> usize {
+        self.state.lock().windows.len()
+    }
+
+    /// The emitted windows from index `start` onward, in time order — the
+    /// incremental consumer API: remember how many windows you have seen and
+    /// ask only for the tail, instead of cloning the whole series each poll.
+    pub fn windows_from(&self, start: usize) -> Vec<WindowSample> {
+        let state = self.state.lock();
+        if start >= state.windows.len() {
+            return Vec::new();
+        }
+        state.windows[start..].to_vec()
+    }
 }
 
 /// Serialize a window series as a JSON array (each entry: window bounds plus

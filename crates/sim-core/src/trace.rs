@@ -46,11 +46,15 @@ pub enum TraceEventKind {
     /// said no before the SQ-slot claim; a later `Submit` for the same target
     /// means the retry was admitted).
     QosDefer = 9,
+    /// The control plane changed a knob: `dev` carries the knob kind,
+    /// `lba` the new value, `tenant` the affected tenant (or `u32::MAX`
+    /// for global knobs such as the prefetch depth).
+    CtrlDecision = 10,
 }
 
 impl TraceEventKind {
     /// All kinds, in wire order.
-    pub const ALL: [TraceEventKind; 10] = [
+    pub const ALL: [TraceEventKind; 11] = [
         TraceEventKind::Submit,
         TraceEventKind::Doorbell,
         TraceEventKind::DeviceCompletion,
@@ -61,6 +65,7 @@ impl TraceEventKind {
         TraceEventKind::CacheNoLine,
         TraceEventKind::Writeback,
         TraceEventKind::QosDefer,
+        TraceEventKind::CtrlDecision,
     ];
 
     /// Wire encoding of the kind.
@@ -86,6 +91,7 @@ impl TraceEventKind {
             TraceEventKind::CacheNoLine => "cache_no_line",
             TraceEventKind::Writeback => "writeback",
             TraceEventKind::QosDefer => "qos_defer",
+            TraceEventKind::CtrlDecision => "ctrl_decision",
         }
     }
 }

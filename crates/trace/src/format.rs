@@ -28,12 +28,15 @@ pub const TRACE_MAGIC: [u8; 4] = *b"AGTR";
 /// `CacheMiss`/`CacheBusy`/`CacheNoLine`/`Writeback`) carry the requesting
 /// tenant in the already-present `tenant` field instead of zero (record
 /// layouts again unchanged — the bump marks the semantic change so readers
-/// comparing cache events across captures know which convention a log used).
+/// comparing cache events across captures know which convention a log used);
+/// 4 = the `CtrlDecision` event kind joined the event-kind space (the control
+/// plane's knob changes: `dev` = knob kind, `lba` = new value, `tenant` = the
+/// affected tenant or `u32::MAX` for global knobs; record layouts unchanged).
 /// Readers accept any version up to the current one — an old reader handed a
 /// newer log fails with the explicit
 /// [`TraceFormatError::UnsupportedVersion`] rather than a confusing
 /// misreading of the record stream.
-pub const FORMAT_VERSION: u16 = 3;
+pub const FORMAT_VERSION: u16 = 4;
 
 const EVENT_RECORD_BYTES: usize = 32;
 const OP_RECORD_BYTES: usize = 24;
@@ -476,20 +479,20 @@ mod tests {
 
     #[test]
     fn older_format_versions_still_parse() {
-        // The checked-in golden traces were written at versions 1 and 2; the
-        // v3 reader must keep accepting them (record layouts are unchanged),
-        // while versions from the future stay rejected.
+        // The checked-in golden traces were written at versions 1 through 3;
+        // the v4 reader must keep accepting them (record layouts are
+        // unchanged), while versions from the future stay rejected.
         let events = sample_events();
-        for old in [1u16, 2] {
+        for old in [1u16, 2, 3] {
             let mut bytes = encode_events(&events);
             bytes[4..6].copy_from_slice(&old.to_le_bytes());
             assert_eq!(decode_events(&bytes).unwrap(), events, "version {old}");
         }
-        let mut v4 = encode_events(&events);
-        v4[4..6].copy_from_slice(&4u16.to_le_bytes());
+        let mut v5 = encode_events(&events);
+        v5[4..6].copy_from_slice(&5u16.to_le_bytes());
         assert_eq!(
-            decode_events(&v4),
-            Err(TraceFormatError::UnsupportedVersion(4))
+            decode_events(&v5),
+            Err(TraceFormatError::UnsupportedVersion(5))
         );
         let mut v0 = encode_events(&events);
         v0[4..6].copy_from_slice(&0u16.to_le_bytes());

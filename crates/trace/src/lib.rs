@@ -55,4 +55,4 @@ pub use format::{
 };
 pub use sink::{CountingSink, MemorySink};
 pub use stats::LatencyHistogram;
-pub use synth::{AddressPattern, BurstProfile, TenantSpec, TraceSpec};
+pub use synth::{AddressPattern, BurstProfile, PhaseShift, TenantSpec, TraceSpec};

@@ -40,6 +40,20 @@ pub struct BurstProfile {
     pub idle_cycles: u32,
 }
 
+/// Periodic pattern shifting for a tenant: the tenant alternates between its
+/// base [`TenantSpec::pattern`] (even phases) and `alternate` (odd phases)
+/// every `period_ops` of its requests. This is how [`TraceSpec::shifting_mix`]
+/// models a workload whose cache behaviour changes mid-run — e.g. a
+/// thrash-heavy uniform flood giving way to a cache-friendly hot-set scan —
+/// which no single static prefetch depth serves well.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseShift {
+    /// Requests per phase before the pattern toggles (clamped to ≥ 1).
+    pub period_ops: u64,
+    /// The pattern of odd-numbered phases.
+    pub alternate: AddressPattern,
+}
+
 /// One tenant of a (possibly multi-tenant) synthetic workload.
 #[derive(Debug, Clone)]
 pub struct TenantSpec {
@@ -54,6 +68,8 @@ pub struct TenantSpec {
     pub mean_gap: u32,
     /// Optional on/off burst shaping.
     pub burst: Option<BurstProfile>,
+    /// Optional periodic pattern shifting (see [`PhaseShift`]).
+    pub phase: Option<PhaseShift>,
     /// QoS weight of this tenant (relative SQ-admission share under a
     /// weighted-fair scheduler; 1 = baseline). Carried on the spec only —
     /// the trace wire format is weight-agnostic, so existing golden binaries
@@ -71,6 +87,7 @@ impl TenantSpec {
             pattern,
             mean_gap,
             burst: None,
+            phase: None,
             weight: 1,
         }
     }
@@ -87,6 +104,16 @@ impl TenantSpec {
     /// Set the tenant's QoS weight (clamped to ≥ 1).
     pub fn with_weight(mut self, weight: u64) -> Self {
         self.weight = weight.max(1);
+        self
+    }
+
+    /// Alternate between the base pattern and `alternate` every
+    /// `period_ops` requests (see [`PhaseShift`]).
+    pub fn with_phases(mut self, period_ops: u64, alternate: AddressPattern) -> Self {
+        self.phase = Some(PhaseShift {
+            period_ops: period_ops.max(1),
+            alternate,
+        });
         self
     }
 }
@@ -251,6 +278,40 @@ impl TraceSpec {
         }
     }
 
+    /// The shifting-mix workload the closed-loop control plane is evaluated
+    /// on: tenant 0 ("mix", 3/4 of the ops) alternates every
+    /// `total_ops × 3/4 / phases` of its requests between a thrash-heavy
+    /// uniform flood over the whole LBA space — where speculative prefetch
+    /// only steals lines from demand fills — and a cache-friendly Zipf(1.2)
+    /// hot set, where lookahead prefetch overlaps fills with consumption.
+    /// Tenant 1 ("victim", 1/4 of the ops) steadily re-reads a Zipf(1.1) hot
+    /// set at a matched pace so it overlaps every phase; it is the tenant an
+    /// SLO is declared on. No single static prefetch depth serves both of
+    /// tenant 0's phases — the adaptive controller's reason to exist.
+    pub fn shifting_mix(
+        name: &str,
+        seed: u64,
+        devices: u32,
+        lba_space: u64,
+        total_ops: u64,
+        phases: u32,
+    ) -> Self {
+        let mix = total_ops * 3 / 4;
+        let victim = total_ops - mix;
+        let period = (mix / phases.max(1) as u64).max(1);
+        TraceSpec {
+            name: name.to_string(),
+            seed,
+            devices,
+            lba_space,
+            tenants: vec![
+                TenantSpec::new(mix, AddressPattern::Uniform, 0.0, 20)
+                    .with_phases(period, AddressPattern::Zipf { theta: 1.2 }),
+                TenantSpec::new(victim, AddressPattern::Zipf { theta: 1.1 }, 0.0, 60),
+            ],
+        }
+    }
+
     /// The tenants' QoS weights, indexed by tenant id (the shape
     /// `WeightedFair::from_weights` takes).
     pub fn weights(&self) -> Vec<u64> {
@@ -269,10 +330,12 @@ impl TraceSpec {
         for (tid, tenant) in self.tenants.iter().enumerate() {
             let tid = tid as u32;
             let mut rng = root.fork(0x7E4A_4E57 ^ tid as u64);
-            let zipf = match tenant.pattern {
+            let sampler_for = |pattern: AddressPattern| match pattern {
                 AddressPattern::Zipf { theta } => Some(ZipfSampler::new(self.lba_space, theta)),
                 _ => None,
             };
+            let zipf_base = sampler_for(tenant.pattern);
+            let zipf_alt = tenant.phase.and_then(|ph| sampler_for(ph.alternate));
             let mut now = 0u64;
             let mut in_burst = 0u32;
             for k in 0..tenant.ops {
@@ -290,10 +353,16 @@ impl TraceSpec {
                     }
                     in_burst += 1;
                 }
-                let lba = match tenant.pattern {
+                // Phase selection: even phases run the base pattern, odd
+                // phases the alternate (no-op for unphased tenants).
+                let (pattern, zipf) = match tenant.phase {
+                    Some(ph) if (k / ph.period_ops) % 2 == 1 => (ph.alternate, zipf_alt.as_ref()),
+                    _ => (tenant.pattern, zipf_base.as_ref()),
+                };
+                let lba = match pattern {
                     AddressPattern::Uniform => rng.gen_range(self.lba_space),
                     AddressPattern::Zipf { .. } => {
-                        let rank = zipf.as_ref().expect("zipf sampler").sample(&mut rng);
+                        let rank = zipf.expect("zipf sampler").sample(&mut rng);
                         scatter(rank, self.lba_space)
                     }
                     AddressPattern::Sequential { start } => (start + k) % self.lba_space,

@@ -12,6 +12,7 @@ use crate::trace_replay::{
     AgileTraceReplayKernel, BamTraceReplayKernel, ReplayCollector, ReplayPath, TraceReplayParams,
 };
 use agile_cache::TenantCacheStats;
+use agile_control::{ControlPolicy, ControlReport, SloSpec};
 use agile_core::config::CachePolicyKind;
 use agile_core::qos::{Fifo, QosPolicy, StrictPriority, WeightedFair};
 use agile_core::service::ServiceStats;
@@ -212,6 +213,9 @@ pub struct ReplayReport {
     pub lock_wait_cycles: u64,
     /// Metrics capture, present when [`ReplayConfig::with_metrics`] was set.
     pub metrics: Option<MetricsReport>,
+    /// Closed-loop control capture (decision log + final knob values),
+    /// present when [`ReplayConfig::with_control`] was set.
+    pub control: Option<ControlReport>,
 }
 
 impl ReplayReport {
@@ -293,6 +297,19 @@ impl ReplayReport {
                 ));
             }
         }
+        // The control line appears only for controller-on runs: controller
+        // off must stay byte-identical to the pre-control goldens (gated by
+        // the golden-trace suite).
+        if let Some(ctrl) = &self.control {
+            s.push_str(&format!(
+                " | ctrl windows={} decisions={}",
+                ctrl.windows_seen,
+                ctrl.decisions.len()
+            ));
+            if let Some(depth) = ctrl.final_knobs.prefetch_depth {
+                s.push_str(&format!(" final_prefetch={depth}"));
+            }
+        }
         s
     }
 }
@@ -332,6 +349,9 @@ pub struct ReplayConfig {
     /// Cached-path prefetch depth in batches of lookahead (1 = the
     /// historical one-batch pipeline; 0 = demand fills only).
     pub prefetch_depth: u32,
+    /// Software-cache capacity override in bytes (`None` keeps each
+    /// system's scaled-down default, 4 MiB). Applies to both systems.
+    pub cache_bytes: Option<u64>,
     /// Partition warps by tenant (each warp replays one tenant's ops) — the
     /// per-tenant virtual queues a QoS policy arbitrates. See
     /// [`TraceReplayParams::tenant_warps`].
@@ -350,6 +370,13 @@ pub struct ReplayConfig {
     pub metrics: bool,
     /// Sampler window in simulated cycles (only meaningful with `metrics`).
     pub metrics_window: u64,
+    /// Closed-loop control policy bridged into the run (implies `metrics` —
+    /// the controller consumes the sampler's windows). `None` leaves the run
+    /// byte-identical to the pre-control stack.
+    pub control: Option<ControlPolicy>,
+    /// Per-tenant SLO targets the controller enforces (only meaningful with
+    /// `control`).
+    pub slos: Vec<SloSpec>,
 }
 
 impl Default for ReplayConfig {
@@ -367,11 +394,14 @@ impl Default for ReplayConfig {
             cache_policy: CachePolicyKind::Clock,
             cache_shares: Vec::new(),
             prefetch_depth: 1,
+            cache_bytes: None,
             tenant_warps: false,
             service_shards: 1,
             engine_sched: EngineSched::EventQueue,
             metrics: false,
             metrics_window: 500_000,
+            control: None,
+            slos: Vec::new(),
         }
     }
 }
@@ -465,6 +495,22 @@ impl ReplayConfig {
         self
     }
 
+    /// Bridge a closed-loop controller into the run (implies metrics: the
+    /// controller consumes the windowed sampler). The decision log and final
+    /// knob values land in [`ReplayReport::control`].
+    pub fn with_control(mut self, policy: ControlPolicy) -> Self {
+        self.metrics = true;
+        self.control = Some(policy);
+        self
+    }
+
+    /// Set the per-tenant SLO targets the controller enforces (pair with
+    /// [`ReplayConfig::with_control`]).
+    pub fn with_slos(mut self, slos: Vec<SloSpec>) -> Self {
+        self.slos = slos;
+        self
+    }
+
     /// Select the cache replacement policy (AGILE only).
     pub fn with_cache_policy(mut self, policy: CachePolicyKind) -> Self {
         self.cache_policy = policy;
@@ -484,6 +530,13 @@ impl ReplayConfig {
     /// Set the cached-path prefetch depth (batches of lookahead).
     pub fn with_prefetch_depth(mut self, depth: u32) -> Self {
         self.prefetch_depth = depth;
+        self
+    }
+
+    /// Override the software-cache capacity in bytes for both systems
+    /// (`None` keeps the scaled-down 4 MiB default).
+    pub fn with_cache_bytes(mut self, bytes: u64) -> Self {
+        self.cache_bytes = Some(bytes);
         self
     }
 
@@ -573,6 +626,7 @@ fn finish_report(
         qos_deferrals: 0,
         lock_wait_cycles: 0,
         metrics: None,
+        control: None,
     }
 }
 
@@ -657,9 +711,12 @@ pub fn run_trace_replay_with_sink(
     let blocks = cfg.total_warps.div_ceil(8).max(1) as u32;
     match system {
         ReplaySystem::Agile => {
-            let config = AgileConfig::small_test()
+            let mut config = AgileConfig::small_test()
                 .with_queue_pairs(cfg.queue_pairs)
                 .with_queue_depth(cfg.queue_depth);
+            if let Some(bytes) = cfg.cache_bytes {
+                config = config.with_cache_bytes(bytes);
+            }
             let mut builder = HostBuilder::agile(config)
                 .gpu(experiment_gpu())
                 .devices(devices, pages)
@@ -680,8 +737,15 @@ pub fn run_trace_replay_with_sink(
                     .metrics(Arc::clone(registry))
                     .metrics_sampler(Arc::clone(sampler));
             }
+            if let Some(policy) = &cfg.control {
+                builder = builder.control(policy.clone()).slos(cfg.slos.clone());
+            }
             let mut host = builder.build();
             let ctrl = host.ctrl();
+            // Seed the live prefetch-depth cell before the controller's
+            // first window so a controlled run starts from the requested
+            // static depth rather than the construction default.
+            ctrl.set_prefetch_depth(params.prefetch_depth);
             let launch = LaunchConfig::new(blocks, 256).with_registers(40);
             let factory = Box::new(AgileTraceReplayKernel::new(
                 Arc::clone(&ctrl),
@@ -704,12 +768,18 @@ pub fn run_trace_replay_with_sink(
                     clock_ghz: experiment_gpu().clock_ghz,
                 });
             }
+            // After `finish`: the controller's report drains the trailing
+            // partial window so late decisions and final knobs line up.
+            report.control = host.controller().map(|c| c.report());
             report
         }
         ReplaySystem::Bam => {
-            let config = BamConfig::small_test()
+            let mut config = BamConfig::small_test()
                 .with_queue_pairs(cfg.queue_pairs)
                 .with_queue_depth(cfg.queue_depth);
+            if let Some(bytes) = cfg.cache_bytes {
+                config = config.with_cache_bytes(bytes);
+            }
             let mut builder = HostBuilder::bam(config)
                 .gpu(experiment_gpu())
                 .devices(devices, pages)
@@ -726,6 +796,9 @@ pub fn run_trace_replay_with_sink(
                 builder = builder
                     .metrics(Arc::clone(registry))
                     .metrics_sampler(Arc::clone(sampler));
+            }
+            if let Some(policy) = &cfg.control {
+                builder = builder.control(policy.clone()).slos(cfg.slos.clone());
             }
             let mut host = builder.build();
             let ctrl = host.ctrl();
@@ -751,6 +824,7 @@ pub fn run_trace_replay_with_sink(
                     clock_ghz: experiment_gpu().clock_ghz,
                 });
             }
+            report.control = host.controller().map(|c| c.report());
             report
         }
     }

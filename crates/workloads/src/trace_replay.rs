@@ -41,7 +41,7 @@ use gpu_sim::{KernelFactory, WarpCtx, WarpKernel, WarpStep};
 use nvme_sim::{DmaHandle, PageToken};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// Shared accumulator all replay warps record completions into: one
@@ -401,6 +401,10 @@ impl AgileTraceReplayKernel {
         let partition = params
             .tenant_warps
             .then(|| TenantPartition::new(&trace, params.total_warps));
+        // Seed the controller's live prefetch-depth cell with the requested
+        // static depth; cached warps read the cell at every batch boundary,
+        // so a control plane (if one is bridged in) can retune it from here.
+        ctrl.set_prefetch_depth(params.prefetch_depth);
         AgileTraceReplayKernel {
             ctrl,
             trace,
@@ -599,7 +603,7 @@ impl KernelFactory for AgileTraceReplayKernel {
                 warp_flat,
                 tenant,
                 stripe: self.params.stripe,
-                prefetch_depth: self.params.prefetch_depth,
+                prefetch_depth: self.ctrl.prefetch_depth_cell(),
                 batch_reads: Vec::new(),
                 batch_writes: Vec::new(),
                 batch_started: 0,
@@ -625,8 +629,11 @@ struct AgileCachedReplayWarp {
     /// on the historical interleave (warp-as-tenant attribution).
     tenant: Option<u32>,
     stripe: bool,
-    /// Batches of lookahead to prefetch (0 = none, 1 = historical default).
-    prefetch_depth: u32,
+    /// Live prefetch depth in batches of lookahead (0 = none, 1 = the
+    /// historical default). Loaded from the controller's shared cell at
+    /// every batch boundary, so an online control plane retunes the
+    /// pipeline mid-run; without one the cell simply never changes.
+    prefetch_depth: Arc<AtomicU32>,
     /// Pending reads of the current batch: (device, lba, tenant).
     batch_reads: Vec<(u32, u64, u32)>,
     batch_writes: Vec<TraceOp>,
@@ -697,8 +704,9 @@ impl WarpKernel for AgileCachedReplayWarp {
             self.batch_started = ctx.now.raw() + cost.raw();
             // Prefetch the following `prefetch_depth` batches so their fills
             // overlap this batch's consumption (depth 0 = demand fills only).
-            if self.prefetch_depth > 0 {
-                let lookahead = self.lookahead_reads(ctx.lanes * self.prefetch_depth);
+            let depth = self.prefetch_depth.load(Ordering::Relaxed);
+            if depth > 0 {
+                let lookahead = self.lookahead_reads(ctx.lanes * depth);
                 if !lookahead.is_empty() {
                     let (c, _retry) = self.ctrl.prefetch_warp_as(
                         self.warp_flat,

@@ -12,13 +12,16 @@
 //! ```text
 //! cargo run --release --example trace_replay
 //! cargo run --release --example trace_replay -- --metrics-json metrics.json
+//! cargo run --release --example trace_replay -- --metrics-prom metrics.prom
 //! ```
 //!
 //! With `--metrics-json <path>`, the AGILE replay is re-run with the metrics
 //! stack enabled and the capture (final registry snapshot + windowed time
-//! series) is written to `<path>` as JSON. The instrumented run's summary is
-//! asserted byte-identical to the bare run — observing the stack does not
-//! perturb it.
+//! series) is written to `<path>` as JSON. With `--metrics-prom <path>`, the
+//! end-of-run registry snapshot is written as Prometheus text exposition
+//! instead (both flags may be given; the instrumented run happens once). The
+//! instrumented run's summary is asserted byte-identical to the bare run —
+//! observing the stack does not perturb it.
 
 use agile_repro::trace::{decode_events, encode_events, MemorySink, Trace, TraceSpec};
 use agile_repro::workloads::experiments::trace_replay::{
@@ -27,7 +30,7 @@ use agile_repro::workloads::experiments::trace_replay::{
 use std::sync::Arc;
 
 fn main() {
-    let metrics_json = parse_args();
+    let (metrics_json, metrics_prom) = parse_args();
 
     // --- 1. Synthesize a zipfian multi-tenant workload -------------------
     // Tenant 0: zipf(0.99) hot-set reader; tenant 1: uniform mixed
@@ -125,8 +128,8 @@ fn main() {
     );
     assert!(captured.ops.len() as u64 >= agile.ops);
 
-    // --- 6. Optional metrics capture (--metrics-json <path>) -------------
-    if let Some(path) = metrics_json {
+    // --- 6. Optional metrics capture (--metrics-json / --metrics-prom) ---
+    if metrics_json.is_some() || metrics_prom.is_some() {
         let metered = run_trace_replay(&trace, ReplaySystem::Agile, &cfg.clone().with_metrics());
         assert_eq!(
             metered.summary(),
@@ -142,28 +145,41 @@ fn main() {
                 iops.len()
             );
         }
-        std::fs::write(&path, m.to_json()).expect("write metrics JSON");
-        println!(
-            "metrics: {} windows x {} cycles -> {}",
-            m.windows.len(),
-            m.window_cycles,
-            path
-        );
+        if let Some(path) = metrics_json {
+            std::fs::write(&path, m.to_json()).expect("write metrics JSON");
+            println!(
+                "metrics: {} windows x {} cycles -> {}",
+                m.windows.len(),
+                m.window_cycles,
+                path
+            );
+        }
+        if let Some(path) = metrics_prom {
+            std::fs::write(&path, m.snapshot.to_prometheus()).expect("write metrics prom");
+            println!("metrics: final snapshot (Prometheus text) -> {path}");
+        }
     }
     println!("done.");
 }
 
-/// Parse `--metrics-json <path>` (the only supported flag).
-fn parse_args() -> Option<String> {
+/// Parse `--metrics-json <path>` and `--metrics-prom <path>`.
+fn parse_args() -> (Option<String>, Option<String>) {
     let mut args = std::env::args().skip(1);
-    let mut path = None;
+    let mut json = None;
+    let mut prom = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--metrics-json" => {
-                path = Some(args.next().expect("--metrics-json takes a path"));
+                json = Some(args.next().expect("--metrics-json takes a path"));
             }
-            other => panic!("unknown argument `{other}` (supported: --metrics-json <path>)"),
+            "--metrics-prom" => {
+                prom = Some(args.next().expect("--metrics-prom takes a path"));
+            }
+            other => panic!(
+                "unknown argument `{other}` \
+                 (supported: --metrics-json <path>, --metrics-prom <path>)"
+            ),
         }
     }
-    path
+    (json, prom)
 }

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub use agile_cache as cache;
+pub use agile_control as control;
 pub use agile_core as agile;
 pub use agile_metrics as metrics;
 pub use agile_sim as sim;

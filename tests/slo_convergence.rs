@@ -1,0 +1,210 @@
+//! Release-mode SLO gate for the closed-loop control plane.
+//!
+//! On the [`TraceSpec::shifting_mix`] workload — a tenant that alternates
+//! between a thrash-heavy uniform flood and a cache-friendly zipfian hot
+//! set, plus a steady hot-set victim with a declared SLO — no single static
+//! prefetch depth is right: depth 0 wins the uniform flood phases (every
+//! prefetched line is a wasted fill that evicts the victim's hot set) and
+//! depth 1 wins the zipfian phases (sequential runs inside the hot set make
+//! one line of lookahead pay for itself). A static depth also eats a
+//! transition penalty at every phase boundary — lookahead tuned for the old
+//! phase thrashes against the new one — which the controller sidesteps by
+//! moving the knob a few windows after each shift.
+//!
+//! The gate asserts the adaptive controller gets both ends:
+//!
+//! 1. **Aggregate win.** The controlled run's aggregate IOPS beats every
+//!    static prefetch depth in {0, 1, 2, 4} over the full run.
+//! 2. **Per-phase hit-rate.** Splitting each run's metric windows into
+//!    phases (by the mix tenant's op count), the adaptive run's *demand*
+//!    hit-rate in every phase is within one percentage point of the best
+//!    static config's rate in that phase — "best static" being the depth
+//!    that wins criterion 1's aggregate comparison. Demand hit-rate is
+//!    `(hits − misses) / hits`: a missed access still ends in a hit once
+//!    its fill lands (the consuming re-read), so raw `hits / (hits +
+//!    misses)` is inflated by every miss and deep prefetch inflates it
+//!    further; subtracting one fill per fetched page leaves the fraction of
+//!    accesses served without any fetch, which a prefetcher cannot game.
+//! 3. **SLO holds.** The victim tenant's windowed p99 meets its declared
+//!    target in every window after the settle window.
+//!
+//! Run in release mode by CI alongside the fairness and scaling gates.
+
+use agile_repro::control::{ControlPolicy, SloSpec};
+use agile_repro::metrics::Labels;
+use agile_repro::trace::{Trace, TraceSpec};
+use agile_repro::workloads::experiments::trace_replay::{
+    run_trace_replay, MetricsReport, ReplayConfig, ReplayReport, ReplaySystem,
+};
+
+/// Phases of the mix tenant in the gate trace.
+const PHASES: u32 = 4;
+/// Total ops in the gate trace (the mix tenant gets 3/4, split over
+/// `PHASES`; the victim gets the rest).
+const TOTAL_OPS: u64 = 24_576;
+/// Victim p99 target (µs) enforced by the controller's AIMD loop.
+const VICTIM_P99_US: f64 = 2_000.0;
+/// Windows ignored after each phase boundary (and at the start of the run)
+/// before hit-rate and SLO assertions apply: the controller needs a couple
+/// of windows of signal (vote hysteresis) before its knobs settle.
+const SETTLE_WINDOWS: usize = 4;
+
+fn gate_trace() -> Trace {
+    TraceSpec::shifting_mix("slo-shift", 0x51F7, 1, 1 << 13, TOTAL_OPS, PHASES).generate()
+}
+
+/// The shared rig: cached path, tenant-partitioned warps, TenantShare
+/// eviction (the cached-path actuator for the SLO loop), ample SQ slots so
+/// cache behaviour — not SQ churn — dominates, a 4 MiB cache so the zipfian
+/// hot set fits with headroom (prefetch economics are about lookahead, not
+/// eviction luck), and windowed metrics so per-phase behaviour is
+/// measurable.
+fn gate_config() -> ReplayConfig {
+    ReplayConfig {
+        total_warps: 4,
+        queue_pairs: 8,
+        queue_depth: 128,
+        ..ReplayConfig::quick().cached().tenant_partitioned()
+    }
+    .tenant_share(vec![1, 1])
+    .with_cache_bytes(4 * 1024 * 1024)
+    .with_metrics()
+    .with_metrics_window(100_000)
+}
+
+fn static_run(trace: &Trace, depth: u32) -> ReplayReport {
+    run_trace_replay(
+        trace,
+        ReplaySystem::Agile,
+        &gate_config().with_prefetch_depth(depth),
+    )
+}
+
+fn adaptive_run(trace: &Trace) -> ReplayReport {
+    // Depths beyond 1 lose on both of this trace's phases (the hot set is
+    // read in short sequential runs), so the gate caps the controller's
+    // up-moves at 1 and lets the hysteresis loop pick 0 or 1 per phase.
+    let policy = ControlPolicy {
+        max_prefetch_depth: 1,
+        ..ControlPolicy::all()
+    };
+    run_trace_replay(
+        trace,
+        ReplaySystem::Agile,
+        &gate_config()
+            .with_prefetch_depth(1)
+            .with_control(policy)
+            .with_slos(vec![SloSpec::p99(1, VICTIM_P99_US)]),
+    )
+}
+
+/// Assign each metric window to a phase of the mix tenant by accumulating
+/// its per-window replay ops against the phase period, then return
+/// per-phase (hits, misses) with the first `SETTLE_WINDOWS` windows of each
+/// phase excluded.
+fn phase_hit_counts(metrics: &MetricsReport) -> Vec<(u64, u64)> {
+    let period = (TOTAL_OPS * 3 / 4) / PHASES as u64;
+    let mut phases = vec![(0u64, 0u64); PHASES as usize];
+    let mut mix_ops = 0u64;
+    let mut phase_start = vec![usize::MAX; PHASES as usize];
+    for (i, w) in metrics.windows.iter().enumerate() {
+        let phase = ((mix_ops / period) as usize).min(PHASES as usize - 1);
+        mix_ops += w
+            .deltas
+            .counter("agile_replay_ops_total", Labels::tenant(0));
+        if phase_start[phase] == usize::MAX {
+            phase_start[phase] = i;
+        }
+        if i < phase_start[phase] + SETTLE_WINDOWS {
+            continue; // settle window after the phase change
+        }
+        let hits = w.deltas.counter("agile_cache_hits_total", Labels::NONE);
+        let misses = w.deltas.counter("agile_cache_misses_total", Labels::NONE);
+        phases[phase].0 += hits;
+        phases[phase].1 += misses;
+    }
+    phases
+}
+
+/// Demand hit-rate: the fraction of accesses served without triggering any
+/// fetch. `misses` counts exactly one fill reservation per fetched page, so
+/// `hits − misses` removes the consuming re-read that every fill eventually
+/// produces on the cached replay path.
+fn demand_rate(hits: u64, misses: u64) -> f64 {
+    hits.saturating_sub(misses) as f64 / hits.max(1) as f64
+}
+
+#[test]
+fn adaptive_beats_every_static_prefetch_depth_and_meets_the_slo() {
+    let trace = gate_trace();
+    let adaptive = adaptive_run(&trace);
+    assert!(!adaptive.deadlocked);
+    let control = adaptive.control.as_ref().expect("controlled run");
+    assert!(
+        control.windows_seen > 0,
+        "the controller must consume windows"
+    );
+    assert!(
+        !control.decisions.is_empty(),
+        "the shifting mix must force at least one knob move"
+    );
+
+    let statics: Vec<(u32, ReplayReport)> = [0u32, 1, 2, 4]
+        .into_iter()
+        .map(|d| (d, static_run(&trace, d)))
+        .collect();
+
+    // 1. Aggregate IOPS: adaptive beats every static depth across the run.
+    for (depth, report) in &statics {
+        assert!(
+            adaptive.iops > report.iops,
+            "adaptive ({:.0} IOPS) must beat static depth {} ({:.0} IOPS)",
+            adaptive.iops,
+            depth,
+            report.iops
+        );
+    }
+
+    // 2. Per-phase demand hit-rate: within 1pp of the best static config
+    //    (the aggregate winner from criterion 1) in every phase.
+    let best = statics
+        .iter()
+        .max_by(|a, b| a.1.iops.total_cmp(&b.1.iops))
+        .unwrap();
+    let best_phases = phase_hit_counts(best.1.metrics.as_ref().unwrap());
+    let adaptive_phases = phase_hit_counts(adaptive.metrics.as_ref().unwrap());
+    for phase in 0..PHASES as usize {
+        let adaptive_rate = demand_rate(adaptive_phases[phase].0, adaptive_phases[phase].1);
+        let best_rate = demand_rate(best_phases[phase].0, best_phases[phase].1);
+        assert!(
+            adaptive_rate >= best_rate - 0.01,
+            "phase {phase}: adaptive demand hit-rate {adaptive_rate:.3} more than 1pp \
+             below best static (depth {}) at {best_rate:.3}",
+            best.0
+        );
+    }
+
+    // 3. The victim's windowed p99 meets the SLO after the settle window.
+    let p99s = adaptive.metrics.as_ref().unwrap().tenant_windowed_p99_us(1);
+    for (i, p99) in p99s.iter().enumerate().skip(SETTLE_WINDOWS) {
+        if let Some(p99) = p99 {
+            assert!(
+                *p99 <= VICTIM_P99_US,
+                "window {i}: victim p99 {p99:.0}us exceeds the {VICTIM_P99_US:.0}us SLO"
+            );
+        }
+    }
+}
+
+#[test]
+fn controlled_runs_are_deterministic() {
+    let trace = gate_trace();
+    let a = adaptive_run(&trace);
+    let b = adaptive_run(&trace);
+    assert_eq!(a.summary(), b.summary());
+    assert_eq!(
+        a.control.as_ref().unwrap().decision_log(),
+        b.control.as_ref().unwrap().decision_log(),
+        "same seed must give the identical decision log"
+    );
+}
