@@ -9,7 +9,7 @@
 //! what each call costs (the `bam_*` cost constants model BaM's lock-held
 //! critical sections).
 
-use agile_cache::{CacheConfig, CacheLookup, ClockPolicy, SoftwareCache};
+use agile_cache::{CacheConfig, CacheLookup, ClockPolicy, ShardedCache};
 use agile_core::coalesce::coalesce_warp;
 use agile_core::ctrl::CtrlMetrics;
 use agile_core::qos::{QosDecision, QosPolicy};
@@ -34,6 +34,14 @@ pub struct BamConfig {
     pub queue_depth: u32,
     /// Software cache capacity in bytes (clock policy, fixed).
     pub cache_bytes: u64,
+    /// Set-range shards of the software cache (≥ 1). Purely structural at
+    /// the default `cache_port_hold` of 0 — any shard count replays
+    /// bit-identically (same hash over the logical set space).
+    pub cache_shards: usize,
+    /// Modeled cycles one lookup holds its cache shard's access port
+    /// ([`agile_cache::ShardedCache::port_acquire`]); 0 (default) disables
+    /// the port model.
+    pub cache_port_hold: u64,
     /// Shared cost model.
     pub costs: CostModel,
 }
@@ -45,6 +53,8 @@ impl BamConfig {
             queue_pairs_per_ssd: 128,
             queue_depth: 256,
             cache_bytes: 2 * agile_sim::units::GIB,
+            cache_shards: 1,
+            cache_port_hold: 0,
             costs: CostModel::default(),
         }
     }
@@ -55,6 +65,8 @@ impl BamConfig {
             queue_pairs_per_ssd: 4,
             queue_depth: 64,
             cache_bytes: 4 * agile_sim::units::MIB,
+            cache_shards: 1,
+            cache_port_hold: 0,
             costs: CostModel::default(),
         }
     }
@@ -74,6 +86,20 @@ impl BamConfig {
     /// Override cache capacity.
     pub fn with_cache_bytes(mut self, bytes: u64) -> Self {
         self.cache_bytes = bytes;
+        self
+    }
+
+    /// Split the software cache into `shards` set-range shards (clamped to
+    /// ≥ 1).
+    pub fn with_cache_shards(mut self, shards: usize) -> Self {
+        self.cache_shards = shards.max(1);
+        self
+    }
+
+    /// Model cache-port contention: each lookup holds its shard's access
+    /// port for `cycles` (0 disables the model).
+    pub fn with_cache_port_hold(mut self, cycles: u64) -> Self {
+        self.cache_port_hold = cycles;
         self
     }
 }
@@ -130,7 +156,7 @@ struct CqCursor {
 /// The synchronous BaM controller.
 pub struct BamCtrl {
     cfg: BamConfig,
-    cache: SoftwareCache,
+    cache: ShardedCache,
     /// Per device, per queue pair.
     queues: Vec<Vec<Arc<AgileSq>>>,
     /// The storage topology behind the queues (striping map + modeled array
@@ -174,9 +200,11 @@ impl BamCtrl {
         device_queues: Vec<Vec<Arc<QueuePair>>>,
         topology: Option<Arc<dyn StorageTopology>>,
     ) -> Self {
-        let cache = SoftwareCache::new(
+        let cache = ShardedCache::new(
             CacheConfig::with_capacity(cfg.cache_bytes),
-            Box::new(ClockPolicy::new()),
+            cfg.cache_shards.max(1),
+            cfg.cache_port_hold,
+            || Box::new(ClockPolicy::new()),
         );
         let queues: Vec<Vec<Arc<AgileSq>>> = device_queues
             .into_iter()
@@ -258,8 +286,8 @@ impl BamCtrl {
         &self.cfg
     }
 
-    /// The (clock-managed) software cache.
-    pub fn cache(&self) -> &SoftwareCache {
+    /// The (clock-managed, possibly set-range-sharded) software cache.
+    pub fn cache(&self) -> &ShardedCache {
         &self.cache
     }
 
@@ -436,7 +464,7 @@ impl BamCtrl {
     /// issues the missing fills and reports `Pending` — the warp must then
     /// call [`BamCtrl::poll_once`] until the data lands and retry.
     /// Untenanted: cache accounting is skipped and trace events carry the
-    /// pre-threading tenant value (0); multi-tenant workloads use
+    /// `NO_TENANT` sentinel (`u32::MAX`); multi-tenant workloads use
     /// [`BamCtrl::read_warp_sync_as`].
     pub fn read_warp_sync(
         &self,
@@ -468,6 +496,9 @@ impl BamCtrl {
         let mut all_ready = true;
 
         for (uidx, &(dev, lba)) in coalesced.unique.iter().enumerate() {
+            // Queueing on the line's cache-shard access port (0 when the
+            // port model is off).
+            cost += Cycles(self.cache.port_acquire(dev, lba, now.raw()));
             match self.cache.lookup_or_reserve_as(dev, lba, tenant) {
                 CacheLookup::Hit { line, token } => {
                     cost += Cycles(api.bam_cache_hit);
@@ -653,7 +684,7 @@ impl BamCtrl {
     /// [`agile_core::AgileCtrl::write_warp`] at BaM's per-call costs.
     /// Returns the cost and whether the store landed (false = retry later).
     /// Untenanted: cache accounting is skipped and trace events carry the
-    /// pre-threading tenant value (0); multi-tenant workloads use
+    /// `NO_TENANT` sentinel (`u32::MAX`); multi-tenant workloads use
     /// [`BamCtrl::write_warp_sync_as`].
     pub fn write_warp_sync(
         &self,
@@ -679,6 +710,7 @@ impl BamCtrl {
     ) -> (Cycles, bool) {
         self.cache.set_time_hint(now.raw());
         let api = &self.cfg.costs.api;
+        let port = Cycles(self.cache.port_acquire(dev, lba, now.raw()));
         let (cost, ok) = match self.cache.lookup_or_reserve_as(dev, lba, tenant) {
             CacheLookup::Hit { line, .. } => {
                 self.cache.store(line, token);
@@ -722,6 +754,7 @@ impl BamCtrl {
                 (Cycles(api.bam_cache_miss), false)
             }
         };
+        let cost = cost + port;
         self.stats
             .cache_cycles
             .fetch_add(cost.raw(), Ordering::Relaxed);
@@ -825,6 +858,15 @@ impl agile_core::telemetry::CacheStatsProvider for BamCtrl {
     }
     fn cache_tenant_stats(&self) -> Vec<agile_cache::TenantCacheStats> {
         self.cache().tenant_stats()
+    }
+    fn cache_shard_stats(&self) -> Vec<agile_cache::CacheStats> {
+        self.cache().stats_by_shard()
+    }
+    fn cache_port_wait_by_shard(&self) -> Vec<u64> {
+        self.cache().port_wait_by_shard()
+    }
+    fn cache_port_acquires_by_shard(&self) -> Vec<u64> {
+        self.cache().port_acquires_by_shard()
     }
 }
 

@@ -54,14 +54,17 @@ impl CacheConfig {
         }
     }
 
-    /// Number of lines.
+    /// Number of lines, in whole-set units: `capacity_bytes / line_size`
+    /// rounded **down** to a multiple of the associativity, with a one-set
+    /// floor — exactly what [`SoftwareCache::new`] allocates. (A capacity of
+    /// 12 lines at 8-way is one set of 8 ways, not 12.)
     pub fn num_lines(&self) -> usize {
-        ((self.capacity_bytes / self.line_size) as usize).max(self.associativity as usize)
+        self.num_sets() * self.associativity as usize
     }
 
     /// Number of sets.
     pub fn num_sets(&self) -> usize {
-        (self.num_lines() / self.associativity as usize).max(1)
+        ((self.capacity_bytes / self.line_size) as usize / self.associativity as usize).max(1)
     }
 }
 
@@ -143,12 +146,29 @@ struct SetMeta {
     displaced: Vec<u32>,
 }
 
+/// Global set index of `(dev, lba)` in a cache of `total_sets` sets — the
+/// one address hash [`SoftwareCache`] and the sharded router agree on. Mixes
+/// device and LBA so multi-SSD striping spreads across sets.
+pub(crate) fn global_set_of(dev: u32, lba: Lba, total_sets: usize) -> usize {
+    let mut z = (dev as u64) << 56 ^ lba ^ 0x9E37_79B9_7F4A_7C15;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) as usize % total_sets
+}
+
 /// The software cache.
 pub struct SoftwareCache {
     cfg: CacheConfig,
     sets: Vec<Mutex<SetMeta>>,
     ways: Vec<Way>,
     assoc: usize,
+    /// Set count of the logical cache this instance belongs to. Equals
+    /// `sets.len()` for a standalone cache; larger when this instance is one
+    /// shard of a [`crate::ShardedCache`], whose router assigns it global
+    /// sets `[set_base, set_base + sets.len())`.
+    global_sets: usize,
+    /// First global set owned by this instance (0 when standalone).
+    set_base: usize,
     policy: Box<dyn CachePolicy>,
     stats: StatsCells,
     /// Per-tenant accounting (hits/misses/fills/evictions + live occupancy),
@@ -164,19 +184,46 @@ pub struct SoftwareCache {
 
 impl SoftwareCache {
     /// Build a cache with the given geometry and replacement policy.
-    pub fn new(cfg: CacheConfig, mut policy: Box<dyn CachePolicy>) -> Self {
+    pub fn new(cfg: CacheConfig, policy: Box<dyn CachePolicy>) -> Self {
+        let num_sets = cfg.num_sets();
+        Self::for_shard(
+            cfg,
+            policy,
+            Arc::new(TenantTable::new()),
+            num_sets,
+            0,
+            num_sets,
+        )
+    }
+
+    /// Build one shard of a larger logical cache: this instance owns global
+    /// sets `[set_base, set_base + local_sets)` of a cache with
+    /// `global_sets` sets, shares the per-tenant accounting `tenants` table
+    /// with its sibling shards, and its policy sizes global quotas over the
+    /// whole logical line count ([`CachePolicy::bind_global_lines`]). With
+    /// `global_sets == local_sets` and `set_base == 0` this is exactly
+    /// [`SoftwareCache::new`].
+    pub(crate) fn for_shard(
+        cfg: CacheConfig,
+        mut policy: Box<dyn CachePolicy>,
+        tenants: Arc<TenantTable>,
+        global_sets: usize,
+        set_base: usize,
+        local_sets: usize,
+    ) -> Self {
         assert_eq!(
             cfg.line_size, SSD_PAGE_SIZE,
             "cache lines must match the SSD page size (§2.3.3)"
         );
         assert!(cfg.associativity > 0, "associativity must be positive");
-        let num_sets = cfg.num_sets();
         let assoc = cfg.associativity as usize;
-        let tenants = Arc::new(TenantTable::new());
-        policy.configure(num_sets, assoc);
+        policy.configure(local_sets, assoc);
+        if global_sets != local_sets {
+            policy.bind_global_lines((global_sets * assoc) as u64);
+        }
         policy.bind_tenants(Arc::clone(&tenants));
         SoftwareCache {
-            sets: (0..num_sets)
+            sets: (0..local_sets)
                 .map(|_| {
                     Mutex::new(SetMeta {
                         tags: vec![None; assoc],
@@ -185,8 +232,10 @@ impl SoftwareCache {
                     })
                 })
                 .collect(),
-            ways: (0..num_sets * assoc).map(|_| Way::new()).collect(),
+            ways: (0..local_sets * assoc).map(|_| Way::new()).collect(),
             assoc,
+            global_sets,
+            set_base,
             policy,
             stats: StatsCells::default(),
             tenants,
@@ -215,8 +264,9 @@ impl SoftwareCache {
     fn trace_lookup(&self, kind: TraceEventKind, dev: u32, lba: Lba, tenant: u32) {
         if let Some(sink) = self.trace.get() {
             let at = self.trace_now.load(Ordering::Relaxed);
-            // Untenanted lookups record tenant 0, the pre-threading value.
-            let tenant = if tenant == NO_TENANT { 0 } else { tenant };
+            // Untenanted lookups carry [`NO_TENANT`] (`u32::MAX`) on the wire
+            // (format v5) so they can never be conflated with the real tenant
+            // 0; older logs that recorded 0 still parse.
             sink.record(TraceEvent::new(kind, at).target(dev, lba).tenant(tenant));
         }
     }
@@ -276,11 +326,10 @@ impl SoftwareCache {
     }
 
     fn set_of(&self, dev: u32, lba: Lba) -> usize {
-        // Mix device and LBA so multi-SSD striping spreads across sets.
-        let mut z = (dev as u64) << 56 ^ lba ^ 0x9E37_79B9_7F4A_7C15;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        (z ^ (z >> 31)) as usize % self.sets.len()
+        // Hash into the *logical* set space, then rebase into this
+        // instance's range — standalone caches have `set_base == 0` and
+        // `global_sets == sets.len()`, so this is the plain hash.
+        global_set_of(dev, lba, self.global_sets) - self.set_base
     }
 
     fn line_id(&self, set: usize, way: usize) -> LineId {
@@ -845,6 +894,36 @@ mod tests {
              TenantShare (hits={})",
             shared[1].hits
         );
+    }
+
+    #[test]
+    fn config_geometry_matches_allocation_for_non_aligned_capacities() {
+        // E.g. 12 lines at 8-way is one whole set of 8 ways: the config must
+        // report the allocated whole-set geometry, not the raw division.
+        for (lines, assoc) in [
+            (12u64, 8u32),
+            (7, 8),
+            (9, 4),
+            (17, 8),
+            (3, 4),
+            (8, 8),
+            (65, 8),
+        ] {
+            let cfg = CacheConfig {
+                capacity_bytes: lines * SSD_PAGE_SIZE,
+                line_size: SSD_PAGE_SIZE,
+                associativity: assoc,
+            };
+            let c = SoftwareCache::new(cfg.clone(), Box::new(ClockPolicy::new()));
+            assert_eq!(
+                cfg.num_lines(),
+                c.num_lines(),
+                "configured and allocated line counts must agree \
+                 ({lines} lines, {assoc}-way)"
+            );
+            assert_eq!(cfg.num_lines(), cfg.num_sets() * assoc as usize);
+            assert!(cfg.num_sets() >= 1, "one-set floor");
+        }
     }
 
     #[test]

@@ -24,6 +24,9 @@
 //! * [`tenant`] — per-tenant accounting (hits/misses/fills/evictions and
 //!   live occupancy) shared between the cache and tenant-aware policies;
 //! * [`cache`] — the set-associative [`cache::SoftwareCache`];
+//! * [`sharded`] — the set-range [`sharded::ShardedCache`] that splits the
+//!   logical set space across N independent caches while presenting one
+//!   logical cache to tenants and the control plane;
 //! * [`share_table`] — the MOESI-inspired [`share_table::ShareTable`].
 
 #![warn(missing_docs)]
@@ -32,6 +35,7 @@
 pub mod cache;
 pub mod line;
 pub mod policy;
+pub mod sharded;
 pub mod share_table;
 pub mod tenant;
 
@@ -41,5 +45,6 @@ pub use policy::{
     CachePolicy, ClockPolicy, FifoPolicy, LruPolicy, RandomPolicy, ShareError, TenantShare,
     MAX_ONLINE_SHARE,
 };
+pub use sharded::ShardedCache;
 pub use share_table::{BufState, ShareTable, ShareTableStats, SharedBuf};
 pub use tenant::{TenantCacheStats, TenantTable, NO_TENANT};

@@ -1,0 +1,540 @@
+//! Set-range sharding of the software cache.
+//!
+//! After lock sharding (nvme-sim's `ShardedArray`) and service scale-out,
+//! the software cache is the last global serial structure on the hot path:
+//! every warp on every service partition funnels through one
+//! [`SoftwareCache`]. [`ShardedCache`] applies the same playbook to it: the
+//! logical set space is split into N contiguous ranges (set index → shard by
+//! high bits), each owned by an independent `SoftwareCache`, so lookups to
+//! different ranges touch disjoint tag locks and disjoint policy state.
+//!
+//! Two properties make the split safe:
+//!
+//! * **Structural transparency.** The address hash is computed over the
+//!   *logical* set count and only then rebased into a shard, so the
+//!   `(dev, lba) → set → way` mapping — and with it every hit/miss/victim
+//!   decision of a deterministic policy — is bit-identical at any shard
+//!   count. `cache_shards=1` is the exact pre-sharding cache and stays
+//!   golden-gated.
+//! * **One logical cache for tenants.** All shards share a single
+//!   [`TenantTable`], and quota policies are rebased onto the logical line
+//!   count ([`crate::CachePolicy::bind_global_lines`]), so `TenantShare`
+//!   occupancy bounds and the control plane's `set_share` actuator (which
+//!   fans out to every shard) see one cache, not N small ones — per-shard
+//!   quota rounding cannot strand lines.
+//!
+//! Contention is modeled the same way as the NVMe doorbell path: each shard
+//! has an **access port** that serializes lookups at a configurable hold
+//! cost ([`ShardedCache::port_acquire`]). The default hold is 0 — sharding
+//! is then purely structural and free — and cost-model studies (the
+//! cache-shard scaling gate, the bench sweep) opt into a nonzero hold to
+//! measure how splitting the port queue scales aggregate throughput.
+
+use crate::cache::{global_set_of, CacheConfig, CacheLookup, CacheStats, LineId, SoftwareCache};
+use crate::line::{LineState, Way};
+use crate::policy::{CachePolicy, ShareError};
+use crate::tenant::{TenantCacheStats, TenantTable};
+use agile_sim::trace::TraceSink;
+use nvme_sim::{Lba, PageToken};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// FIFO occupancy of one shard's access port (see
+/// [`ShardedCache::port_acquire`]).
+#[derive(Default)]
+struct PortState {
+    /// Sim time at which the port frees up.
+    busy_until: u64,
+    /// Total cycles spent queued behind earlier acquires.
+    wait_cycles: u64,
+    /// Total acquisitions.
+    acquires: u64,
+}
+
+/// N independent [`SoftwareCache`] shards presenting one logical cache.
+///
+/// The public surface mirrors `SoftwareCache` method-for-method; line ids
+/// are globalized (`shard × lines_per_shard + local`) so callers hold opaque
+/// handles that survive routing. See the module docs for the invariants.
+pub struct ShardedCache {
+    shards: Vec<SoftwareCache>,
+    /// Logical geometry (the whole cache, not one shard).
+    cfg: CacheConfig,
+    /// Logical set count (`cfg.num_sets()`).
+    total_sets: usize,
+    /// Sets per shard (every shard but possibly the last).
+    sets_per_shard: usize,
+    /// Lines per shard slot in the global line-id space.
+    lines_per_shard: usize,
+    /// Per-tenant accounting shared by every shard.
+    tenants: Arc<TenantTable>,
+    /// One access port per shard; only charged when `port_hold > 0`.
+    ports: Vec<Mutex<PortState>>,
+    port_hold: u64,
+}
+
+impl ShardedCache {
+    /// Build a logical cache of `cfg` split into (at most) `shards` set
+    /// ranges, each with its own policy instance from `policy_factory`.
+    /// `shards` is clamped so every shard owns at least one set.
+    ///
+    /// `port_hold` is the modeled cycles one lookup holds its shard's access
+    /// port ([`ShardedCache::port_acquire`]); 0 (the default everywhere but
+    /// contention studies) disables the port model entirely.
+    pub fn new(
+        cfg: CacheConfig,
+        shards: usize,
+        port_hold: u64,
+        mut policy_factory: impl FnMut() -> Box<dyn CachePolicy>,
+    ) -> Self {
+        assert!(shards > 0, "at least one cache shard");
+        let total_sets = cfg.num_sets();
+        let assoc = cfg.associativity as usize;
+        let sets_per_shard = total_sets.div_ceil(shards.min(total_sets));
+        // The number of non-empty ranges (the last range may be short).
+        let n = total_sets.div_ceil(sets_per_shard);
+        let tenants = Arc::new(TenantTable::new());
+        let shards: Vec<SoftwareCache> = (0..n)
+            .map(|i| {
+                let base = i * sets_per_shard;
+                let local_sets = sets_per_shard.min(total_sets - base);
+                SoftwareCache::for_shard(
+                    cfg.clone(),
+                    policy_factory(),
+                    Arc::clone(&tenants),
+                    total_sets,
+                    base,
+                    local_sets,
+                )
+            })
+            .collect();
+        ShardedCache {
+            ports: (0..n).map(|_| Mutex::new(PortState::default())).collect(),
+            shards,
+            cfg,
+            total_sets,
+            sets_per_shard,
+            lines_per_shard: sets_per_shard * assoc,
+            tenants,
+            port_hold,
+        }
+    }
+
+    /// Number of shards actually built (≤ the requested count).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The modeled per-lookup port hold in cycles (0 = port model off).
+    pub fn port_hold(&self) -> u64 {
+        self.port_hold
+    }
+
+    /// Shard owning `(dev, lba)` — the high bits of the logical set index.
+    fn shard_of(&self, dev: u32, lba: Lba) -> usize {
+        global_set_of(dev, lba, self.total_sets) / self.sets_per_shard
+    }
+
+    /// Shard and shard-local line behind a global line id.
+    fn locate(&self, line: LineId) -> (usize, LineId) {
+        let shard = line.0 as usize / self.lines_per_shard;
+        (shard, LineId(line.0 % self.lines_per_shard as u32))
+    }
+
+    /// Globalize a shard-local line id.
+    fn globalize(&self, shard: usize, line: LineId) -> LineId {
+        LineId((shard * self.lines_per_shard) as u32 + line.0)
+    }
+
+    fn map_lookup(&self, shard: usize, lookup: CacheLookup) -> CacheLookup {
+        match lookup {
+            CacheLookup::Hit { line, token } => CacheLookup::Hit {
+                line: self.globalize(shard, line),
+                token,
+            },
+            CacheLookup::Busy { line } => CacheLookup::Busy {
+                line: self.globalize(shard, line),
+            },
+            CacheLookup::Miss {
+                line,
+                dma,
+                writeback,
+            } => CacheLookup::Miss {
+                line: self.globalize(shard, line),
+                dma,
+                writeback,
+            },
+            CacheLookup::NoLineAvailable => CacheLookup::NoLineAvailable,
+        }
+    }
+
+    /// Charge one lookup's occupancy of its shard's access port and return
+    /// the modeled cycles (queue wait + hold). The port is a FIFO server:
+    /// an acquire at `now` waits until the port frees, then holds it for
+    /// `port_hold` cycles — the cache-side analogue of the NVMe topology
+    /// lock's doorbell serialization. Free (returns 0, takes no lock) when
+    /// the hold is 0, so the default stack pays nothing.
+    pub fn port_acquire(&self, dev: u32, lba: Lba, now: u64) -> u64 {
+        if self.port_hold == 0 {
+            return 0;
+        }
+        let mut port = self.ports[self.shard_of(dev, lba)].lock();
+        port.acquires += 1;
+        let wait = port.busy_until.saturating_sub(now);
+        port.busy_until = port.busy_until.max(now) + self.port_hold;
+        port.wait_cycles += wait;
+        wait + self.port_hold
+    }
+
+    /// Cycles spent queued on each shard's access port.
+    pub fn port_wait_by_shard(&self) -> Vec<u64> {
+        self.ports.iter().map(|p| p.lock().wait_cycles).collect()
+    }
+
+    /// Acquisitions of each shard's access port.
+    pub fn port_acquires_by_shard(&self) -> Vec<u64> {
+        self.ports.iter().map(|p| p.lock().acquires).collect()
+    }
+
+    /// Install a trace sink on every shard (the first sink wins, as on
+    /// [`SoftwareCache::set_trace_sink`]). Returns `false` if any shard
+    /// already had one.
+    pub fn set_trace_sink(&self, sink: Arc<dyn TraceSink>) -> bool {
+        let mut all = true;
+        for shard in &self.shards {
+            all &= shard.set_trace_sink(Arc::clone(&sink));
+        }
+        all
+    }
+
+    /// Publish the current sim time to every shard for trace timestamps.
+    #[inline]
+    pub fn set_time_hint(&self, now: u64) {
+        for shard in &self.shards {
+            shard.set_time_hint(now);
+        }
+    }
+
+    /// Logical cache geometry (the whole cache, not one shard).
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Replacement policy name (every shard runs the same policy).
+    pub fn policy_name(&self) -> &str {
+        self.shards[0].policy_name()
+    }
+
+    /// Online share-weight update for `tenant`, fanned out to **every**
+    /// shard's policy so the control plane's single actuation keeps all
+    /// quota views coherent. Returns the installed weight (identical across
+    /// shards) or the first error.
+    pub fn set_tenant_share(&self, tenant: u32, weight: u64) -> Result<u64, ShareError> {
+        let mut installed = Err(ShareError::Unsupported);
+        for shard in &self.shards {
+            installed = Ok(shard.set_tenant_share(tenant, weight)?);
+        }
+        installed
+    }
+
+    /// Current share weight of `tenant` (shards agree; shard 0 is asked).
+    pub fn tenant_share(&self, tenant: u32) -> Option<u64> {
+        self.shards[0].tenant_share(tenant)
+    }
+
+    /// Total lines across all shards (equals `config().num_lines()`).
+    pub fn num_lines(&self) -> usize {
+        self.shards.iter().map(|s| s.num_lines()).sum()
+    }
+
+    /// Per-tenant counter snapshot over the whole logical cache (the table
+    /// is shared by every shard).
+    pub fn tenant_stats(&self) -> Vec<TenantCacheStats> {
+        self.tenants.snapshot()
+    }
+
+    /// The shared per-tenant accounting table (live occupancy gauges).
+    pub fn tenant_table(&self) -> &Arc<TenantTable> {
+        &self.tenants
+    }
+
+    /// Aggregate counters over all shards.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for s in self.shards.iter().map(|s| s.stats()) {
+            total.hits += s.hits;
+            total.busy_hits += s.busy_hits;
+            total.misses += s.misses;
+            total.evictions += s.evictions;
+            total.writebacks += s.writebacks;
+            total.no_line += s.no_line;
+        }
+        total
+    }
+
+    /// Per-shard counter snapshots, indexed by shard.
+    pub fn stats_by_shard(&self) -> Vec<CacheStats> {
+        self.shards.iter().map(|s| s.stats()).collect()
+    }
+
+    /// The way behind a (global) line id.
+    pub fn way(&self, line: LineId) -> &Way {
+        let (shard, local) = self.locate(line);
+        self.shards[shard].way(local)
+    }
+
+    /// Non-blocking lookup without tenant attribution; see
+    /// [`SoftwareCache::lookup_or_reserve`].
+    pub fn lookup_or_reserve(&self, dev: u32, lba: Lba) -> CacheLookup {
+        let shard = self.shard_of(dev, lba);
+        let lookup = self.shards[shard].lookup_or_reserve(dev, lba);
+        self.map_lookup(shard, lookup)
+    }
+
+    /// Non-blocking lookup attributed to `tenant`; see
+    /// [`SoftwareCache::lookup_or_reserve_as`].
+    pub fn lookup_or_reserve_as(&self, dev: u32, lba: Lba, tenant: u32) -> CacheLookup {
+        let shard = self.shard_of(dev, lba);
+        let lookup = self.shards[shard].lookup_or_reserve_as(dev, lba, tenant);
+        self.map_lookup(shard, lookup)
+    }
+
+    /// Probe without reserving; see [`SoftwareCache::peek`].
+    pub fn peek(&self, dev: u32, lba: Lba) -> Option<PageToken> {
+        self.shards[self.shard_of(dev, lba)].peek(dev, lba)
+    }
+
+    /// Mark a reserved line filled; see [`SoftwareCache::complete_fill`].
+    pub fn complete_fill(&self, line: LineId) {
+        let (shard, local) = self.locate(line);
+        self.shards[shard].complete_fill(local);
+    }
+
+    /// Abandon a reservation; see [`SoftwareCache::abort_fill`].
+    pub fn abort_fill(&self, line: LineId) {
+        let (shard, local) = self.locate(line);
+        self.shards[shard].abort_fill(local);
+    }
+
+    /// Re-install a dirty victim whose write-back could not issue; see
+    /// [`SoftwareCache::reinstate_victim`].
+    pub fn reinstate_victim(&self, line: LineId, dev: u32, lba: Lba, token: PageToken) {
+        let (shard, local) = self.locate(line);
+        self.shards[shard].reinstate_victim(local, dev, lba, token);
+    }
+
+    /// Store `token` into the line and mark it dirty.
+    pub fn store(&self, line: LineId, token: PageToken) {
+        let (shard, local) = self.locate(line);
+        self.shards[shard].store(local, token);
+    }
+
+    /// Read the token currently held by a line.
+    pub fn read(&self, line: LineId) -> PageToken {
+        let (shard, local) = self.locate(line);
+        self.shards[shard].read(local)
+    }
+
+    /// Current state of a line.
+    pub fn state(&self, line: LineId) -> LineState {
+        let (shard, local) = self.locate(line);
+        self.shards[shard].state(local)
+    }
+
+    /// Pin a line (additional reader).
+    pub fn pin(&self, line: LineId) {
+        let (shard, local) = self.locate(line);
+        self.shards[shard].pin(local);
+    }
+
+    /// Release a pin.
+    pub fn unpin(&self, line: LineId) {
+        let (shard, local) = self.locate(line);
+        self.shards[shard].unpin(local);
+    }
+
+    /// Preload `(dev, lba) → token` as clean data; see
+    /// [`SoftwareCache::preload`].
+    pub fn preload(&self, dev: u32, lba: Lba, token: PageToken) -> bool {
+        self.shards[self.shard_of(dev, lba)].preload(dev, lba, token)
+    }
+
+    /// Total pinned lines across all shards.
+    pub fn total_pins(&self) -> u64 {
+        self.shards.iter().map(|s| s.total_pins()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{ClockPolicy, TenantShare};
+    use agile_sim::units::SSD_PAGE_SIZE;
+
+    fn cfg(lines: u64, assoc: u32) -> CacheConfig {
+        CacheConfig {
+            capacity_bytes: lines * SSD_PAGE_SIZE,
+            line_size: SSD_PAGE_SIZE,
+            associativity: assoc,
+        }
+    }
+
+    fn sharded(lines: u64, assoc: u32, shards: usize) -> ShardedCache {
+        ShardedCache::new(
+            cfg(lines, assoc),
+            shards,
+            0,
+            || Box::new(ClockPolicy::new()),
+        )
+    }
+
+    /// Drive the same access sequence against a flat cache and against N
+    /// shards; with the deterministic clock policy the two must agree on
+    /// every outcome kind and on the aggregate counters.
+    #[test]
+    fn structural_sharding_is_outcome_identical_to_flat() {
+        for shards in [2usize, 4, 8] {
+            let flat = SoftwareCache::new(cfg(64, 4), Box::new(ClockPolicy::new()));
+            let split = sharded(64, 4, shards);
+            assert_eq!(split.num_shards(), shards);
+            assert_eq!(split.num_lines(), flat.num_lines());
+            for round in 0..400u64 {
+                // A mix of reuse and fresh addresses across two devices.
+                let dev = (round % 2) as u32;
+                let lba = if round % 3 == 0 {
+                    round % 7
+                } else {
+                    1_000 + round
+                };
+                let a = flat.lookup_or_reserve(dev, lba);
+                let b = split.lookup_or_reserve(dev, lba);
+                let kind = |l: &CacheLookup| match l {
+                    CacheLookup::Hit { .. } => 0,
+                    CacheLookup::Busy { .. } => 1,
+                    CacheLookup::Miss { .. } => 2,
+                    CacheLookup::NoLineAvailable => 3,
+                };
+                assert_eq!(kind(&a), kind(&b), "round {round} diverged");
+                for (c, l) in [(&flat as &dyn Fill, &a), (&split as &dyn Fill, &b)] {
+                    c.finish(l);
+                }
+            }
+            let (f, s) = (flat.stats(), split.stats());
+            assert_eq!(f.hits, s.hits);
+            assert_eq!(f.misses, s.misses);
+            assert_eq!(f.evictions, s.evictions);
+            assert_eq!(flat.total_pins(), 0);
+            assert_eq!(split.total_pins(), 0);
+        }
+    }
+
+    /// Minimal fill-completion shim so the flat and sharded caches can be
+    /// driven identically in tests.
+    trait Fill {
+        fn finish(&self, lookup: &CacheLookup);
+    }
+    impl Fill for SoftwareCache {
+        fn finish(&self, lookup: &CacheLookup) {
+            match lookup {
+                CacheLookup::Hit { line, .. } => self.unpin(*line),
+                CacheLookup::Miss { line, dma, .. } => {
+                    dma.store(PageToken(line.0 as u64));
+                    self.complete_fill(*line);
+                    self.unpin(*line);
+                }
+                _ => {}
+            }
+        }
+    }
+    impl Fill for ShardedCache {
+        fn finish(&self, lookup: &CacheLookup) {
+            match lookup {
+                CacheLookup::Hit { line, .. } => self.unpin(*line),
+                CacheLookup::Miss { line, dma, .. } => {
+                    dma.store(PageToken(line.0 as u64));
+                    self.complete_fill(*line);
+                    self.unpin(*line);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn line_ids_round_trip_through_the_global_space() {
+        let c = sharded(64, 4, 4);
+        assert!(c.preload(0, 42, PageToken(7)));
+        let CacheLookup::Hit { line, token } = c.lookup_or_reserve(0, 42) else {
+            panic!("expected hit");
+        };
+        assert_eq!(token, PageToken(7));
+        assert_eq!(c.read(line), PageToken(7));
+        assert_eq!(c.state(line), LineState::Ready);
+        c.store(line, PageToken(8));
+        assert_eq!(c.state(line), LineState::Modified);
+        c.unpin(line);
+        assert_eq!(c.total_pins(), 0);
+        assert_eq!(c.peek(0, 42), Some(PageToken(8)));
+    }
+
+    #[test]
+    fn tenant_accounting_is_global_across_shards() {
+        let c = ShardedCache::new(cfg(64, 4), 4, 0, || Box::new(TenantShare::new()));
+        // Fill lines from many addresses (landing on different shards) as
+        // two tenants; the shared table must aggregate across shards.
+        for lba in 0..24u64 {
+            let tenant = (lba % 2) as u32;
+            match c.lookup_or_reserve_as(0, lba, tenant) {
+                CacheLookup::Miss { line, dma, .. } => {
+                    dma.store(PageToken(lba));
+                    c.complete_fill(line);
+                    c.unpin(line);
+                }
+                CacheLookup::Hit { line, .. } => c.unpin(line),
+                _ => {}
+            }
+        }
+        let stats = c.tenant_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(
+            stats.iter().map(|t| t.occupancy).sum::<u64>(),
+            c.tenant_table().total_occupancy()
+        );
+        assert_eq!(stats[0].fills + stats[1].fills, 24);
+        // Share updates fan out: both the queryable weight and every shard's
+        // policy observe the new value.
+        assert_eq!(c.set_tenant_share(0, 3), Ok(3));
+        assert_eq!(c.tenant_share(0), Some(3));
+    }
+
+    #[test]
+    fn share_updates_on_oblivious_policies_are_unsupported() {
+        let c = sharded(64, 4, 2);
+        assert_eq!(c.set_tenant_share(0, 2), Err(ShareError::Unsupported));
+    }
+
+    #[test]
+    fn port_model_charges_queue_wait_only_when_enabled() {
+        let free = sharded(64, 4, 2);
+        assert_eq!(free.port_acquire(0, 1, 0), 0, "hold 0 ⇒ no cost");
+        assert_eq!(free.port_wait_by_shard(), vec![0, 0]);
+
+        let held = ShardedCache::new(cfg(64, 4), 1, 100, || Box::new(ClockPolicy::new()));
+        // Three back-to-back acquires at the same instant: FIFO queueing.
+        assert_eq!(held.port_acquire(0, 1, 0), 100);
+        assert_eq!(held.port_acquire(0, 2, 0), 200);
+        assert_eq!(held.port_acquire(0, 3, 0), 300);
+        assert_eq!(held.port_wait_by_shard(), vec![300]);
+        assert_eq!(held.port_acquires_by_shard(), vec![3]);
+        // After the queue drains, an acquire pays only the hold.
+        assert_eq!(held.port_acquire(0, 4, 1_000), 100);
+    }
+
+    #[test]
+    fn shard_count_is_clamped_to_whole_sets() {
+        // 4 sets cannot support 16 shards: clamp to one set per shard.
+        let c = sharded(16, 4, 16);
+        assert_eq!(c.num_shards(), 4);
+        assert_eq!(c.num_lines(), 16);
+    }
+}

@@ -31,8 +31,8 @@ use crate::qos::{QosDecision, QosPolicy};
 use crate::sq_protocol::AgileSq;
 use crate::transaction::{AgileBuf, Barrier, Transaction};
 use agile_cache::{
-    CacheLookup, CachePolicy, ClockPolicy, FifoPolicy, LruPolicy, RandomPolicy, ShareTable,
-    SoftwareCache, TenantShare,
+    CacheLookup, CachePolicy, ClockPolicy, FifoPolicy, LruPolicy, RandomPolicy, ShardedCache,
+    ShareTable, TenantShare,
 };
 use agile_metrics::{Counter, CounterFamily, LabelDim, Labels, MetricsRegistry};
 use agile_sim::trace::{TraceEvent, TraceEventKind, TraceSink};
@@ -165,7 +165,7 @@ pub struct DeviceQueues {
 /// The AGILE controller shared by user kernels and the service kernel.
 pub struct AgileCtrl {
     cfg: AgileConfig,
-    cache: SoftwareCache,
+    cache: ShardedCache,
     share_table: Option<ShareTable>,
     devices: Vec<DeviceQueues>,
     /// The storage topology behind the queues: striping map plus the modeled
@@ -228,7 +228,12 @@ impl AgileCtrl {
         device_queues: Vec<Vec<Arc<QueuePair>>>,
         topology: Option<Arc<dyn StorageTopology>>,
     ) -> Self {
-        let cache = SoftwareCache::new(cfg.cache.clone(), build_policy(&cfg));
+        let cache = ShardedCache::new(
+            cfg.cache.clone(),
+            cfg.cache_shards.max(1),
+            cfg.cache_port_hold,
+            || build_policy(&cfg),
+        );
         let share_table = cfg
             .share_table_enabled
             .then(|| ShareTable::with_capacity(cfg.share_table_capacity));
@@ -308,8 +313,10 @@ impl AgileCtrl {
         &self.cfg
     }
 
-    /// The software cache (exposed for preloading and statistics).
-    pub fn cache(&self) -> &SoftwareCache {
+    /// The software cache (exposed for preloading and statistics). One
+    /// logical cache split across `cache_shards` set ranges; `cache_shards=1`
+    /// is the historical single cache, bit-for-bit.
+    pub fn cache(&self) -> &ShardedCache {
         &self.cache
     }
 
@@ -552,7 +559,7 @@ impl AgileCtrl {
     /// service processes the completions.
     ///
     /// Untenanted: cache accounting is skipped and trace events carry the
-    /// pre-threading tenant value (0); multi-tenant workloads use
+    /// `NO_TENANT` sentinel (`u32::MAX`); multi-tenant workloads use
     /// [`AgileCtrl::prefetch_warp_as`].
     pub fn prefetch_warp(
         &self,
@@ -589,6 +596,9 @@ impl AgileCtrl {
         let mut retry = Vec::new();
 
         for &(dev, lba) in &coalesced.unique {
+            // The shard's access port: FIFO queue wait + hold, exactly like
+            // the submit path's array lock. Free when unmodeled (hold 0).
+            cost += Cycles(self.cache.port_acquire(dev, lba, now.raw()));
             match self.cache.lookup_or_reserve_as(dev, lba, tenant) {
                 CacheLookup::Hit { line, .. } => {
                     cost += Cycles(api.agile_cache_hit);
@@ -660,7 +670,7 @@ impl AgileCtrl {
     /// Array-like synchronous read for one warp: returns the tokens for all
     /// lanes if everything is resident, otherwise issues the missing fills
     /// and asks the caller to retry. Untenanted: cache accounting is
-    /// skipped and trace events carry the pre-threading tenant value (0);
+    /// skipped and trace events carry the `NO_TENANT` sentinel (`u32::MAX`);
     /// multi-tenant workloads use [`AgileCtrl::read_warp_as`].
     pub fn read_warp(
         &self,
@@ -694,6 +704,7 @@ impl AgileCtrl {
         let mut all_ready = true;
 
         for (uidx, &(dev, lba)) in coalesced.unique.iter().enumerate() {
+            cost += Cycles(self.cache.port_acquire(dev, lba, now.raw()));
             match self.cache.lookup_or_reserve_as(dev, lba, tenant) {
                 CacheLookup::Hit { line, token } => {
                     cost += Cycles(api.agile_cache_hit);
@@ -771,7 +782,7 @@ impl AgileCtrl {
     /// write-back NVMe command first, exactly like the read path. Returns
     /// the cost and whether the store landed (false = retry later).
     /// Untenanted: cache accounting is skipped and trace events carry the
-    /// pre-threading tenant value (0); multi-tenant workloads use
+    /// `NO_TENANT` sentinel (`u32::MAX`); multi-tenant workloads use
     /// [`AgileCtrl::write_warp_as`].
     pub fn write_warp(
         &self,
@@ -798,17 +809,18 @@ impl AgileCtrl {
     ) -> (Cycles, bool) {
         self.cache.set_time_hint(now.raw());
         let api = &self.cfg.costs.api;
+        let port = Cycles(self.cache.port_acquire(dev, lba, now.raw()));
         match self.cache.lookup_or_reserve_as(dev, lba, tenant) {
             CacheLookup::Hit { line, .. } => {
                 self.cache.store(line, token);
                 self.cache.unpin(line);
-                self.bump_cache(api.agile_cache_hit);
-                (Cycles(api.agile_cache_hit), true)
+                self.bump_cache(port.raw() + api.agile_cache_hit);
+                (port + Cycles(api.agile_cache_hit), true)
             }
             CacheLookup::Miss {
                 line, writeback, ..
             } => {
-                let mut cost = Cycles(api.agile_cache_miss);
+                let mut cost = port + Cycles(api.agile_cache_miss);
                 // The victim held dirty data: write it back (from a
                 // snapshot) before the line is reused, or the modification
                 // is lost.
@@ -839,8 +851,8 @@ impl AgileCtrl {
                 (cost, true)
             }
             CacheLookup::Busy { .. } | CacheLookup::NoLineAvailable => {
-                self.bump_cache(api.agile_cache_miss);
-                (Cycles(api.agile_cache_miss), false)
+                self.bump_cache(port.raw() + api.agile_cache_miss);
+                (port + Cycles(api.agile_cache_miss), false)
             }
         }
     }
@@ -889,7 +901,8 @@ impl AgileCtrl {
             }
         }
 
-        // 2. Software cache.
+        // 2. Software cache (pay the shard's access port when modeled).
+        cost += Cycles(self.cache.port_acquire(dev, lba, now.raw()));
         if let Some(token) = self.cache.peek(dev, lba) {
             cost += Cycles(api.agile_cache_hit);
             self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);

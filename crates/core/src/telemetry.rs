@@ -49,6 +49,20 @@ pub trait CacheStatsProvider: Send + Sync {
     fn cache_stats(&self) -> CacheStats;
     /// Per-tenant counters, ordered by tenant id.
     fn cache_tenant_stats(&self) -> Vec<TenantCacheStats>;
+    /// Per-shard counters, indexed by cache shard. The default reports the
+    /// whole cache as one shard (unsharded providers).
+    fn cache_shard_stats(&self) -> Vec<CacheStats> {
+        vec![self.cache_stats()]
+    }
+    /// Cycles queued on each cache shard's access port (empty or all-zero
+    /// when the port model is off).
+    fn cache_port_wait_by_shard(&self) -> Vec<u64> {
+        Vec::new()
+    }
+    /// Acquisitions of each cache shard's access port.
+    fn cache_port_acquires_by_shard(&self) -> Vec<u64> {
+        Vec::new()
+    }
 }
 
 impl CacheStatsProvider for AgileCtrl {
@@ -57,6 +71,15 @@ impl CacheStatsProvider for AgileCtrl {
     }
     fn cache_tenant_stats(&self) -> Vec<TenantCacheStats> {
         self.cache().tenant_stats()
+    }
+    fn cache_shard_stats(&self) -> Vec<CacheStats> {
+        self.cache().stats_by_shard()
+    }
+    fn cache_port_wait_by_shard(&self) -> Vec<u64> {
+        self.cache().port_wait_by_shard()
+    }
+    fn cache_port_acquires_by_shard(&self) -> Vec<u64> {
+        self.cache().port_acquires_by_shard()
     }
 }
 
@@ -104,6 +127,29 @@ impl Collector for CacheCollector {
             counter(out, "agile_cache_tenant_fills_total", l, t.fills);
             counter(out, "agile_cache_tenant_evictions_total", l, t.evictions);
             gauge(out, "agile_cache_tenant_occupancy", l, t.occupancy);
+        }
+        // Per-shard families only when the cache is actually sharded: the
+        // single-shard rows would duplicate the aggregates above under a
+        // different key.
+        let shards = self.ctrl.cache_shard_stats();
+        if shards.len() > 1 {
+            for (shard, s) in shards.into_iter().enumerate() {
+                let l = Labels::shard(shard as u32);
+                counter(out, "agile_cache_shard_hits_total", l, s.hits);
+                counter(out, "agile_cache_shard_misses_total", l, s.misses);
+                counter(out, "agile_cache_shard_evictions_total", l, s.evictions);
+            }
+        }
+        // Port contention, mirroring the submit path's `agile_submit_lock_*`
+        // families: rows appear only once something was charged.
+        let waits = self.ctrl.cache_port_wait_by_shard();
+        let acquires = self.ctrl.cache_port_acquires_by_shard();
+        if acquires.iter().any(|&n| n > 0) {
+            for (shard, (wait, n)) in waits.into_iter().zip(acquires).enumerate() {
+                let l = Labels::shard(shard as u32);
+                counter(out, "agile_cache_port_wait_cycles_total", l, wait);
+                counter(out, "agile_cache_port_acquires_total", l, n);
+            }
         }
     }
 }

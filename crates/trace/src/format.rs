@@ -31,12 +31,16 @@ pub const TRACE_MAGIC: [u8; 4] = *b"AGTR";
 /// comparing cache events across captures know which convention a log used);
 /// 4 = the `CtrlDecision` event kind joined the event-kind space (the control
 /// plane's knob changes: `dev` = knob kind, `lba` = new value, `tenant` = the
-/// affected tenant or `u32::MAX` for global knobs; record layouts unchanged).
+/// affected tenant or `u32::MAX` for global knobs; record layouts unchanged);
+/// 5 = **untenanted** cache-path events carry the `u32::MAX` sentinel in the
+/// `tenant` field instead of 0, so they can no longer be conflated with the
+/// real tenant 0 in multi-tenant captures (record layouts unchanged — the
+/// field was always a full u32).
 /// Readers accept any version up to the current one — an old reader handed a
 /// newer log fails with the explicit
 /// [`TraceFormatError::UnsupportedVersion`] rather than a confusing
 /// misreading of the record stream.
-pub const FORMAT_VERSION: u16 = 4;
+pub const FORMAT_VERSION: u16 = 5;
 
 const EVENT_RECORD_BYTES: usize = 32;
 const OP_RECORD_BYTES: usize = 24;
@@ -479,20 +483,20 @@ mod tests {
 
     #[test]
     fn older_format_versions_still_parse() {
-        // The checked-in golden traces were written at versions 1 through 3;
-        // the v4 reader must keep accepting them (record layouts are
+        // The checked-in golden traces were written at versions 1 through 4;
+        // the v5 reader must keep accepting them (record layouts are
         // unchanged), while versions from the future stay rejected.
         let events = sample_events();
-        for old in [1u16, 2, 3] {
+        for old in [1u16, 2, 3, 4] {
             let mut bytes = encode_events(&events);
             bytes[4..6].copy_from_slice(&old.to_le_bytes());
             assert_eq!(decode_events(&bytes).unwrap(), events, "version {old}");
         }
-        let mut v5 = encode_events(&events);
-        v5[4..6].copy_from_slice(&5u16.to_le_bytes());
+        let mut v6 = encode_events(&events);
+        v6[4..6].copy_from_slice(&6u16.to_le_bytes());
         assert_eq!(
-            decode_events(&v5),
-            Err(TraceFormatError::UnsupportedVersion(5))
+            decode_events(&v6),
+            Err(TraceFormatError::UnsupportedVersion(6))
         );
         let mut v0 = encode_events(&events);
         v0[4..6].copy_from_slice(&0u16.to_le_bytes());

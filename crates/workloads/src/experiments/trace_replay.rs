@@ -211,6 +211,12 @@ pub struct ReplayReport {
     pub qos_deferrals: u64,
     /// Total cycles warps spent queued on the topology's lock shards.
     pub lock_wait_cycles: u64,
+    /// Set-range shards of the software cache the run was built with (1 =
+    /// the flat cache, bit-identical to the pre-sharding stack).
+    pub cache_shards: usize,
+    /// Total cycles warps spent queued on cache-shard access ports (always
+    /// 0 when the port model is off).
+    pub cache_port_wait_cycles: u64,
     /// Metrics capture, present when [`ReplayConfig::with_metrics`] was set.
     pub metrics: Option<MetricsReport>,
     /// Closed-loop control capture (decision log + final knob values),
@@ -267,6 +273,16 @@ impl ReplayReport {
         // shards is exactly the comparison the number exists for.
         if self.shards > 1 && self.lock_wait_cycles > 0 {
             s.push_str(&format!(" lock_wait={}", self.lock_wait_cycles));
+        }
+        // Cache sharding prints only when actually sharded: the default of 1
+        // is contractually byte-identical to the flat cache, goldens
+        // included. Port wait follows the lock_wait rule — only for genuine
+        // multi-shard runs where splitting the port is the comparison.
+        if self.cache_shards > 1 {
+            s.push_str(&format!(" cache_shards={}", self.cache_shards));
+            if self.cache_port_wait_cycles > 0 {
+                s.push_str(&format!(" cache_port_wait={}", self.cache_port_wait_cycles));
+            }
         }
         for t in &self.tenants {
             s.push_str(&format!(
@@ -352,6 +368,13 @@ pub struct ReplayConfig {
     /// Software-cache capacity override in bytes (`None` keeps each
     /// system's scaled-down default, 4 MiB). Applies to both systems.
     pub cache_bytes: Option<u64>,
+    /// Set-range shards of the software cache (≥ 1; applies to both
+    /// systems). Purely structural at the default `cache_port_hold` of 0 —
+    /// any shard count replays bit-identically.
+    pub cache_shards: usize,
+    /// Modeled cycles one cached lookup holds its shard's access port
+    /// (0 = port model off).
+    pub cache_port_hold: u64,
     /// Partition warps by tenant (each warp replays one tenant's ops) — the
     /// per-tenant virtual queues a QoS policy arbitrates. See
     /// [`TraceReplayParams::tenant_warps`].
@@ -395,6 +418,8 @@ impl Default for ReplayConfig {
             cache_shares: Vec::new(),
             prefetch_depth: 1,
             cache_bytes: None,
+            cache_shards: 1,
+            cache_port_hold: 0,
             tenant_warps: false,
             service_shards: 1,
             engine_sched: EngineSched::EventQueue,
@@ -540,6 +565,22 @@ impl ReplayConfig {
         self
     }
 
+    /// Split the software cache into `shards` set-range shards (clamped to
+    /// ≥ 1; both systems). Pair with [`ReplayConfig::with_cache_port_hold`]
+    /// to model the port contention sharding relieves — without it the
+    /// split is purely structural and replays bit-identically.
+    pub fn with_cache_shards(mut self, shards: usize) -> Self {
+        self.cache_shards = shards.max(1);
+        self
+    }
+
+    /// Model cache-port contention: each cached lookup holds its shard's
+    /// access port for `cycles` (0 disables the model).
+    pub fn with_cache_port_hold(mut self, cycles: u64) -> Self {
+        self.cache_port_hold = cycles;
+        self
+    }
+
     /// Select the striping layer's placement seed (pair with
     /// [`ReplayConfig::striped`] / [`ReplayConfig::sharded`]).
     pub fn with_placement(mut self, placement: Placement) -> Self {
@@ -625,6 +666,8 @@ fn finish_report(
         engine_rounds,
         qos_deferrals: 0,
         lock_wait_cycles: 0,
+        cache_shards: cfg.cache_shards.max(1),
+        cache_port_wait_cycles: 0,
         metrics: None,
         control: None,
     }
@@ -713,7 +756,9 @@ pub fn run_trace_replay_with_sink(
         ReplaySystem::Agile => {
             let mut config = AgileConfig::small_test()
                 .with_queue_pairs(cfg.queue_pairs)
-                .with_queue_depth(cfg.queue_depth);
+                .with_queue_depth(cfg.queue_depth)
+                .with_cache_shards(cfg.cache_shards)
+                .with_cache_port_hold(cfg.cache_port_hold);
             if let Some(bytes) = cfg.cache_bytes {
                 config = config.with_cache_bytes(bytes);
             }
@@ -756,6 +801,7 @@ pub fn run_trace_replay_with_sink(
             let mut report = drive(&mut host, launch, factory, system, &trace, cfg, &collector);
             report.service_stats = host.service_set().partition_stats();
             report.qos_deferrals = ctrl.stats().qos_deferrals;
+            report.cache_port_wait_cycles = ctrl.cache().port_wait_by_shard().iter().sum();
             if cfg.tenant_warps {
                 report.tenant_cache = ctrl.cache().tenant_stats();
             }
@@ -776,7 +822,9 @@ pub fn run_trace_replay_with_sink(
         ReplaySystem::Bam => {
             let mut config = BamConfig::small_test()
                 .with_queue_pairs(cfg.queue_pairs)
-                .with_queue_depth(cfg.queue_depth);
+                .with_queue_depth(cfg.queue_depth)
+                .with_cache_shards(cfg.cache_shards)
+                .with_cache_port_hold(cfg.cache_port_hold);
             if let Some(bytes) = cfg.cache_bytes {
                 config = config.with_cache_bytes(bytes);
             }
@@ -812,6 +860,7 @@ pub fn run_trace_replay_with_sink(
             ));
             let mut report = drive(&mut host, launch, factory, system, &trace, cfg, &collector);
             report.qos_deferrals = ctrl.stats().qos_deferrals;
+            report.cache_port_wait_cycles = ctrl.cache().port_wait_by_shard().iter().sum();
             if cfg.tenant_warps {
                 report.tenant_cache = ctrl.cache().tenant_stats();
             }

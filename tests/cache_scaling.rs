@@ -1,0 +1,122 @@
+//! Set-range cache-shard scale-out gates.
+//!
+//! Two invariants keep the [`agile_repro::cache::ShardedCache`] refactor
+//! honest:
+//!
+//! 1. **Default = flat, bit for bit.** Sharding is purely structural at the
+//!    default port hold of 0: the `(dev, lba) → set` hash spans the logical
+//!    set space, so `cache_shards = N` replays byte-identically to
+//!    `cache_shards = 1` on any trace, for both systems — property-tested
+//!    here on random multi-tenant traces; the golden-trace suite pins the
+//!    `cache_shards = 1` output against the pre-sharding stack.
+//! 2. **Scale-out scales.** With the access-port contention model on
+//!    (`cache_port_hold > 0`), every cached lookup queues on its shard's
+//!    port; splitting one port into N must relieve the serialization.
+//!    At 32 SSDs the sweep's best shard count must beat the single-port
+//!    cache by ≥ 1.1× aggregate replay IOPS.
+
+use agile_repro::trace::TraceSpec;
+use agile_repro::workloads::experiments::trace_replay::{
+    run_trace_replay, ReplayConfig, ReplaySystem,
+};
+use proptest::prelude::*;
+
+/// Modeled port-hold cycles for the contention rig — the same order as the
+/// topology lock's hold, so the port is a comparable bottleneck.
+const PORT_HOLD_CYCLES: u64 = 600;
+
+/// The 32-SSD cached-path contention rig: a sharded-lock topology so the
+/// submit path is not the bottleneck, the cached replay path so every op
+/// crosses the software cache, and a nonzero port hold so lookups queue on
+/// their shard's access port. With one shard every warp serializes on a
+/// single port; the shard sweep splits that port, which is exactly the
+/// ceiling the set-range sharding removes.
+fn contention_config() -> ReplayConfig {
+    ReplayConfig {
+        total_warps: 32,
+        window: 8,
+        queue_pairs: 4,
+        queue_depth: 32,
+        ..ReplayConfig::quick()
+    }
+    .cached()
+    .sharded(4)
+    .with_cache_port_hold(PORT_HOLD_CYCLES)
+}
+
+#[test]
+fn cache_shard_sweep_beats_flat_cache_iops_at_32_ssds() {
+    let trace = TraceSpec::uniform("cache-scale", 0xCA5E, 32, 1 << 14, 8_192).generate();
+    let one = run_trace_replay(
+        &trace,
+        ReplaySystem::Agile,
+        &contention_config().with_cache_shards(1),
+    );
+    assert!(!one.deadlocked);
+    assert_eq!(one.ops, 8_192, "the flat cache must complete the trace");
+    let mut best: Option<(usize, f64)> = None;
+    for shards in [2usize, 4, 8] {
+        let run = run_trace_replay(
+            &trace,
+            ReplaySystem::Agile,
+            &contention_config().with_cache_shards(shards),
+        );
+        assert!(!run.deadlocked);
+        assert_eq!(run.ops, 8_192, "{shards}-shard run must complete the trace");
+        assert_eq!(run.cache_shards, shards);
+        println!(
+            "cache scale-out: {} shards {:.0} IOPS ({:+.1}% vs 1 shard {:.0}), port_wait={}",
+            shards,
+            run.iops,
+            (run.iops / one.iops - 1.0) * 100.0,
+            one.iops,
+            run.cache_port_wait_cycles
+        );
+        if best.is_none_or(|(_, iops)| run.iops > iops) {
+            best = Some((shards, run.iops));
+        }
+    }
+    let (shards, iops) = best.expect("sweep ran");
+    assert!(
+        iops > one.iops * 1.1,
+        "the sweep's best shard count ({shards}) must beat the single-port \
+         cache by >= 1.1x aggregate IOPS ({:.0} vs {:.0}; with one shard \
+         every cached lookup serializes on a single access port)",
+        iops,
+        one.iops
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// With the port model off (the default), `cache_shards = N` is purely
+    /// structural: replay summaries are byte-identical to `cache_shards = 1`
+    /// for N in {2, 4}, on both systems, across random multi-tenant traces.
+    /// Only the `cache_shards=` echo may differ — strip it before comparing.
+    #[test]
+    fn structural_sharding_replays_bit_identical_to_flat(seed in 0u64..1_000) {
+        let trace = TraceSpec::multi_tenant("cache-eq", seed, 2, 1 << 13, 512).generate();
+        let base = ReplayConfig::quick().cached();
+        for system in [ReplaySystem::Agile, ReplaySystem::Bam] {
+            let flat = run_trace_replay(&trace, system, &base);
+            prop_assert_eq!(flat.cache_shards, 1);
+            for shards in [2usize, 4] {
+                let sharded = run_trace_replay(
+                    &trace,
+                    system,
+                    &base.clone().with_cache_shards(shards),
+                );
+                prop_assert_eq!(
+                    sharded.summary().replace(&format!(" cache_shards={shards}"), ""),
+                    flat.summary(),
+                    "structural sharding (port hold 0) must replay bit-identically"
+                );
+                prop_assert_eq!(
+                    sharded.cache_port_wait_cycles, 0,
+                    "no port model, no port wait"
+                );
+            }
+        }
+    }
+}
