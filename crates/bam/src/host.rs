@@ -9,7 +9,8 @@
 use crate::ctrl::{BamConfig, BamCtrl};
 use agile_control::{ControlBridge, ControlPolicy, Controller, KnobSet, SloSpec, TenantWeights};
 use agile_core::control::QosWeights;
-use agile_core::host::{GpuStorageHost, SsdBridge};
+use agile_core::host::{GpuStorageHost, ShardSsdBridge};
+use agile_sim::trace::BufferedSink;
 use agile_core::qos::QosPolicy;
 use agile_core::telemetry::{CacheCollector, MetricsBridge, TopologyCollector};
 use agile_metrics::{MetricsRegistry, WindowedSampler};
@@ -45,6 +46,9 @@ pub struct BamHost {
     control: Option<(ControlPolicy, Vec<SloSpec>)>,
     /// The live controller, once started with a control plane.
     controller: Option<Arc<Controller>>,
+    /// Per-shard trace buffers, present only when a sink is installed under a
+    /// threaded engine; drained as epoch mailboxes at [`BamHost::start`].
+    trace_buffers: std::sync::Mutex<Vec<Arc<BufferedSink>>>,
 }
 
 impl BamHost {
@@ -64,7 +68,13 @@ impl BamHost {
             sampler: None,
             control: None,
             controller: None,
+            trace_buffers: std::sync::Mutex::new(Vec::new()),
         }
+    }
+
+    /// Whether the configured engine scheduler actually runs worker threads.
+    fn threaded_engine(&self) -> bool {
+        matches!(self.engine_sched, EngineSched::ParallelShards(n) if n > 1)
     }
 
     /// Select the engine's scheduling loop (default: the event-driven
@@ -154,7 +164,23 @@ impl BamHost {
     /// [`BamHost::init_nvme`]; the first sink installed wins.
     pub fn set_trace_sink(&self, sink: Arc<dyn TraceSink>) -> bool {
         let ctrl_fresh = self.ctrl().set_trace_sink(Arc::clone(&sink));
-        let dev_fresh = self.topology().set_trace_sink(&sink);
+        let dev_fresh = if self.threaded_engine() {
+            let topology = self.topology();
+            let mut buffers = self.trace_buffers.lock().unwrap();
+            let mut all_fresh = true;
+            for shard in 0..topology.shard_count() {
+                let buffered = Arc::new(BufferedSink::new(Arc::clone(&sink)));
+                let as_sink: Arc<dyn TraceSink> = Arc::clone(&buffered) as Arc<dyn TraceSink>;
+                if topology.set_shard_trace_sink(shard, &as_sink) {
+                    buffers.push(buffered);
+                } else {
+                    all_fresh = false;
+                }
+            }
+            all_fresh
+        } else {
+            self.topology().set_trace_sink(&sink)
+        };
         ctrl_fresh && dev_fresh
     }
 
@@ -234,7 +260,23 @@ impl BamHost {
         assert!(self.ctrl.is_some(), "init_nvme must run before start");
         let mut engine = Engine::new(self.gpu.clone());
         engine.set_scheduler(self.engine_sched);
-        engine.add_device(Box::new(SsdBridge::new(self.topology())));
+        let topology = self.topology();
+        for shard in 0..topology.shard_count() {
+            engine.add_shard_device(Box::new(ShardSsdBridge::new(Arc::clone(&topology), shard)));
+        }
+        {
+            let buffers = self.trace_buffers.lock().unwrap();
+            assert!(
+                !(self.threaded_engine()
+                    && self.ctrl().trace_sink().is_some()
+                    && buffers.is_empty()),
+                "trace sink installed before the ParallelShards scheduler was \
+                 selected; call set_engine_sched before set_trace_sink"
+            );
+            for buffered in buffers.iter() {
+                engine.add_mailbox(Arc::clone(buffered) as Arc<dyn gpu_sim::EpochMailbox>);
+            }
+        }
         if let Some(registry) = &self.metrics {
             engine.set_metrics(gpu_sim::EngineMetrics::bind(registry));
         }

@@ -338,4 +338,50 @@ fn main() {
         "ready_queue_speedup",
         format!("{:.1}x", wall_ms[1] / wall_ms[0]),
     )]);
+
+    print_header(
+        "Engine threads",
+        "the same sharded replay on 1/2/4 OS threads (ParallelShards): \
+         bit-identical simulated results, wall time is the delta",
+    );
+    // Sharded so the engine has shard-affine devices to partition; the warp
+    // stepping stays on the coordinator at every thread count.
+    let threaded_base = ReplayConfig {
+        total_warps: 1024,
+        window: 8,
+        ..ReplayConfig::default()
+    }
+    .sharded(4);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut seq_ms = 0.0f64;
+    for threads in [1usize, 2, 4] {
+        if threads > cores {
+            // Oversubscribed workers degrade the spin barrier to yield-loops
+            // and measure the OS scheduler, not the engine.
+            print_row(&[
+                ("threads", threads.to_string()),
+                ("skipped", format!("only {cores} usable core(s)")),
+            ]);
+            continue;
+        }
+        let cfg = threaded_base.clone().with_engine_threads(threads);
+        let t0 = std::time::Instant::now();
+        let r = run_trace_replay(&trace, ReplaySystem::Agile, &cfg);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        if threads == 1 {
+            seq_ms = ms;
+        }
+        print_row(&[
+            ("system", r.system.to_string()),
+            ("threads", threads.to_string()),
+            ("ops", r.ops.to_string()),
+            ("iops", format!("{:.0}", r.iops)),
+            ("rounds", r.engine_rounds.to_string()),
+            ("wall_ms", format!("{:.0}", ms)),
+            ("speedup", format!("{:.2}x", seq_ms / ms)),
+            ("deadlocked", r.deadlocked.to_string()),
+        ]);
+    }
 }

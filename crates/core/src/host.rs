@@ -35,7 +35,7 @@ use crate::service::{auto_service_warps, AgileServiceKernel, ServicePartition, S
 use crate::telemetry::{CacheCollector, MetricsBridge, ServiceCollector, TopologyCollector};
 use agile_control::{ControlBridge, ControlPolicy, Controller, SloSpec};
 use agile_metrics::{MetricsRegistry, WindowedSampler};
-use agile_sim::trace::TraceSink;
+use agile_sim::trace::{BufferedSink, TraceSink};
 use agile_sim::Cycles;
 use gpu_sim::registers::agile_footprints;
 use gpu_sim::{
@@ -117,6 +117,35 @@ impl ExternalDevice for SsdBridge {
     }
 }
 
+/// Bridges a single lock shard of a storage topology into the engine as a
+/// shard-affine device: one `ShardSsdBridge` per topology shard, registered
+/// in shard order so sequential schedulers advance shards exactly as the
+/// whole-topology [`SsdBridge`] did, and [`EngineSched::ParallelShards`] can
+/// partition them across worker threads.
+pub struct ShardSsdBridge {
+    topology: Arc<dyn StorageTopology>,
+    shard: usize,
+}
+
+impl ShardSsdBridge {
+    /// Wrap one shard of a shared topology.
+    pub fn new(topology: Arc<dyn StorageTopology>, shard: usize) -> Self {
+        ShardSsdBridge { topology, shard }
+    }
+}
+
+impl ExternalDevice for ShardSsdBridge {
+    fn advance_to(&mut self, now: Cycles) {
+        self.topology.advance_shard_to(self.shard, now);
+    }
+    fn next_event_time(&mut self) -> Option<Cycles> {
+        self.topology.shard_next_event_time(self.shard)
+    }
+    fn quiescent(&self) -> bool {
+        self.topology.shard_quiescent(self.shard)
+    }
+}
+
 /// The AGILE host: owns the GPU engine, the storage topology and the
 /// controller.
 pub struct AgileHost {
@@ -145,6 +174,9 @@ pub struct AgileHost {
     control: Option<(ControlPolicy, Vec<SloSpec>)>,
     /// The live controller, once started with a control plane.
     controller: Option<Arc<Controller>>,
+    /// Per-shard trace buffers, present only when a sink is installed under a
+    /// threaded engine; drained as epoch mailboxes at [`AgileHost::start_agile`].
+    trace_buffers: std::sync::Mutex<Vec<Arc<BufferedSink>>>,
 }
 
 impl AgileHost {
@@ -171,7 +203,13 @@ impl AgileHost {
             sampler: None,
             control: None,
             controller: None,
+            trace_buffers: std::sync::Mutex::new(Vec::new()),
         }
+    }
+
+    /// Whether the configured engine scheduler actually runs worker threads.
+    fn threaded_engine(&self) -> bool {
+        matches!(self.engine_sched, EngineSched::ParallelShards(n) if n > 1)
     }
 
     /// The GPU configuration.
@@ -295,9 +333,32 @@ impl AgileHost {
     /// SSD's completion path. Call after [`AgileHost::init_nvme`]; the first
     /// sink installed wins (returns `false` if one was already present).
     /// Recording costs one atomic load per hook when enabled-but-absent.
+    ///
+    /// Under a threaded engine ([`EngineSched::ParallelShards`] with more
+    /// than one thread) each shard's completion path records into a private
+    /// [`BufferedSink`] drained into `sink` in fixed shard order at every
+    /// epoch boundary, so the merged event stream is identical to a
+    /// sequential run. Choose the scheduler (via
+    /// [`AgileHost::set_engine_sched`]) *before* installing the sink.
     pub fn set_trace_sink(&self, sink: Arc<dyn TraceSink>) -> bool {
         let ctrl_fresh = self.ctrl().set_trace_sink(Arc::clone(&sink));
-        let dev_fresh = self.topology().set_trace_sink(&sink);
+        let dev_fresh = if self.threaded_engine() {
+            let topology = self.topology();
+            let mut buffers = self.trace_buffers.lock().unwrap();
+            let mut all_fresh = true;
+            for shard in 0..topology.shard_count() {
+                let buffered = Arc::new(BufferedSink::new(Arc::clone(&sink)));
+                let as_sink: Arc<dyn TraceSink> = Arc::clone(&buffered) as Arc<dyn TraceSink>;
+                if topology.set_shard_trace_sink(shard, &as_sink) {
+                    buffers.push(buffered);
+                } else {
+                    all_fresh = false;
+                }
+            }
+            all_fresh
+        } else {
+            self.topology().set_trace_sink(&sink)
+        };
         ctrl_fresh && dev_fresh
     }
 
@@ -404,7 +465,23 @@ impl AgileHost {
         assert!(!self.service_started, "start_agile called twice");
         let mut engine = Engine::new(self.gpu.clone());
         engine.set_scheduler(self.engine_sched);
-        engine.add_device(Box::new(SsdBridge::new(self.topology())));
+        let topology = self.topology();
+        for shard in 0..topology.shard_count() {
+            engine.add_shard_device(Box::new(ShardSsdBridge::new(Arc::clone(&topology), shard)));
+        }
+        {
+            let buffers = self.trace_buffers.lock().unwrap();
+            assert!(
+                !(self.threaded_engine()
+                    && self.ctrl().trace_sink().is_some()
+                    && buffers.is_empty()),
+                "trace sink installed before the ParallelShards scheduler was \
+                 selected; call set_engine_sched before set_trace_sink"
+            );
+            for buffered in buffers.iter() {
+                engine.add_mailbox(Arc::clone(buffered) as Arc<dyn gpu_sim::EpochMailbox>);
+            }
+        }
         if let Some(registry) = &self.metrics {
             engine.set_metrics(gpu_sim::EngineMetrics::bind(registry));
         }

@@ -75,7 +75,7 @@ pub mod transaction;
 pub use config::AgileConfig;
 pub use control::{knob_set, CacheShares, QosWeights};
 pub use ctrl::{AgileCtrl, ApiStats, CtrlMetrics, IssueOutcome, ReadOutcome};
-pub use host::{AgileHost, GpuStorageHost};
+pub use host::{AgileHost, GpuStorageHost, ShardSsdBridge, SsdBridge};
 pub use lockchain::{AgileLockChain, DeadlockReport, LockRegistry};
 pub use qos::{
     Fifo, QosDecision, QosPolicy, QosTenantStats, StrictPriority, WeightError, WeightedFair,

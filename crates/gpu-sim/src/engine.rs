@@ -24,6 +24,43 @@
 //! simulated times in the same order, so reports are bit-identical — only
 //! `rounds` (and wall time) differ.
 //!
+//! # Determinism contract: device order
+//!
+//! External devices come in two tiers. **Shard devices**
+//! ([`Engine::add_shard_device`]) are the shard-affine partitions of the
+//! storage topology: mutually independent between epoch boundaries, so they
+//! may be advanced concurrently. **Passive devices** ([`Engine::add_device`])
+//! observe state the shard devices and warps produce (metrics samplers,
+//! feedback controllers) and always run on the coordinating thread. Every
+//! scheduler advances shard devices first, in the order they were added, then
+//! drains the [`EpochMailbox`]es in registration order, then advances passive
+//! devices in the order *they* were added. That combined order is part of the
+//! determinism contract — reordering either list reorders device side effects
+//! (trace records, metric windows, control decisions) and breaks bit-identity
+//! with the golden traces. `add_shard_device` therefore `debug_assert`s that
+//! no passive device was registered yet.
+//!
+//! # Parallel shards
+//!
+//! [`EngineSched::ParallelShards(n)`](EngineSched::ParallelShards) runs the
+//! shard devices on up to `n` OS worker threads while the warp scheduler (the
+//! exact event-queue loop) stays on the coordinating thread. Virtual time
+//! advances in lockstep epochs: each round the coordinator publishes the
+//! horizon `now` and releases the workers through a seqlock-style barrier;
+//! every worker advances its fixed bucket of shard devices (device *i* is
+//! owned by worker *i mod n* for the whole run, preserving add-order inside
+//! each bucket) and reports back; only then does the coordinator drain the
+//! epoch mailboxes — per-shard buffers of cross-thread effects such as trace
+//! records — in fixed shard order, advance the passive devices and step the
+//! due warps. When the next wake time must consider device events, the same
+//! barrier collects each partition's earliest pending event and the horizon
+//! is their minimum. Because every worker only touches its own shard's state
+//! between barriers and every cross-shard effect is replayed in shard order
+//! at the epoch boundary, the merged event order — and with it every stat,
+//! trace and replay summary — is bit-identical to [`EngineSched::EventQueue`]
+//! regardless of thread count; `ParallelShards(1)` (or a run with fewer than
+//! two shard devices) *is* the sequential event queue, bit for bit.
+//!
 //! The engine also watches for livelock: if no warp makes forward progress
 //! (`Busy` or `Done`) for a configurable window while kernels are still
 //! incomplete, it stops and flags the run as deadlocked — this is how the
@@ -37,6 +74,7 @@ use agile_sim::{Cycles, SimClock};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
 /// Which scheduling loop [`Engine::run`] uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -49,14 +87,20 @@ pub enum EngineSched {
     /// and wakes at every device event. Kept for equivalence tests and
     /// wall-time comparisons; behaviourally identical, just O(warps)/round.
     FullScan,
+    /// The event-queue loop with shard devices advanced by up to `n` OS
+    /// worker threads in lockstep epochs (see the module docs). Bit-identical
+    /// to [`EngineSched::EventQueue`] for every `n`; `ParallelShards(1)` is
+    /// the sequential scheduler itself.
+    ParallelShards(usize),
 }
 
 /// Engine-level instruments (the `agile_engine_*` metric family), bound once
 /// from a registry. The scheduling loops accumulate into plain engine fields
-/// and flush to these atomics only every few thousand rounds (and at run
-/// end), so the hot loop never touches the registry — windowed series see
-/// engine counters at that flush granularity.
+/// and flush to these atomics only every `metrics_flush_interval` rounds (and
+/// at run end), so the hot loop never touches the registry — windowed series
+/// see engine counters at that flush granularity.
 pub struct EngineMetrics {
+    registry: std::sync::Arc<agile_metrics::MetricsRegistry>,
     rounds: agile_metrics::Counter,
     warp_steps: agile_metrics::Counter,
     stale_wakes: agile_metrics::Counter,
@@ -68,22 +112,73 @@ impl EngineMetrics {
     pub fn bind(registry: &std::sync::Arc<agile_metrics::MetricsRegistry>) -> Self {
         use agile_metrics::Labels;
         EngineMetrics {
+            registry: std::sync::Arc::clone(registry),
             rounds: registry.counter("agile_engine_rounds_total", Labels::NONE),
             warp_steps: registry.counter("agile_engine_warp_steps_total", Labels::NONE),
             stale_wakes: registry.counter("agile_engine_stale_wakes_total", Labels::NONE),
             ready_high_water: registry.gauge("agile_engine_ready_queue_high_water", Labels::NONE),
         }
     }
+
+    /// Emit the threaded-run instruments (`agile_engine_epoch_*` /
+    /// `agile_engine_thread_*`). Only called after a run that actually used
+    /// worker threads — sequential runs never create these families, so
+    /// metrics snapshots of unthreaded runs stay untouched.
+    fn note_parallel(&self, threads: u64, epochs: u64, syncs: u64, advances: &[u64], devs: &[u64]) {
+        use agile_metrics::Labels;
+        self.registry
+            .counter("agile_engine_epoch_advances_total", Labels::NONE)
+            .add(epochs);
+        self.registry
+            .counter("agile_engine_epoch_next_event_syncs_total", Labels::NONE)
+            .add(syncs);
+        self.registry
+            .gauge("agile_engine_thread_count", Labels::NONE)
+            .set(threads);
+        for (t, (&adv, &nd)) in advances.iter().zip(devs.iter()).enumerate() {
+            self.registry
+                .counter(
+                    "agile_engine_thread_device_advances_total",
+                    Labels::partition(t as u32),
+                )
+                .add(adv);
+            self.registry
+                .gauge("agile_engine_thread_devices", Labels::partition(t as u32))
+                .set(nd);
+        }
+    }
 }
 
 /// An external device co-simulated with the GPU (in practice: the SSD array).
-pub trait ExternalDevice {
+///
+/// `Send` because shard devices migrate to worker threads under
+/// [`EngineSched::ParallelShards`]; each device is only ever touched by one
+/// thread at a time (its owning worker between barriers, the coordinator
+/// otherwise), so no `Sync` is required.
+pub trait ExternalDevice: Send {
     /// Advance the device's internal state to time `now`.
     fn advance_to(&mut self, now: Cycles);
     /// Earliest pending internal event, if any.
     fn next_event_time(&mut self) -> Option<Cycles>;
     /// True when the device has no in-flight work.
     fn quiescent(&self) -> bool;
+}
+
+/// A per-partition buffer of cross-shard effects (in practice: trace records
+/// produced while a shard device advanced on a worker thread). The engine
+/// drains every registered mailbox — in registration order, which the hosts
+/// make shard order — right after the shard devices reach the epoch horizon
+/// and before any passive device or warp runs, so buffered effects land in
+/// exactly the order the sequential scheduler would have produced them.
+pub trait EpochMailbox: Send + Sync {
+    /// Flush the buffered effects downstream, preserving record order.
+    fn drain(&self);
+}
+
+impl EpochMailbox for agile_sim::BufferedSink {
+    fn drain(&self) {
+        self.flush();
+    }
 }
 
 /// Per-kernel execution summary.
@@ -152,13 +247,223 @@ impl KernelInstance {
     }
 }
 
+/// How a scheduling loop reaches the external shard devices: directly
+/// ([`SeqDriver`]) or through the worker-thread barrier ([`ParDriver`]).
+/// Both loops are written against this trait so the sequential and parallel
+/// schedulers share one body and cannot drift behaviourally.
+trait DeviceDriver {
+    /// Advance every shard device to `now` (one lockstep epoch).
+    fn advance_to(&mut self, now: Cycles);
+    /// Earliest pending shard-device event strictly after `now`, if any.
+    fn next_event_after(&mut self, now: Cycles) -> Option<Cycles>;
+}
+
+/// In-thread driver: shard devices advanced in add order on the caller.
+struct SeqDriver<'a> {
+    devs: &'a mut [Box<dyn ExternalDevice>],
+}
+
+impl DeviceDriver for SeqDriver<'_> {
+    fn advance_to(&mut self, now: Cycles) {
+        for dev in self.devs.iter_mut() {
+            dev.advance_to(now);
+        }
+    }
+
+    fn next_event_after(&mut self, now: Cycles) -> Option<Cycles> {
+        self.devs
+            .iter_mut()
+            .filter_map(|d| d.next_event_time())
+            .filter(|&t| t > now)
+            .min()
+    }
+}
+
+const CMD_ADVANCE: u8 = 0;
+const CMD_NEXT: u8 = 1;
+const CMD_EXIT: u8 = 2;
+
+/// Busy-spins this many iterations before each further wait yields the CPU.
+const SPIN_LIMIT: u32 = 256;
+
+/// One worker's slot in the barrier, cache-line padded so the spin loops of
+/// neighbouring workers do not false-share.
+#[repr(align(64))]
+struct WorkerCell {
+    /// Last command sequence number this worker completed.
+    done: AtomicU64,
+    /// This worker's answer to `CMD_NEXT` (`u64::MAX` = no pending event).
+    next: AtomicU64,
+    /// Device advances executed by this worker (telemetry).
+    advances: AtomicU64,
+}
+
+/// The coordinator↔worker barrier. Commands are published by storing `cmd`
+/// and `now` and then bumping `seq` with `Release`; workers spin on `seq`
+/// with `Acquire` (which makes the command payload visible *and* every
+/// coordinator-side write before it — the warp steps of the previous epoch),
+/// execute, and acknowledge by storing the sequence number into their `done`
+/// cell with `Release`, which the coordinator's `Acquire` spin turns into
+/// the matching happens-before edge back. Rounds are a few microseconds of
+/// simulated work, so the barrier spins (`std::hint::spin_loop`) rather than
+/// parking on an OS primitive; after a short bound the spin falls back to
+/// `yield_now`, so an oversubscribed (or single-core) machine degrades to
+/// context-switch cost instead of burning whole timeslices.
+struct ParShared {
+    seq: AtomicU64,
+    cmd: AtomicU8,
+    now: AtomicU64,
+    cells: Vec<WorkerCell>,
+}
+
+impl ParShared {
+    fn new(workers: usize) -> Self {
+        ParShared {
+            seq: AtomicU64::new(0),
+            cmd: AtomicU8::new(CMD_ADVANCE),
+            now: AtomicU64::new(0),
+            cells: (0..workers)
+                .map(|_| WorkerCell {
+                    done: AtomicU64::new(0),
+                    next: AtomicU64::new(u64::MAX),
+                    advances: AtomicU64::new(0),
+                })
+                .collect(),
+        }
+    }
+
+    fn issue(&self, cmd: u8, now: u64) {
+        self.cmd.store(cmd, Ordering::Relaxed);
+        self.now.store(now, Ordering::Relaxed);
+        self.seq.fetch_add(1, Ordering::Release);
+    }
+
+    fn wait_all(&self) {
+        let s = self.seq.load(Ordering::Relaxed);
+        for cell in &self.cells {
+            let mut spins = 0u32;
+            while cell.done.load(Ordering::Acquire) != s {
+                if spins < SPIN_LIMIT {
+                    spins += 1;
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// Barrier driver: one epoch per `advance_to`, one extra sync per
+/// `next_event_after`.
+struct ParDriver<'a> {
+    shared: &'a ParShared,
+    epochs: u64,
+    next_syncs: u64,
+}
+
+impl DeviceDriver for ParDriver<'_> {
+    fn advance_to(&mut self, now: Cycles) {
+        self.epochs += 1;
+        self.shared.issue(CMD_ADVANCE, now.raw());
+        self.shared.wait_all();
+    }
+
+    fn next_event_after(&mut self, now: Cycles) -> Option<Cycles> {
+        self.next_syncs += 1;
+        self.shared.issue(CMD_NEXT, now.raw());
+        self.shared.wait_all();
+        let min = self
+            .shared
+            .cells
+            .iter()
+            .map(|c| c.next.load(Ordering::Relaxed))
+            .min()
+            .unwrap_or(u64::MAX);
+        (min != u64::MAX).then_some(Cycles(min))
+    }
+}
+
+/// Publishes `CMD_EXIT` when dropped, so the workers are released even if
+/// the coordinator's event loop panics (otherwise `thread::scope` would
+/// deadlock joining workers that spin forever).
+struct ExitGuard<'a> {
+    shared: &'a ParShared,
+}
+
+impl Drop for ExitGuard<'_> {
+    fn drop(&mut self) {
+        self.shared.issue(CMD_EXIT, 0);
+    }
+}
+
+/// The worker side of the barrier: execute each published command on this
+/// worker's fixed bucket of shard devices, hand the bucket back on exit.
+fn worker_loop<'a>(
+    slot: usize,
+    mut bucket: Vec<(usize, Box<dyn ExternalDevice>)>,
+    shared: &'a ParShared,
+) -> Vec<(usize, Box<dyn ExternalDevice>)> {
+    let cell = &shared.cells[slot];
+    let mut seen = 0u64;
+    loop {
+        let mut spins = 0u32;
+        let mut seq = shared.seq.load(Ordering::Acquire);
+        while seq == seen {
+            if spins < SPIN_LIMIT {
+                spins += 1;
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+            seq = shared.seq.load(Ordering::Acquire);
+        }
+        seen = seq;
+        match shared.cmd.load(Ordering::Relaxed) {
+            CMD_ADVANCE => {
+                let now = Cycles(shared.now.load(Ordering::Relaxed));
+                for (_, dev) in bucket.iter_mut() {
+                    dev.advance_to(now);
+                }
+                cell.advances.fetch_add(bucket.len() as u64, Ordering::Relaxed);
+                cell.done.store(seq, Ordering::Release);
+            }
+            CMD_NEXT => {
+                let now = Cycles(shared.now.load(Ordering::Relaxed));
+                let min = bucket
+                    .iter_mut()
+                    .filter_map(|(_, d)| d.next_event_time())
+                    .filter(|&t| t > now)
+                    .map(|t| t.raw())
+                    .min()
+                    .unwrap_or(u64::MAX);
+                cell.next.store(min, Ordering::Relaxed);
+                cell.done.store(seq, Ordering::Release);
+            }
+            _ => {
+                cell.done.store(seq, Ordering::Release);
+                return bucket;
+            }
+        }
+    }
+}
+
 /// The GPU + devices co-simulation engine.
 pub struct Engine {
     gpu: GpuConfig,
     clock: SimClock,
     sms: Vec<SmState>,
     kernels: Vec<KernelInstance>,
+    /// Shard-affine devices, advanced first each round — in add order
+    /// sequentially, concurrently (one fixed worker per device) under
+    /// [`EngineSched::ParallelShards`].
+    shard_devices: Vec<Box<dyn ExternalDevice>>,
+    /// Passive observers (metrics/control bridges), advanced after the shard
+    /// devices and mailboxes, always on the coordinating thread.
     devices: Vec<Box<dyn ExternalDevice>>,
+    /// Cross-shard effect buffers, drained in registration order at every
+    /// epoch boundary (between shard and passive device advancement).
+    mailboxes: Vec<std::sync::Arc<dyn EpochMailbox>>,
     /// Pending (kernel_idx, block_idx) waiting for SM space, FIFO.
     dispatch_queue: std::collections::VecDeque<(usize, u32)>,
     /// Window without forward progress after which the run is declared
@@ -175,6 +480,11 @@ pub struct Engine {
     ready: BinaryHeap<Reverse<(u64, usize, usize)>>,
     /// Optional engine instruments (`agile_engine_*`).
     metrics: Option<EngineMetrics>,
+    /// Rounds between metric flushes (power of two not required). The
+    /// default matches the historical hardcoded cadence of 4096 rounds;
+    /// `finish_run` always performs a final flush, so no partial interval is
+    /// ever lost regardless of the setting.
+    metrics_flush_interval: u64,
     /// Warp steps / stale wakes / ready-queue high water accumulated in
     /// plain fields; [`Engine::flush_metrics`] mirrors them into the
     /// registry on a coarse cadence.
@@ -195,7 +505,9 @@ impl Engine {
             clock,
             sms,
             kernels: Vec::new(),
+            shard_devices: Vec::new(),
             devices: Vec::new(),
+            mailboxes: Vec::new(),
             dispatch_queue: std::collections::VecDeque::new(),
             deadlock_window: Cycles(50_000_000),
             max_cycles: Cycles(u64::MAX / 4),
@@ -203,6 +515,7 @@ impl Engine {
             sched: EngineSched::default(),
             ready: BinaryHeap::new(),
             metrics: None,
+            metrics_flush_interval: 4096,
             m_steps: 0,
             m_stale: 0,
             m_ready_hw: 0,
@@ -211,8 +524,8 @@ impl Engine {
     }
 
     /// Mirror the accumulated engine counts into the bound instruments
-    /// (no-op without metrics). Called every few thousand rounds and at run
-    /// end — the scheduling hot loops never touch an atomic.
+    /// (no-op without metrics). Called every `metrics_flush_interval` rounds
+    /// and at run end — the scheduling hot loops never touch an atomic.
     fn flush_metrics(&mut self) {
         if let Some(m) = &self.metrics {
             let (rounds, steps, stale) = self.m_flushed;
@@ -230,9 +543,19 @@ impl Engine {
         self.metrics = Some(metrics);
     }
 
+    /// Set the metric flush cadence in rounds (default 4096). A larger
+    /// interval trades windowed-series resolution for fewer atomic writes;
+    /// totals are unaffected because [`Engine::run`] always flushes the final
+    /// partial interval before reporting.
+    pub fn set_metrics_flush_interval(&mut self, rounds: u64) {
+        assert!(rounds > 0, "metrics flush interval must be at least 1 round");
+        self.metrics_flush_interval = rounds;
+    }
+
     /// Select the scheduling loop (default: [`EngineSched::EventQueue`]).
-    /// May be switched between runs; both schedulers produce bit-identical
-    /// execution, only `rounds` and wall time differ.
+    /// May be switched between runs; all schedulers produce bit-identical
+    /// execution, only `rounds` and wall time differ (and `ParallelShards`
+    /// matches `rounds` too).
     pub fn set_scheduler(&mut self, sched: EngineSched) {
         self.sched = sched;
     }
@@ -262,10 +585,37 @@ impl Engine {
         self.max_cycles = max;
     }
 
-    /// Attach an external device (SSD array). Devices are advanced in the
-    /// order they were added.
+    /// Attach a passive external device (metrics/control bridges). Passive
+    /// devices are advanced after the shard devices and mailbox drains, in
+    /// the order they were added — that order is part of the determinism
+    /// contract (see the module docs).
     pub fn add_device(&mut self, dev: Box<dyn ExternalDevice>) {
         self.devices.push(dev);
+    }
+
+    /// Attach a shard-affine external device (one storage shard of the SSD
+    /// array). Shard devices are advanced before every passive device, in
+    /// the order they were added; under [`EngineSched::ParallelShards`] each
+    /// one is pinned to worker `index % threads` for the whole run, which
+    /// preserves the add order inside every worker's bucket. All shard
+    /// devices must be registered before the first passive device — the
+    /// combined advance order is what the golden traces gate.
+    pub fn add_shard_device(&mut self, dev: Box<dyn ExternalDevice>) {
+        debug_assert!(
+            self.devices.is_empty(),
+            "determinism contract: all shard devices must be added before any \
+             passive device — the engine advances shard devices (in add \
+             order), then passive devices (in add order), and interleaved \
+             registration would silently reorder device side effects"
+        );
+        self.shard_devices.push(dev);
+    }
+
+    /// Register a cross-shard effect buffer, drained in registration order
+    /// at every epoch boundary. Hosts register one per storage shard, in
+    /// shard order, when the scheduler runs shard devices on worker threads.
+    pub fn add_mailbox(&mut self, mailbox: std::sync::Arc<dyn EpochMailbox>) {
+        self.mailboxes.push(mailbox);
     }
 
     /// Launch a kernel; its blocks enter the dispatch queue immediately.
@@ -383,8 +733,107 @@ impl Engine {
     /// / the cycle limit is hit) and return the execution report.
     pub fn run(&mut self) -> ExecutionReport {
         match self.sched {
-            EngineSched::EventQueue => self.run_event_queue(),
-            EngineSched::FullScan => self.run_full_scan(),
+            EngineSched::EventQueue => self.run_sequential(false),
+            EngineSched::FullScan => self.run_sequential(true),
+            EngineSched::ParallelShards(n) => self.run_parallel_shards(n),
+        }
+    }
+
+    /// Run the chosen loop with the shard devices driven in-thread.
+    fn run_sequential(&mut self, full_scan: bool) -> ExecutionReport {
+        let mut devs = std::mem::take(&mut self.shard_devices);
+        let mut driver = SeqDriver { devs: &mut devs };
+        let report = if full_scan {
+            self.full_scan_loop(&mut driver)
+        } else {
+            self.event_loop(&mut driver)
+        };
+        self.shard_devices = devs;
+        report
+    }
+
+    /// Run the event loop with shard devices on up to `threads` OS workers.
+    /// With one effective worker (thread count 1, or fewer than two shard
+    /// devices) this *is* the sequential event queue — same code path, bit
+    /// for bit.
+    fn run_parallel_shards(&mut self, threads: usize) -> ExecutionReport {
+        let workers = threads.max(1).min(self.shard_devices.len());
+        if workers <= 1 {
+            return self.run_sequential(false);
+        }
+        let devs = std::mem::take(&mut self.shard_devices);
+        let total = devs.len();
+        let mut buckets: Vec<Vec<(usize, Box<dyn ExternalDevice>)>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for (i, dev) in devs.into_iter().enumerate() {
+            buckets[i % workers].push((i, dev));
+        }
+        let bucket_sizes: Vec<u64> = buckets.iter().map(|b| b.len() as u64).collect();
+        let shared = ParShared::new(workers);
+        let (report, epochs, syncs, returned) = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for (slot, bucket) in buckets.into_iter().enumerate() {
+                let shared = &shared;
+                handles.push(scope.spawn(move || worker_loop(slot, bucket, shared)));
+            }
+            let exit = ExitGuard { shared: &shared };
+            let mut driver = ParDriver {
+                shared: &shared,
+                epochs: 0,
+                next_syncs: 0,
+            };
+            let report = self.event_loop(&mut driver);
+            let (epochs, syncs) = (driver.epochs, driver.next_syncs);
+            drop(exit);
+            let mut returned: Vec<Option<Box<dyn ExternalDevice>>> =
+                (0..total).map(|_| None).collect();
+            for handle in handles {
+                for (i, dev) in handle.join().expect("engine worker panicked") {
+                    returned[i] = Some(dev);
+                }
+            }
+            (report, epochs, syncs, returned)
+        });
+        self.shard_devices = returned
+            .into_iter()
+            .map(|d| d.expect("worker returned every device"))
+            .collect();
+        if let Some(m) = &self.metrics {
+            let advances: Vec<u64> = shared
+                .cells
+                .iter()
+                .map(|c| c.advances.load(Ordering::Relaxed))
+                .collect();
+            m.note_parallel(workers as u64, epochs, syncs, &advances, &bucket_sizes);
+        }
+        report
+    }
+
+    /// One epoch boundary: shard devices to the horizon, buffered cross-
+    /// shard effects in shard order, then the passive observers.
+    fn advance_devices(&mut self, driver: &mut dyn DeviceDriver, now: Cycles) {
+        driver.advance_to(now);
+        for mailbox in &self.mailboxes {
+            mailbox.drain();
+        }
+        for dev in &mut self.devices {
+            dev.advance_to(now);
+        }
+    }
+
+    /// Earliest pending device event strictly after `now` across both tiers.
+    fn next_device_event(&mut self, driver: &mut dyn DeviceDriver, now: Cycles) -> Option<Cycles> {
+        let shard = driver.next_event_after(now);
+        let passive = self
+            .devices
+            .iter_mut()
+            .filter_map(|d| d.next_event_time())
+            .filter(|&t| t > now)
+            .min();
+        match (shard, passive) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, None) => a,
+            (None, b) => b,
         }
     }
 
@@ -445,7 +894,7 @@ impl Engine {
     /// lazily — discrete-event devices produce identical completions whether
     /// advanced stepwise or straight to the next warp wake, so skipping the
     /// device-only rounds changes `rounds`/wall time but not behaviour.
-    fn run_event_queue(&mut self) -> ExecutionReport {
+    fn event_loop(&mut self, driver: &mut dyn DeviceDriver) -> ExecutionReport {
         let start = self.clock.now();
         let mut last_progress = self.clock.now();
         let mut deadlocked = false;
@@ -478,9 +927,7 @@ impl Engine {
             }
 
             // 1. Let devices catch up so completions are visible to warps.
-            for dev in &mut self.devices {
-                dev.advance_to(now);
-            }
+            self.advance_devices(driver, now);
 
             // 2. Pop every warp that is due and step the batch in SM/slot
             //    order — the exact order the scan scheduler visits warps, so
@@ -512,7 +959,7 @@ impl Engine {
             }
             self.m_steps += steps;
             self.m_stale += stale;
-            if self.rounds & 0xFFF == 0 {
+            if self.rounds.is_multiple_of(self.metrics_flush_interval) {
                 self.flush_metrics();
             }
 
@@ -553,11 +1000,7 @@ impl Engine {
                 self.ready.push(Reverse(e));
             }
             let next_dev = if need_dev_wake {
-                self.devices
-                    .iter_mut()
-                    .filter_map(|d| d.next_event_time())
-                    .filter(|&t| t > now)
-                    .min()
+                self.next_device_event(driver, now)
             } else {
                 None
             };
@@ -578,14 +1021,18 @@ impl Engine {
             }
         }
 
+        // Final device sync so statistics reflect everything visible at the
+        // end (and the mailboxes are fully drained).
+        let now = self.clock.now();
+        self.advance_devices(driver, now);
         self.finish_run(start, deadlocked)
     }
 
     /// The pre-ready-queue scheduler: every round scans every resident warp
     /// and the clock wakes at every device event. Behaviourally identical to
-    /// [`Engine::run_event_queue`]; kept for equivalence tests and wall-time
+    /// [`Engine::event_loop`]; kept for equivalence tests and wall-time
     /// comparisons.
-    fn run_full_scan(&mut self) -> ExecutionReport {
+    fn full_scan_loop(&mut self, driver: &mut dyn DeviceDriver) -> ExecutionReport {
         // The scan does not maintain the heap; drop stale entries so they do
         // not accumulate across runs.
         self.ready.clear();
@@ -598,9 +1045,7 @@ impl Engine {
             let now = self.clock.now();
 
             // 1. Let devices catch up so completions are visible to warps.
-            for dev in &mut self.devices {
-                dev.advance_to(now);
-            }
+            self.advance_devices(driver, now);
 
             // 2. Step every ready warp once.
             let mut progressed = false;
@@ -620,7 +1065,7 @@ impl Engine {
                 }
             }
             self.m_steps += steps;
-            if self.rounds & 0xFFF == 0 {
+            if self.rounds.is_multiple_of(self.metrics_flush_interval) {
                 self.flush_metrics();
             }
 
@@ -653,12 +1098,7 @@ impl Engine {
                 .map(|w| w.ready_at)
                 .filter(|&t| t > now)
                 .min();
-            let next_dev = self
-                .devices
-                .iter_mut()
-                .filter_map(|d| d.next_event_time())
-                .filter(|&t| t > now)
-                .min();
+            let next_dev = self.next_device_event(driver, now);
             let next = match (next_warp, next_dev) {
                 (Some(a), Some(b)) => a.min(b),
                 (Some(a), None) => a,
@@ -679,16 +1119,14 @@ impl Engine {
             }
         }
 
+        let now = self.clock.now();
+        self.advance_devices(driver, now);
         self.finish_run(start, deadlocked)
     }
 
-    /// Final device sync + report assembly shared by both schedulers.
+    /// Final metric flush + report assembly shared by all schedulers (the
+    /// loops have already synced the devices to the end time).
     fn finish_run(&mut self, start: Cycles, deadlocked: bool) -> ExecutionReport {
-        // Final device sync so statistics reflect everything visible at the end.
-        let now = self.clock.now();
-        for dev in &mut self.devices {
-            dev.advance_to(now);
-        }
         self.flush_metrics();
 
         let elapsed = self.clock.now() - start;
@@ -720,7 +1158,7 @@ mod tests {
     use super::*;
     use crate::kernel::ComputeOnlyKernel;
     use std::sync::atomic::{AtomicU64, Ordering};
-    use std::sync::Arc;
+    use std::sync::{Arc, Mutex};
 
     #[test]
     fn compute_only_kernel_time_matches_work() {
@@ -913,42 +1351,54 @@ mod tests {
         );
     }
 
+    /// A periodically-firing device; flips `flag` once it has fired
+    /// `fires` times.
+    struct Ticker {
+        flag: Arc<AtomicU64>,
+        at: Cycles,
+        period: Cycles,
+        fires: u32,
+        fired: u32,
+    }
+    impl Ticker {
+        fn new(flag: Arc<AtomicU64>, start: u64, period: u64, fires: u32) -> Self {
+            Ticker {
+                flag,
+                at: Cycles(start),
+                period: Cycles(period),
+                fires,
+                fired: 0,
+            }
+        }
+    }
+    impl ExternalDevice for Ticker {
+        fn advance_to(&mut self, now: Cycles) {
+            while self.fired < self.fires && now >= self.at {
+                self.fired += 1;
+                self.at += self.period;
+                if self.fired == self.fires {
+                    self.flag.fetch_add(1, Ordering::Release);
+                }
+            }
+        }
+        fn next_event_time(&mut self) -> Option<Cycles> {
+            (self.fired < self.fires).then_some(self.at)
+        }
+        fn quiescent(&self) -> bool {
+            self.fired >= self.fires
+        }
+    }
+
     #[test]
     fn schedulers_are_equivalent_and_event_queue_visits_fewer_rounds() {
         // A stalling kernel plus a periodically-firing device: the scan
         // wakes at every device event, the event queue only at warp wakes —
         // identical execution, fewer rounds.
-        struct Ticker {
-            flag: Arc<AtomicU64>,
-            at: Cycles,
-            fired: u32,
-        }
-        impl ExternalDevice for Ticker {
-            fn advance_to(&mut self, now: Cycles) {
-                while self.fired < 100 && now >= self.at {
-                    self.fired += 1;
-                    self.at += Cycles(313);
-                    if self.fired == 100 {
-                        self.flag.store(1, Ordering::Release);
-                    }
-                }
-            }
-            fn next_event_time(&mut self) -> Option<Cycles> {
-                (self.fired < 100).then_some(self.at)
-            }
-            fn quiescent(&self) -> bool {
-                self.fired >= 100
-            }
-        }
         let run = |sched: EngineSched| {
             let flag = Arc::new(AtomicU64::new(0));
             let mut eng = Engine::new(GpuConfig::tiny(2));
             eng.set_scheduler(sched);
-            eng.add_device(Box::new(Ticker {
-                flag: Arc::clone(&flag),
-                at: Cycles(100),
-                fired: 0,
-            }));
+            eng.add_device(Box::new(Ticker::new(Arc::clone(&flag), 100, 313, 100)));
             eng.launch(
                 LaunchConfig::new(2, 64).with_registers(16),
                 Box::new(WaitingKernel { flag }),
@@ -967,6 +1417,272 @@ mod tests {
             "the event queue must skip device-only rounds ({} vs {})",
             event.rounds,
             scan.rounds
+        );
+    }
+
+    /// `WaitingWarp` waits for the flag to reach 1; with `n` tickers each
+    /// contributing one increment once exhausted, wait for all of them.
+    struct WaitingAllKernel {
+        flag: Arc<AtomicU64>,
+        want: u64,
+    }
+    struct WaitingAllWarp {
+        flag: Arc<AtomicU64>,
+        want: u64,
+        issued: bool,
+    }
+    impl crate::kernel::WarpKernel for WaitingAllWarp {
+        fn step(&mut self, _ctx: &WarpCtx) -> WarpStep {
+            if !self.issued {
+                self.issued = true;
+                return WarpStep::Busy(Cycles(10));
+            }
+            if self.flag.load(Ordering::Acquire) >= self.want {
+                WarpStep::Done
+            } else {
+                WarpStep::Stall {
+                    retry_after: Cycles(97),
+                }
+            }
+        }
+    }
+    impl KernelFactory for WaitingAllKernel {
+        fn create_warp(&self, _b: u32, _w: u32) -> Box<dyn crate::kernel::WarpKernel> {
+            Box::new(WaitingAllWarp {
+                flag: Arc::clone(&self.flag),
+                want: self.want,
+                issued: false,
+            })
+        }
+        fn name(&self) -> &str {
+            "waiting-all"
+        }
+    }
+
+    #[test]
+    fn parallel_shards_matches_event_queue_bit_for_bit() {
+        // Four independent shard devices with co-prime periods plus a warp
+        // that completes only when every one is exhausted: the parallel
+        // scheduler must produce the identical report (including `rounds`)
+        // for every thread count, and thread counts beyond the device count
+        // must clamp rather than misbehave.
+        let run = |sched: EngineSched| {
+            let flag = Arc::new(AtomicU64::new(0));
+            let mut eng = Engine::new(GpuConfig::tiny(2));
+            eng.set_scheduler(sched);
+            for (start, period, fires) in
+                [(100, 313, 60), (150, 401, 50), (60, 257, 70), (220, 199, 90)]
+            {
+                eng.add_shard_device(Box::new(Ticker::new(
+                    Arc::clone(&flag),
+                    start,
+                    period,
+                    fires,
+                )));
+            }
+            eng.launch(
+                LaunchConfig::new(2, 64).with_registers(16),
+                Box::new(WaitingAllKernel { flag, want: 4 }),
+            );
+            eng.run()
+        };
+        let base = run(EngineSched::EventQueue);
+        assert!(!base.deadlocked);
+        for threads in [1usize, 2, 3, 4, 8] {
+            let par = run(EngineSched::ParallelShards(threads));
+            assert_eq!(par.elapsed, base.elapsed, "threads={threads}");
+            assert_eq!(par.rounds, base.rounds, "threads={threads}");
+            assert_eq!(par.kernels[0].steps, base.kernels[0].steps);
+            assert_eq!(par.kernels[0].busy_cycles, base.kernels[0].busy_cycles);
+            assert_eq!(par.kernels[0].stall_cycles, base.kernels[0].stall_cycles);
+        }
+    }
+
+    /// Appends its id to a shared log on every `advance_to` with a fresh
+    /// timestamp — a probe for the device advance order.
+    struct OrderProbe {
+        id: u32,
+        log: Arc<Mutex<Vec<u32>>>,
+        last: Option<Cycles>,
+    }
+    impl ExternalDevice for OrderProbe {
+        fn advance_to(&mut self, now: Cycles) {
+            if self.last != Some(now) {
+                self.last = Some(now);
+                self.log.lock().unwrap().push(self.id);
+            }
+        }
+        fn next_event_time(&mut self) -> Option<Cycles> {
+            None
+        }
+        fn quiescent(&self) -> bool {
+            true
+        }
+    }
+
+    struct ProbeMailbox {
+        id: u32,
+        log: Arc<Mutex<Vec<u32>>>,
+    }
+    impl EpochMailbox for ProbeMailbox {
+        fn drain(&self) {
+            let mut log = self.log.lock().unwrap();
+            // Dedup like the probes: one entry per epoch boundary.
+            if log.last() != Some(&self.id) {
+                log.push(self.id);
+            }
+        }
+    }
+
+    #[test]
+    fn device_advance_order_is_shard_then_mailboxes_then_passive() {
+        // The determinism contract: shard devices in add order, then the
+        // mailboxes in registration order, then passive devices in add
+        // order — every round.
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut eng = Engine::new(GpuConfig::tiny(1));
+        for id in [0u32, 1] {
+            eng.add_shard_device(Box::new(OrderProbe {
+                id,
+                log: Arc::clone(&log),
+                last: None,
+            }));
+        }
+        eng.add_mailbox(Arc::new(ProbeMailbox {
+            id: 100,
+            log: Arc::clone(&log),
+        }));
+        for id in [10u32, 11] {
+            eng.add_device(Box::new(OrderProbe {
+                id,
+                log: Arc::clone(&log),
+                last: None,
+            }));
+        }
+        eng.launch(
+            LaunchConfig::new(1, 32).with_registers(16),
+            Box::new(ComputeOnlyKernel {
+                cycles_per_warp: Cycles(10),
+                steps: 1,
+            }),
+        );
+        eng.run();
+        let log = log.lock().unwrap();
+        assert!(log.len() >= 5, "probe log too short: {log:?}");
+        assert_eq!(
+            &log[..5],
+            &[0, 1, 100, 10, 11],
+            "advance order must be shard devices, mailboxes, passive devices"
+        );
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "determinism contract")]
+    fn shard_devices_must_precede_passive_devices() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut eng = Engine::new(GpuConfig::tiny(1));
+        eng.add_device(Box::new(OrderProbe {
+            id: 10,
+            log: Arc::clone(&log),
+            last: None,
+        }));
+        eng.add_shard_device(Box::new(OrderProbe {
+            id: 0,
+            log,
+            last: None,
+        }));
+    }
+
+    #[test]
+    fn final_metrics_flush_is_never_lost() {
+        // A flush interval far larger than the run's round count: the only
+        // flush is the final one in `finish_run`, and it must still land the
+        // exact totals in the registry.
+        let registry = std::sync::Arc::new(agile_metrics::MetricsRegistry::new());
+        let mut eng = Engine::new(GpuConfig::tiny(2));
+        eng.set_metrics(EngineMetrics::bind(&registry));
+        eng.set_metrics_flush_interval(u64::MAX / 2);
+        eng.launch(
+            LaunchConfig::new(4, 64).with_registers(16),
+            Box::new(ComputeOnlyKernel {
+                cycles_per_warp: Cycles(1000),
+                steps: 3,
+            }),
+        );
+        let report = eng.run();
+        assert!(!report.deadlocked);
+        use agile_metrics::Labels;
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("agile_engine_rounds_total", Labels::NONE),
+            report.rounds,
+            "final partial flush must deliver every round"
+        );
+        let steps: u64 = report.kernels.iter().map(|k| k.steps).sum();
+        assert_eq!(
+            snap.counter("agile_engine_warp_steps_total", Labels::NONE),
+            steps,
+            "final partial flush must deliver every warp step"
+        );
+        assert!(snap.gauge("agile_engine_ready_queue_high_water", Labels::NONE) > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 round")]
+    fn zero_flush_interval_is_rejected() {
+        let mut eng = Engine::new(GpuConfig::tiny(1));
+        eng.set_metrics_flush_interval(0);
+    }
+
+    #[test]
+    fn parallel_run_emits_epoch_and_thread_metrics() {
+        let registry = std::sync::Arc::new(agile_metrics::MetricsRegistry::new());
+        let flag = Arc::new(AtomicU64::new(0));
+        let mut eng = Engine::new(GpuConfig::tiny(2));
+        eng.set_scheduler(EngineSched::ParallelShards(2));
+        eng.set_metrics(EngineMetrics::bind(&registry));
+        for (start, period) in [(100, 313), (150, 401), (60, 257), (220, 199)] {
+            eng.add_shard_device(Box::new(Ticker::new(Arc::clone(&flag), start, period, 50)));
+        }
+        eng.launch(
+            LaunchConfig::new(2, 64).with_registers(16),
+            Box::new(WaitingAllKernel { flag, want: 4 }),
+        );
+        let report = eng.run();
+        assert!(!report.deadlocked);
+        use agile_metrics::Labels;
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauge("agile_engine_thread_count", Labels::NONE), 2);
+        assert!(snap.counter("agile_engine_epoch_advances_total", Labels::NONE) >= report.rounds);
+        let advances: u64 = (0..2)
+            .map(|t| snap.counter("agile_engine_thread_device_advances_total", Labels::partition(t)))
+            .sum();
+        assert!(advances > 0, "workers must report their device advances");
+        assert_eq!(snap.gauge("agile_engine_thread_devices", Labels::partition(0)), 2);
+        assert_eq!(snap.gauge("agile_engine_thread_devices", Labels::partition(1)), 2);
+    }
+
+    #[test]
+    fn sequential_run_emits_no_parallel_metric_families() {
+        let registry = std::sync::Arc::new(agile_metrics::MetricsRegistry::new());
+        let mut eng = Engine::new(GpuConfig::tiny(1));
+        eng.set_metrics(EngineMetrics::bind(&registry));
+        eng.launch(
+            LaunchConfig::new(1, 32).with_registers(16),
+            Box::new(ComputeOnlyKernel {
+                cycles_per_warp: Cycles(10),
+                steps: 1,
+            }),
+        );
+        eng.run();
+        let snap = registry.snapshot();
+        assert!(
+            !snap.samples.iter().any(|s| {
+                s.name.starts_with("agile_engine_epoch_")
+                    || s.name.starts_with("agile_engine_thread_")
+            }),
+            "unthreaded runs must not create the parallel metric families"
         );
     }
 

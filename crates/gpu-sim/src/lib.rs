@@ -36,7 +36,7 @@ pub mod sm;
 
 pub use config::GpuConfig;
 pub use engine::{
-    Engine, EngineMetrics, EngineSched, ExecutionReport, ExternalDevice, KernelReport,
+    Engine, EngineMetrics, EngineSched, EpochMailbox, ExecutionReport, ExternalDevice, KernelReport,
 };
 pub use kernel::{
     occupancy, KernelFactory, KernelId, LaunchConfig, WarpCtx, WarpId, WarpKernel, WarpStep,

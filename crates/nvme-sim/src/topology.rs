@@ -365,6 +365,23 @@ pub trait StorageTopology: Send + Sync {
     /// True when every device is idle.
     fn quiescent(&self) -> bool;
 
+    /// Advance only lock shard `shard`'s devices to `now`. Shards are
+    /// mutually independent between advancement boundaries, so the engine
+    /// may call this concurrently for different shards; calling it for
+    /// shards `0..shard_count()` in order is exactly [`Self::advance_to`].
+    fn advance_shard_to(&self, shard: usize, now: Cycles);
+
+    /// Earliest pending event among shard `shard`'s devices.
+    fn shard_next_event_time(&self, shard: usize) -> Option<Cycles>;
+
+    /// True when every device of shard `shard` is idle.
+    fn shard_quiescent(&self, shard: usize) -> bool;
+
+    /// Install a trace sink on shard `shard`'s device completion paths only
+    /// (the threaded engine gives each shard its own buffering sink).
+    /// Returns `false` if any of the shard's devices already had one.
+    fn set_shard_trace_sink(&self, shard: usize, sink: &Arc<dyn TraceSink>) -> bool;
+
     /// Sum of bytes read across devices.
     fn total_bytes_read(&self) -> u64;
 
@@ -495,6 +512,22 @@ impl StorageTopology for FlatArray {
     }
     fn quiescent(&self) -> bool {
         self.set.lock().quiescent()
+    }
+    fn advance_shard_to(&self, shard: usize, now: Cycles) {
+        debug_assert_eq!(shard, 0, "FlatArray has exactly one shard");
+        self.set.lock().advance_to(now);
+    }
+    fn shard_next_event_time(&self, shard: usize) -> Option<Cycles> {
+        debug_assert_eq!(shard, 0, "FlatArray has exactly one shard");
+        self.set.lock().next_event_time()
+    }
+    fn shard_quiescent(&self, shard: usize) -> bool {
+        debug_assert_eq!(shard, 0, "FlatArray has exactly one shard");
+        self.set.lock().quiescent()
+    }
+    fn set_shard_trace_sink(&self, shard: usize, sink: &Arc<dyn TraceSink>) -> bool {
+        debug_assert_eq!(shard, 0, "FlatArray has exactly one shard");
+        self.set.lock().set_trace_sink(sink)
     }
     fn total_bytes_read(&self) -> u64 {
         self.set.lock().total_bytes_read()
@@ -660,6 +693,18 @@ impl StorageTopology for ShardedArray {
     }
     fn quiescent(&self) -> bool {
         self.shards.iter().all(|s| s.lock().quiescent())
+    }
+    fn advance_shard_to(&self, shard: usize, now: Cycles) {
+        self.shards[shard].lock().advance_to(now);
+    }
+    fn shard_next_event_time(&self, shard: usize) -> Option<Cycles> {
+        self.shards[shard].lock().next_event_time()
+    }
+    fn shard_quiescent(&self, shard: usize) -> bool {
+        self.shards[shard].lock().quiescent()
+    }
+    fn set_shard_trace_sink(&self, shard: usize, sink: &Arc<dyn TraceSink>) -> bool {
+        self.shards[shard].lock().set_trace_sink(sink)
     }
     fn total_bytes_read(&self) -> u64 {
         self.shards

@@ -35,4 +35,4 @@ pub use clock::{Cycles, Nanos, SimClock, DEFAULT_GPU_CLOCK_GHZ};
 pub use events::{EventId, EventWheel};
 pub use rng::{SimRng, ZipfSampler};
 pub use stats::{Counter, Histogram, RunningStats};
-pub use trace::{NullSink, TraceEvent, TraceEventKind, TraceSink};
+pub use trace::{BufferedSink, NullSink, TraceEvent, TraceEventKind, TraceSink};
