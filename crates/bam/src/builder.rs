@@ -77,6 +77,7 @@ pub struct HostBuilder<S: HostSystem> {
     placement: Placement,
     service_shards: usize,
     engine_sched: EngineSched,
+    barrier_spin_limit: Option<u32>,
     sink: Option<Arc<dyn TraceSink>>,
     qos: Option<Arc<dyn QosPolicy>>,
     metrics: Option<Arc<MetricsRegistry>>,
@@ -101,6 +102,7 @@ impl HostBuilder<AgileSystem> {
             placement: Placement::default(),
             service_shards: 1,
             engine_sched: EngineSched::default(),
+            barrier_spin_limit: None,
             sink: None,
             qos: None,
             metrics: None,
@@ -176,6 +178,7 @@ impl HostBuilder<BamSystem> {
             placement: Placement::default(),
             service_shards: 1,
             engine_sched: EngineSched::default(),
+            barrier_spin_limit: None,
             sink: None,
             qos: None,
             metrics: None,
@@ -272,6 +275,16 @@ impl<S: HostSystem> HostBuilder<S> {
         })
     }
 
+    /// Override the threaded engine's epoch-barrier spin limit (spins per
+    /// worker before falling back to `thread::yield_now`; see
+    /// [`gpu_sim::Engine::set_barrier_spin_limit`]). Host-CPU trade only —
+    /// simulated time is bit-identical at any setting. No effect under a
+    /// sequential scheduler.
+    pub fn barrier_spin_limit(mut self, limit: u32) -> Self {
+        self.barrier_spin_limit = Some(limit);
+        self
+    }
+
     /// Install a trace sink across the whole stack before the first kernel
     /// runs, so capture covers every event from time zero.
     pub fn trace_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
@@ -361,6 +374,9 @@ impl HostBuilder<AgileSystem> {
         host.set_placement(self.placement);
         host.set_service_shards(self.service_shards);
         host.set_engine_sched(self.engine_sched);
+        if let Some(limit) = self.barrier_spin_limit {
+            host.set_barrier_spin_limit(limit);
+        }
         host.init_nvme();
         if let Some(sink) = self.sink {
             host.set_trace_sink(sink);
@@ -404,6 +420,9 @@ impl HostBuilder<BamSystem> {
         }
         host.set_placement(self.placement);
         host.set_engine_sched(self.engine_sched);
+        if let Some(limit) = self.barrier_spin_limit {
+            host.set_barrier_spin_limit(limit);
+        }
         host.init_nvme();
         if let Some(sink) = self.sink {
             host.set_trace_sink(sink);

@@ -9,7 +9,7 @@
 use crate::ctrl::{BamConfig, BamCtrl};
 use agile_control::{ControlBridge, ControlPolicy, Controller, KnobSet, SloSpec, TenantWeights};
 use agile_core::control::QosWeights;
-use agile_core::host::{GpuStorageHost, ShardSsdBridge};
+use agile_core::host::{DeviceSsdBridge, GpuStorageHost};
 use agile_sim::trace::BufferedSink;
 use agile_core::qos::QosPolicy;
 use agile_core::telemetry::{CacheCollector, MetricsBridge, TopologyCollector};
@@ -35,6 +35,9 @@ pub struct BamHost {
     placement: Placement,
     /// Scheduling loop of the engine (event-driven ready-queue by default).
     engine_sched: EngineSched,
+    /// Epoch-barrier spin limit override for threaded schedulers
+    /// (`None` = the engine's default).
+    barrier_spin_limit: Option<u32>,
     topology: Option<Arc<dyn StorageTopology>>,
     ctrl: Option<Arc<BamCtrl>>,
     engine: Option<Engine>,
@@ -61,6 +64,7 @@ impl BamHost {
             shards: 0,
             placement: Placement::default(),
             engine_sched: EngineSched::default(),
+            barrier_spin_limit: None,
             topology: None,
             ctrl: None,
             engine: None,
@@ -85,6 +89,17 @@ impl BamHost {
             "set_engine_sched must be called before start"
         );
         self.engine_sched = sched;
+    }
+
+    /// Override the threaded engine's epoch-barrier spin limit, mirroring
+    /// [`agile_core::host::AgileHost::set_barrier_spin_limit`]. Must be
+    /// called before [`BamHost::start`].
+    pub fn set_barrier_spin_limit(&mut self, limit: u32) {
+        assert!(
+            self.engine.is_none(),
+            "set_barrier_spin_limit must be called before start"
+        );
+        self.barrier_spin_limit = Some(limit);
     }
 
     /// Partition the storage into `shards` lock shards (build a
@@ -168,10 +183,10 @@ impl BamHost {
             let topology = self.topology();
             let mut buffers = self.trace_buffers.lock().unwrap();
             let mut all_fresh = true;
-            for shard in 0..topology.shard_count() {
+            for dev in topology.device_advance_order() {
                 let buffered = Arc::new(BufferedSink::new(Arc::clone(&sink)));
                 let as_sink: Arc<dyn TraceSink> = Arc::clone(&buffered) as Arc<dyn TraceSink>;
-                if topology.set_shard_trace_sink(shard, &as_sink) {
+                if topology.set_device_trace_sink(dev, &as_sink) {
                     buffers.push(buffered);
                 } else {
                     all_fresh = false;
@@ -260,9 +275,14 @@ impl BamHost {
         assert!(self.ctrl.is_some(), "init_nvme must run before start");
         let mut engine = Engine::new(self.gpu.clone());
         engine.set_scheduler(self.engine_sched);
+        if let Some(limit) = self.barrier_spin_limit {
+            engine.set_barrier_spin_limit(limit);
+        }
         let topology = self.topology();
-        for shard in 0..topology.shard_count() {
-            engine.add_shard_device(Box::new(ShardSsdBridge::new(Arc::clone(&topology), shard)));
+        // Device-affine partition grain, mirroring AgileHost::start_agile:
+        // one bridge per storage device in shard-major advance order.
+        for dev in topology.device_advance_order() {
+            engine.add_shard_device(Box::new(DeviceSsdBridge::new(Arc::clone(&topology), dev)));
         }
         {
             let buffers = self.trace_buffers.lock().unwrap();

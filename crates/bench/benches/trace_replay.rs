@@ -22,12 +22,86 @@
 use agile_bench::{print_header, print_row, quick_mode};
 use agile_trace::TraceSpec;
 use agile_workloads::experiments::trace_replay::{
-    run_trace_replay, QosSpec, ReplayConfig, ReplaySystem,
+    run_trace_replay, QosSpec, ReplayConfig, ReplayReport, ReplaySystem,
 };
 use agile_workloads::trace_replay::ReplayPath;
 use gpu_sim::EngineSched;
 
+/// Machine-readable bench results, opted into with `--json <path>`
+/// (`cargo bench --bench trace_replay -- --json BENCH_trace_replay.json`):
+/// one row per replay run — section, label, IOPS and host wall time — so the
+/// perf trajectory is diffable across commits instead of living only in
+/// bench stdout. JSON is built by hand to keep the bench dependency-free.
+#[derive(Default)]
+struct JsonRows {
+    rows: Vec<(String, String, f64, f64)>,
+}
+
+impl JsonRows {
+    fn push(&mut self, section: &str, label: String, iops: f64, wall_ms: f64) {
+        self.rows.push((section.to_string(), label, iops, wall_ms));
+    }
+
+    fn write(&self, path: &str) {
+        let mut out = String::from("{\n  \"bench\": \"trace_replay\",\n  \"rows\": [\n");
+        for (i, (section, label, iops, wall_ms)) in self.rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"section\": {}, \"label\": {}, \"iops\": {:.1}, \"wall_ms\": {:.3}}}{}\n",
+                json_str(section),
+                json_str(label),
+                iops,
+                wall_ms,
+                if i + 1 < self.rows.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        if let Err(e) = std::fs::write(path, out) {
+            eprintln!("failed to write {path}: {e}");
+        } else {
+            println!("\nwrote {} rows to {path}", self.rows.len());
+        }
+    }
+}
+
+/// Minimal JSON string escape (labels are ASCII identifiers in practice).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// `--json <path>` from the bench arguments (after the `--` separator when
+/// invoked through cargo).
+fn json_path() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Run one replay and measure its host wall time.
+fn timed_run(
+    trace: &agile_trace::Trace,
+    system: ReplaySystem,
+    cfg: &ReplayConfig,
+) -> (ReplayReport, f64) {
+    let t0 = std::time::Instant::now();
+    let r = run_trace_replay(trace, system, cfg);
+    (r, t0.elapsed().as_secs_f64() * 1e3)
+}
+
 fn main() {
+    let mut json = JsonRows::default();
     print_header(
         "Trace replay",
         "latency percentiles + throughput, AGILE vs BaM, raw and cached paths",
@@ -47,7 +121,13 @@ fn main() {
         };
         for trace in &traces {
             for system in [ReplaySystem::Agile, ReplaySystem::Bam] {
-                let r = run_trace_replay(trace, system, &cfg);
+                let (r, wall_ms) = timed_run(trace, system, &cfg);
+                json.push(
+                    "replay",
+                    format!("{}/{:?}/{}", r.trace_name, path, r.system).to_lowercase(),
+                    r.iops,
+                    wall_ms,
+                );
                 print_row(&[
                     ("trace", r.trace_name.clone()),
                     ("path", format!("{path:?}").to_lowercase()),
@@ -77,17 +157,21 @@ fn main() {
                 shards,
                 ..ReplayConfig::default().striped()
             };
-            let r = run_trace_replay(&trace, system, &cfg);
+            let (r, wall_ms) = timed_run(&trace, system, &cfg);
+            let topo = if shards == 0 {
+                "flat".to_string()
+            } else {
+                format!("sharded/{shards}")
+            };
+            json.push(
+                "topology",
+                format!("{}/{topo}", r.system).to_lowercase(),
+                r.iops,
+                wall_ms,
+            );
             print_row(&[
                 ("system", r.system.to_string()),
-                (
-                    "topology",
-                    if shards == 0 {
-                        "flat".to_string()
-                    } else {
-                        format!("sharded/{shards}")
-                    },
-                ),
+                ("topology", topo),
                 ("devices", devices.to_string()),
                 ("ops", r.ops.to_string()),
                 ("p50_us", format!("{:.2}", r.p50_us)),
@@ -121,7 +205,13 @@ fn main() {
                 qos: qos.clone(),
                 ..contended.clone()
             };
-            let r = run_trace_replay(&trace, system, &cfg);
+            let (r, wall_ms) = timed_run(&trace, system, &cfg);
+            json.push(
+                "qos",
+                format!("{}/{}", r.system, r.qos).to_lowercase(),
+                r.iops,
+                wall_ms,
+            );
             let victim = &r.tenants[1];
             let noisy = &r.tenants[0];
             print_row(&[
@@ -158,7 +248,8 @@ fn main() {
         } else {
             cached_contended.clone().tenant_share(vec![1, 1])
         };
-        let r = run_trace_replay(&trace, ReplaySystem::Agile, &cfg);
+        let (r, wall_ms) = timed_run(&trace, ReplaySystem::Agile, &cfg);
+        json.push("cached-noisy", policy.to_string(), r.iops, wall_ms);
         let victim_cache = r.tenant_cache.iter().find(|t| t.tenant == 1);
         let victim = &r.tenants[1];
         print_row(&[
@@ -196,7 +287,13 @@ fn main() {
             if policy == "tenant-share" {
                 cfg = cfg.tenant_share(vec![1, 1]);
             }
-            let r = run_trace_replay(&trace, ReplaySystem::Agile, &cfg);
+            let (r, wall_ms) = timed_run(&trace, ReplaySystem::Agile, &cfg);
+            json.push(
+                "prefetch",
+                format!("depth{depth}/{policy}"),
+                r.iops,
+                wall_ms,
+            );
             print_row(&[
                 ("system", r.system.to_string()),
                 ("depth", depth.to_string()),
@@ -210,7 +307,8 @@ fn main() {
         }
     }
     // The synchronous baseline: no prefetch by construction, clock fixed.
-    let bam = run_trace_replay(&trace, ReplaySystem::Bam, &cached_contended);
+    let (bam, bam_wall_ms) = timed_run(&trace, ReplaySystem::Bam, &cached_contended);
+    json.push("prefetch", "bam".to_string(), bam.iops, bam_wall_ms);
     print_row(&[
         ("system", bam.system.to_string()),
         ("depth", "-".to_string()),
@@ -240,7 +338,13 @@ fn main() {
             }
             .sharded(storage_shards)
             .service_sharded(service_shards);
-            let r = run_trace_replay(&trace, ReplaySystem::Agile, &cfg);
+            let (r, wall_ms) = timed_run(&trace, ReplaySystem::Agile, &cfg);
+            json.push(
+                "service-scale",
+                format!("storage{storage_shards}/service{service_shards}"),
+                r.iops,
+                wall_ms,
+            );
             let svc_completions: Vec<String> = r
                 .service_stats
                 .iter()
@@ -281,7 +385,13 @@ fn main() {
             .sharded(4)
             .with_cache_shards(cache_shards)
             .with_cache_port_hold(600);
-            let r = run_trace_replay(&trace, ReplaySystem::Agile, &cfg);
+            let (r, wall_ms) = timed_run(&trace, ReplaySystem::Agile, &cfg);
+            json.push(
+                "cache-scale",
+                format!("devices{devices}/shards{cache_shards}"),
+                r.iops,
+                wall_ms,
+            );
             print_row(&[
                 ("devices", devices.to_string()),
                 ("cache_shards", cache_shards.to_string()),
@@ -321,9 +431,14 @@ fn main() {
         .enumerate()
     {
         let cfg = base.clone().with_engine_sched(sched);
-        let t0 = std::time::Instant::now();
-        let r = run_trace_replay(&trace, ReplaySystem::Agile, &cfg);
-        wall_ms[i] = t0.elapsed().as_secs_f64() * 1e3;
+        let (r, ms) = timed_run(&trace, ReplaySystem::Agile, &cfg);
+        wall_ms[i] = ms;
+        json.push(
+            "engine-sched",
+            format!("{sched:?}").to_lowercase(),
+            r.iops,
+            ms,
+        );
         print_row(&[
             ("system", r.system.to_string()),
             ("sched", format!("{sched:?}").to_lowercase()),
@@ -341,47 +456,60 @@ fn main() {
 
     print_header(
         "Engine threads",
-        "the same sharded replay on 1/2/4 OS threads (ParallelShards): \
-         bit-identical simulated results, wall time is the delta",
+        "the same replay on 1/2/4 OS threads (ParallelShards) at 4 and 1 lock \
+         shards: bit-identical simulated results, wall time is the delta",
     );
-    // Sharded so the engine has shard-affine devices to partition; the warp
-    // stepping stays on the coordinator at every thread count.
-    let threaded_base = ReplayConfig {
-        total_warps: 1024,
-        window: 8,
-        ..ReplayConfig::default()
-    }
-    .sharded(4);
+    // Workers are device-affine and the epoch plans due warps in SM-affine
+    // partitions, so both the multi-shard fleet and the single-shard
+    // configuration (all its devices on one lock) have parallel work.
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let mut seq_ms = 0.0f64;
-    for threads in [1usize, 2, 4] {
-        if threads > cores {
-            // Oversubscribed workers degrade the spin barrier to yield-loops
-            // and measure the OS scheduler, not the engine.
+    for shards in [4usize, 1] {
+        let threaded_base = ReplayConfig {
+            total_warps: 1024,
+            window: 8,
+            ..ReplayConfig::default()
+        }
+        .sharded(shards);
+        let mut seq_ms = 0.0f64;
+        for threads in [1usize, 2, 4] {
+            if threads > cores {
+                // Oversubscribed workers degrade the spin barrier to
+                // yield-loops and measure the OS scheduler, not the engine.
+                print_row(&[
+                    ("shards", shards.to_string()),
+                    ("threads", threads.to_string()),
+                    ("skipped", format!("only {cores} usable core(s)")),
+                ]);
+                continue;
+            }
+            let cfg = threaded_base.clone().with_engine_threads(threads);
+            let (r, ms) = timed_run(&trace, ReplaySystem::Agile, &cfg);
+            if threads == 1 {
+                seq_ms = ms;
+            }
+            json.push(
+                "engine-threads",
+                format!("shards{shards}/threads{threads}"),
+                r.iops,
+                ms,
+            );
             print_row(&[
+                ("system", r.system.to_string()),
+                ("shards", shards.to_string()),
                 ("threads", threads.to_string()),
-                ("skipped", format!("only {cores} usable core(s)")),
+                ("ops", r.ops.to_string()),
+                ("iops", format!("{:.0}", r.iops)),
+                ("rounds", r.engine_rounds.to_string()),
+                ("wall_ms", format!("{:.0}", ms)),
+                ("speedup", format!("{:.2}x", seq_ms / ms)),
+                ("deadlocked", r.deadlocked.to_string()),
             ]);
-            continue;
         }
-        let cfg = threaded_base.clone().with_engine_threads(threads);
-        let t0 = std::time::Instant::now();
-        let r = run_trace_replay(&trace, ReplaySystem::Agile, &cfg);
-        let ms = t0.elapsed().as_secs_f64() * 1e3;
-        if threads == 1 {
-            seq_ms = ms;
-        }
-        print_row(&[
-            ("system", r.system.to_string()),
-            ("threads", threads.to_string()),
-            ("ops", r.ops.to_string()),
-            ("iops", format!("{:.0}", r.iops)),
-            ("rounds", r.engine_rounds.to_string()),
-            ("wall_ms", format!("{:.0}", ms)),
-            ("speedup", format!("{:.2}x", seq_ms / ms)),
-            ("deadlocked", r.deadlocked.to_string()),
-        ]);
+    }
+
+    if let Some(path) = json_path() {
+        json.write(&path);
     }
 }

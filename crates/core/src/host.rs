@@ -146,6 +146,38 @@ impl ExternalDevice for ShardSsdBridge {
     }
 }
 
+/// Bridges a single *storage device* of a topology into the engine — the
+/// device-affine partition grain. One `DeviceSsdBridge` per device,
+/// registered in [`StorageTopology::device_advance_order`] (shard-major)
+/// order so sequential schedulers advance devices exactly as the shard
+/// bridges did, while [`EngineSched::ParallelShards`] partitions work at
+/// device rather than lock-shard granularity — a `shards = 1` fleet no
+/// longer collapses onto one worker. Lock-shard state is only ever touched
+/// from the coordinator's submit path, so it stays single-writer.
+pub struct DeviceSsdBridge {
+    topology: Arc<dyn StorageTopology>,
+    dev: usize,
+}
+
+impl DeviceSsdBridge {
+    /// Wrap one device of a shared topology.
+    pub fn new(topology: Arc<dyn StorageTopology>, dev: usize) -> Self {
+        DeviceSsdBridge { topology, dev }
+    }
+}
+
+impl ExternalDevice for DeviceSsdBridge {
+    fn advance_to(&mut self, now: Cycles) {
+        self.topology.advance_device_to(self.dev, now);
+    }
+    fn next_event_time(&mut self) -> Option<Cycles> {
+        self.topology.device_next_event_time(self.dev)
+    }
+    fn quiescent(&self) -> bool {
+        self.topology.device_quiescent(self.dev)
+    }
+}
+
 /// The AGILE host: owns the GPU engine, the storage topology and the
 /// controller.
 pub struct AgileHost {
@@ -161,6 +193,9 @@ pub struct AgileHost {
     service_shards: usize,
     /// Scheduling loop of the engine (event-driven ready-queue by default).
     engine_sched: EngineSched,
+    /// Epoch-barrier spin limit override for threaded schedulers
+    /// (`None` = the engine's default).
+    barrier_spin_limit: Option<u32>,
     topology: Option<Arc<dyn StorageTopology>>,
     ctrl: Option<Arc<AgileCtrl>>,
     service: Option<ServiceSet>,
@@ -194,6 +229,7 @@ impl AgileHost {
             placement: Placement::default(),
             service_shards: 1,
             engine_sched: EngineSched::default(),
+            barrier_spin_limit: None,
             topology: None,
             ctrl: None,
             service: None,
@@ -267,6 +303,19 @@ impl AgileHost {
         self.engine_sched = sched;
     }
 
+    /// Override the threaded engine's epoch-barrier spin limit (spins per
+    /// worker before falling back to `thread::yield_now`; see
+    /// [`gpu_sim::Engine::set_barrier_spin_limit`]). Purely a host-CPU
+    /// latency/throughput trade — simulated time is bit-identical at any
+    /// setting. Must be called before [`AgileHost::start_agile`].
+    pub fn set_barrier_spin_limit(&mut self, limit: u32) {
+        assert!(
+            !self.service_started,
+            "set_barrier_spin_limit must be called before start_agile"
+        );
+        self.barrier_spin_limit = Some(limit);
+    }
+
     /// Register an SSD with `namespace_pages` 4 KiB pages and a default
     /// in-memory backing. Returns the device index.
     pub fn add_nvme_dev(&mut self, namespace_pages: u64) -> usize {
@@ -335,10 +384,10 @@ impl AgileHost {
     /// Recording costs one atomic load per hook when enabled-but-absent.
     ///
     /// Under a threaded engine ([`EngineSched::ParallelShards`] with more
-    /// than one thread) each shard's completion path records into a private
-    /// [`BufferedSink`] drained into `sink` in fixed shard order at every
-    /// epoch boundary, so the merged event stream is identical to a
-    /// sequential run. Choose the scheduler (via
+    /// than one thread) each *device*'s completion path records into a
+    /// private [`BufferedSink`] drained into `sink` in fixed shard-major
+    /// device order at every epoch boundary, so the merged event stream is
+    /// identical to a sequential run. Choose the scheduler (via
     /// [`AgileHost::set_engine_sched`]) *before* installing the sink.
     pub fn set_trace_sink(&self, sink: Arc<dyn TraceSink>) -> bool {
         let ctrl_fresh = self.ctrl().set_trace_sink(Arc::clone(&sink));
@@ -346,10 +395,10 @@ impl AgileHost {
             let topology = self.topology();
             let mut buffers = self.trace_buffers.lock().unwrap();
             let mut all_fresh = true;
-            for shard in 0..topology.shard_count() {
+            for dev in topology.device_advance_order() {
                 let buffered = Arc::new(BufferedSink::new(Arc::clone(&sink)));
                 let as_sink: Arc<dyn TraceSink> = Arc::clone(&buffered) as Arc<dyn TraceSink>;
-                if topology.set_shard_trace_sink(shard, &as_sink) {
+                if topology.set_device_trace_sink(dev, &as_sink) {
                     buffers.push(buffered);
                 } else {
                     all_fresh = false;
@@ -465,9 +514,16 @@ impl AgileHost {
         assert!(!self.service_started, "start_agile called twice");
         let mut engine = Engine::new(self.gpu.clone());
         engine.set_scheduler(self.engine_sched);
+        if let Some(limit) = self.barrier_spin_limit {
+            engine.set_barrier_spin_limit(limit);
+        }
         let topology = self.topology();
-        for shard in 0..topology.shard_count() {
-            engine.add_shard_device(Box::new(ShardSsdBridge::new(Arc::clone(&topology), shard)));
+        // Device-affine partition grain: one bridge per storage device, in
+        // shard-major advance order (bit-identical to the sequential shard
+        // walk), so ParallelShards spreads a shards=1 fleet across every
+        // worker instead of leaving all but one idle.
+        for dev in topology.device_advance_order() {
+            engine.add_shard_device(Box::new(DeviceSsdBridge::new(Arc::clone(&topology), dev)));
         }
         {
             let buffers = self.trace_buffers.lock().unwrap();

@@ -40,26 +40,47 @@
 //! with the golden traces. `add_shard_device` therefore `debug_assert`s that
 //! no passive device was registered yet.
 //!
-//! # Parallel shards
+//! # Parallel shards: the two-phase epoch
 //!
-//! [`EngineSched::ParallelShards(n)`](EngineSched::ParallelShards) runs the
-//! shard devices on up to `n` OS worker threads while the warp scheduler (the
-//! exact event-queue loop) stays on the coordinating thread. Virtual time
-//! advances in lockstep epochs: each round the coordinator publishes the
-//! horizon `now` and releases the workers through a seqlock-style barrier;
-//! every worker advances its fixed bucket of shard devices (device *i* is
-//! owned by worker *i mod n* for the whole run, preserving add-order inside
-//! each bucket) and reports back; only then does the coordinator drain the
-//! epoch mailboxes — per-shard buffers of cross-thread effects such as trace
-//! records — in fixed shard order, advance the passive devices and step the
-//! due warps. When the next wake time must consider device events, the same
-//! barrier collects each partition's earliest pending event and the horizon
-//! is their minimum. Because every worker only touches its own shard's state
-//! between barriers and every cross-shard effect is replayed in shard order
-//! at the epoch boundary, the merged event order — and with it every stat,
-//! trace and replay summary — is bit-identical to [`EngineSched::EventQueue`]
-//! regardless of thread count; `ParallelShards(1)` (or a run with fewer than
-//! two shard devices) *is* the sequential event queue, bit for bit.
+//! [`EngineSched::ParallelShards(n)`](EngineSched::ParallelShards) runs each
+//! epoch in two worker phases while the warp scheduler (the exact event-queue
+//! loop) stays on the coordinating thread. Virtual time advances in lockstep
+//! epochs through a seqlock-style barrier:
+//!
+//! - **Phase A — devices.** The coordinator publishes the horizon `now`;
+//!   every worker advances its fixed bucket of shard devices (device *i* is
+//!   owned by worker *i mod n* for the whole run, preserving add-order inside
+//!   each bucket) and reports back. Hosts register one shard device per
+//!   *storage device* (device-affine partitioning), so the workers scale with
+//!   fleet size rather than lock-shard count — a `shards=1` topology still
+//!   fans its SSDs out across every worker. Shard-lock state is only ever
+//!   touched from the coordinator's submit paths, so lock advancement stays
+//!   single-writer by construction.
+//! - **Phase B — warps.** The due warps whose kernels are
+//!   [`plan-capable`](crate::kernel::WarpKernel::parallel_capable) are handed
+//!   to the workers in SM-affine partitions (warp of SM *s* plans on worker
+//!   *s mod n*); each worker runs the read-mostly
+//!   [`plan_step`](crate::kernel::WarpKernel::plan_step) prefix of its warps'
+//!   steps concurrently while the coordinator is parked at the barrier.
+//!
+//! The coordinator then drains the epoch mailboxes — per-partition buffers of
+//! cross-thread effects such as trace records — in fixed registration order,
+//! advances the passive devices, and *commits* every due warp in canonical
+//! `(sm, slot)` order: planned warps finalise through
+//! [`commit_step`](crate::kernel::WarpKernel::commit_step), everything else
+//! steps serially exactly as the sequential scheduler would. A serial step
+//! marks the epoch dirty (`epoch_clean = false`), and every later commit must
+//! re-validate its snapshot — snapshot, validate, retry, with the serial
+//! re-derivation as the always-correct slow path. When the next wake time
+//! must consider device events, the same barrier collects each partition's
+//! earliest pending event and the horizon is their minimum. Because every
+//! worker only touches its own partition's state between barriers, every
+//! cross-thread effect is committed in canonical order at the epoch boundary,
+//! and plans only observe state that serial-class steps mutate (which dirties
+//! the epoch), the merged event order — and with it every stat, trace and
+//! replay summary — is bit-identical to [`EngineSched::EventQueue`]
+//! regardless of thread count; `ParallelShards(1)` *is* the sequential event
+//! queue, bit for bit.
 //!
 //! The engine also watches for livelock: if no warp makes forward progress
 //! (`Busy` or `Done`) for a configurable window while kernels are still
@@ -68,13 +89,15 @@
 //! synchronous baseline, and its absence under AGILE.
 
 use crate::config::GpuConfig;
-use crate::kernel::{occupancy, KernelFactory, KernelId, LaunchConfig, WarpCtx, WarpId, WarpStep};
+use crate::kernel::{
+    occupancy, KernelFactory, KernelId, LaunchConfig, WarpCtx, WarpId, WarpKernel, WarpStep,
+};
 use crate::sm::{ResidentWarp, SmState};
 use agile_sim::{Cycles, SimClock};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 
 /// Which scheduling loop [`Engine::run`] uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -121,10 +144,28 @@ impl EngineMetrics {
     }
 
     /// Emit the threaded-run instruments (`agile_engine_epoch_*` /
-    /// `agile_engine_thread_*`). Only called after a run that actually used
-    /// worker threads — sequential runs never create these families, so
-    /// metrics snapshots of unthreaded runs stay untouched.
-    fn note_parallel(&self, threads: u64, epochs: u64, syncs: u64, advances: &[u64], devs: &[u64]) {
+    /// `agile_engine_thread_*` / `agile_engine_phase_*` /
+    /// `agile_engine_warp_partition_*`). Only called after a run that
+    /// actually used worker threads — sequential runs never create these
+    /// families, so metrics snapshots of unthreaded runs stay untouched.
+    ///
+    /// `phase_ns` is coordinator wall time per epoch phase (device advance,
+    /// worker warp planning, commit walk) in nanoseconds — host cycles, not
+    /// simulated ones; the `_cycles_total` suffix mirrors the naming of the
+    /// epoch families. `partition_steps` counts the planned warp steps
+    /// committed from each SM-affine worker partition (deterministic, tallied
+    /// on the coordinator).
+    #[allow(clippy::too_many_arguments)]
+    fn note_parallel(
+        &self,
+        threads: u64,
+        epochs: u64,
+        syncs: u64,
+        advances: &[u64],
+        devs: &[u64],
+        phase_ns: (u64, u64, u64),
+        partition_steps: &[u64],
+    ) {
         use agile_metrics::Labels;
         self.registry
             .counter("agile_engine_epoch_advances_total", Labels::NONE)
@@ -135,6 +176,16 @@ impl EngineMetrics {
         self.registry
             .gauge("agile_engine_thread_count", Labels::NONE)
             .set(threads);
+        let (device_ns, warp_ns, commit_ns) = phase_ns;
+        self.registry
+            .counter("agile_engine_phase_device_cycles_total", Labels::NONE)
+            .add(device_ns);
+        self.registry
+            .counter("agile_engine_phase_warp_cycles_total", Labels::NONE)
+            .add(warp_ns);
+        self.registry
+            .counter("agile_engine_phase_commit_cycles_total", Labels::NONE)
+            .add(commit_ns);
         for (t, (&adv, &nd)) in advances.iter().zip(devs.iter()).enumerate() {
             self.registry
                 .counter(
@@ -145,6 +196,14 @@ impl EngineMetrics {
             self.registry
                 .gauge("agile_engine_thread_devices", Labels::partition(t as u32))
                 .set(nd);
+        }
+        for (t, &steps) in partition_steps.iter().enumerate() {
+            self.registry
+                .counter(
+                    "agile_engine_warp_partition_steps_total",
+                    Labels::partition(t as u32),
+                )
+                .add(steps);
         }
     }
 }
@@ -256,6 +315,17 @@ trait DeviceDriver {
     fn advance_to(&mut self, now: Cycles);
     /// Earliest pending shard-device event strictly after `now`, if any.
     fn next_event_after(&mut self, now: Cycles) -> Option<Cycles>;
+    /// True when the driver runs the phase-B plan window on worker threads.
+    fn parallel_warps(&self) -> bool {
+        false
+    }
+    /// Number of worker partitions (0: everything on the coordinator).
+    fn workers(&self) -> usize {
+        0
+    }
+    /// Run `plan_step` for every task on its SM-affine worker partition
+    /// (worker `sm % workers`). No-op on the sequential driver.
+    fn plan_warps(&mut self, _tasks: &mut [PlanTask], _now: Cycles) {}
 }
 
 /// In-thread driver: shard devices advanced in add order on the caller.
@@ -282,9 +352,29 @@ impl DeviceDriver for SeqDriver<'_> {
 const CMD_ADVANCE: u8 = 0;
 const CMD_NEXT: u8 = 1;
 const CMD_EXIT: u8 = 2;
+const CMD_PLAN: u8 = 3;
 
-/// Busy-spins this many iterations before each further wait yields the CPU.
-const SPIN_LIMIT: u32 = 256;
+/// Default for [`Engine::set_barrier_spin_limit`]: busy-spin this many
+/// iterations before each further wait yields the CPU.
+const DEFAULT_SPIN_LIMIT: u32 = 256;
+
+/// One due, plan-capable warp published to the workers for the phase-B plan
+/// window of an epoch. Built (and consumed) by the coordinator in canonical
+/// `(sm, slot)` order; worker `sm % workers` owns the task during the window.
+struct PlanTask {
+    /// SM index: the partition key and the leading canonical-order key.
+    sm: usize,
+    /// Warp slot within the SM (the trailing canonical-order key).
+    widx: usize,
+    /// The warp's kernel state machine, borrowed raw from the SM table for
+    /// exactly one plan window (see the safety notes at the `CMD_PLAN`
+    /// handler in [`worker_loop`]).
+    state: *mut dyn WarpKernel,
+    /// The context `commit_step` will also receive (same `now`).
+    ctx: WarpCtx,
+    /// The owning worker's `plan_step` answer.
+    planned: bool,
+}
 
 /// One worker's slot in the barrier, cache-line padded so the spin loops of
 /// neighbouring workers do not false-share.
@@ -313,15 +403,26 @@ struct ParShared {
     seq: AtomicU64,
     cmd: AtomicU8,
     now: AtomicU64,
+    /// Busy-spin bound before barrier waits fall back to `yield_now`
+    /// ([`Engine::set_barrier_spin_limit`]).
+    spin_limit: u32,
+    /// Phase-B plan window: base pointer / length of the coordinator's
+    /// `PlanTask` slice, published before a `CMD_PLAN` and cleared after the
+    /// acks. Null outside a window.
+    tasks: AtomicPtr<PlanTask>,
+    tasks_len: AtomicUsize,
     cells: Vec<WorkerCell>,
 }
 
 impl ParShared {
-    fn new(workers: usize) -> Self {
+    fn new(workers: usize, spin_limit: u32) -> Self {
         ParShared {
             seq: AtomicU64::new(0),
             cmd: AtomicU8::new(CMD_ADVANCE),
             now: AtomicU64::new(0),
+            spin_limit,
+            tasks: AtomicPtr::new(std::ptr::null_mut()),
+            tasks_len: AtomicUsize::new(0),
             cells: (0..workers)
                 .map(|_| WorkerCell {
                     done: AtomicU64::new(0),
@@ -343,7 +444,7 @@ impl ParShared {
         for cell in &self.cells {
             let mut spins = 0u32;
             while cell.done.load(Ordering::Acquire) != s {
-                if spins < SPIN_LIMIT {
+                if spins < self.spin_limit {
                     spins += 1;
                     std::hint::spin_loop();
                 } else {
@@ -355,7 +456,8 @@ impl ParShared {
 }
 
 /// Barrier driver: one epoch per `advance_to`, one extra sync per
-/// `next_event_after`.
+/// `next_event_after`, one plan window per epoch with ≥ 2 plan-capable
+/// due warps.
 struct ParDriver<'a> {
     shared: &'a ParShared,
     epochs: u64,
@@ -381,6 +483,36 @@ impl DeviceDriver for ParDriver<'_> {
             .min()
             .unwrap_or(u64::MAX);
         (min != u64::MAX).then_some(Cycles(min))
+    }
+
+    fn parallel_warps(&self) -> bool {
+        true
+    }
+
+    fn workers(&self) -> usize {
+        self.shared.cells.len()
+    }
+
+    fn plan_warps(&mut self, tasks: &mut [PlanTask], now: Cycles) {
+        // Publish the slice, release the workers, park until every ack.
+        // Safety contract (upheld by the `CMD_PLAN` handler in
+        // `worker_loop`): between `issue` and the final ack the coordinator
+        // does not touch `tasks`, and each element is accessed by exactly one
+        // worker (`sm % workers`), so the hand-off is a transfer, not
+        // sharing. The `Release` bump in `issue` makes the freshly written
+        // tasks visible; the workers' `Release` acks (matched by the
+        // `Acquire` spin in `wait_all`) make their `planned` answers and
+        // kernel-state mutations visible back.
+        self.shared
+            .tasks
+            .store(tasks.as_mut_ptr(), Ordering::Relaxed);
+        self.shared.tasks_len.store(tasks.len(), Ordering::Relaxed);
+        self.shared.issue(CMD_PLAN, now.raw());
+        self.shared.wait_all();
+        self.shared
+            .tasks
+            .store(std::ptr::null_mut(), Ordering::Relaxed);
+        self.shared.tasks_len.store(0, Ordering::Relaxed);
     }
 }
 
@@ -410,7 +542,7 @@ fn worker_loop<'a>(
         let mut spins = 0u32;
         let mut seq = shared.seq.load(Ordering::Acquire);
         while seq == seen {
-            if spins < SPIN_LIMIT {
+            if spins < shared.spin_limit {
                 spins += 1;
                 std::hint::spin_loop();
             } else {
@@ -438,6 +570,33 @@ fn worker_loop<'a>(
                     .min()
                     .unwrap_or(u64::MAX);
                 cell.next.store(min, Ordering::Relaxed);
+                cell.done.store(seq, Ordering::Release);
+            }
+            CMD_PLAN => {
+                let base = shared.tasks.load(Ordering::Relaxed);
+                let len = shared.tasks_len.load(Ordering::Relaxed);
+                let workers = shared.cells.len();
+                for i in 0..len {
+                    // SAFETY: the coordinator published a live, initialised
+                    // slice before the `Release` bump of `seq` (matched by
+                    // our `Acquire` load) and is parked in `wait_all` until
+                    // every ack; it does not touch the tasks in between. All
+                    // access below stays field-granular through the raw
+                    // pointer: `sm`/`ctx` are only read (never written during
+                    // the window), and `planned` / the kernel state behind
+                    // `state` are written only by this worker for tasks in
+                    // its own partition — distinct warps hold distinct kernel
+                    // state machines, and the coordinator skips duplicate
+                    // `(sm, widx)` heap entries when building tasks.
+                    unsafe {
+                        let task = base.add(i);
+                        if (*task).sm % workers != slot {
+                            continue;
+                        }
+                        let planned = (*(*task).state).plan_step(&(*task).ctx);
+                        (*task).planned = planned;
+                    }
+                }
                 cell.done.store(seq, Ordering::Release);
             }
             _ => {
@@ -493,6 +652,15 @@ pub struct Engine {
     m_ready_hw: u64,
     /// (rounds, steps, stale) already flushed to the instruments.
     m_flushed: (u64, u64, u64),
+    /// Busy-spin bound for the epoch barrier before waits yield the CPU.
+    barrier_spin_limit: u32,
+    /// Coordinator wall time (nanoseconds) per epoch phase — device advance,
+    /// worker warp planning, commit walk — accumulated only on threaded runs
+    /// with metrics bound.
+    m_phase_ns: (u64, u64, u64),
+    /// Planned warp steps committed per SM-affine worker partition (threaded
+    /// runs; tallied deterministically on the coordinator).
+    m_partition_steps: Vec<u64>,
 }
 
 impl Engine {
@@ -520,6 +688,9 @@ impl Engine {
             m_stale: 0,
             m_ready_hw: 0,
             m_flushed: (0, 0, 0),
+            barrier_spin_limit: DEFAULT_SPIN_LIMIT,
+            m_phase_ns: (0, 0, 0),
+            m_partition_steps: Vec::new(),
         }
     }
 
@@ -550,6 +721,16 @@ impl Engine {
     pub fn set_metrics_flush_interval(&mut self, rounds: u64) {
         assert!(rounds > 0, "metrics flush interval must be at least 1 round");
         self.metrics_flush_interval = rounds;
+    }
+
+    /// Bound the number of busy-spin iterations each epoch-barrier wait
+    /// performs before falling back to `std::thread::yield_now` (default
+    /// 256). Zero makes every wait yield immediately — the behaviour any
+    /// oversubscribed or single-core machine degrades to regardless. Purely
+    /// a host-side scheduling knob: simulation results are bit-identical at
+    /// every setting; only wall time changes.
+    pub fn set_barrier_spin_limit(&mut self, limit: u32) {
+        self.barrier_spin_limit = limit;
     }
 
     /// Select the scheduling loop (default: [`EngineSched::EventQueue`]).
@@ -697,6 +878,7 @@ impl Engine {
         let kernel_id = self.kernels[kidx].id;
         for w in 0..warps {
             let state = self.kernels[kidx].factory.create_warp(block_idx, w);
+            let plan_capable = state.parallel_capable();
             self.kernels[kidx].warps += 1;
             self.sms[sm_idx].warps.push(ResidentWarp {
                 id: WarpId {
@@ -707,6 +889,7 @@ impl Engine {
                 kernel_idx: kidx,
                 block_slot: slot,
                 state,
+                plan_capable,
                 ready_at: self.clock.now(),
                 done: false,
                 busy: Cycles::ZERO,
@@ -752,12 +935,14 @@ impl Engine {
         report
     }
 
-    /// Run the event loop with shard devices on up to `threads` OS workers.
-    /// With one effective worker (thread count 1, or fewer than two shard
-    /// devices) this *is* the sequential event queue — same code path, bit
-    /// for bit.
+    /// Run the event loop with shard devices and warp planning on up to
+    /// `threads` OS workers. With thread count ≤ 1 this *is* the sequential
+    /// event queue — same code path, bit for bit. Workers are no longer
+    /// clamped to the shard-device count: partitions are keyed on devices
+    /// (phase A) and SMs (phase B) independently, so extra workers still
+    /// earn their keep planning warps even when devices are scarce.
     fn run_parallel_shards(&mut self, threads: usize) -> ExecutionReport {
-        let workers = threads.max(1).min(self.shard_devices.len());
+        let workers = threads.max(1);
         if workers <= 1 {
             return self.run_sequential(false);
         }
@@ -769,7 +954,9 @@ impl Engine {
             buckets[i % workers].push((i, dev));
         }
         let bucket_sizes: Vec<u64> = buckets.iter().map(|b| b.len() as u64).collect();
-        let shared = ParShared::new(workers);
+        self.m_phase_ns = (0, 0, 0);
+        self.m_partition_steps = vec![0; workers];
+        let shared = ParShared::new(workers, self.barrier_spin_limit);
         let (report, epochs, syncs, returned) = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
             for (slot, bucket) in buckets.into_iter().enumerate() {
@@ -804,7 +991,15 @@ impl Engine {
                 .iter()
                 .map(|c| c.advances.load(Ordering::Relaxed))
                 .collect();
-            m.note_parallel(workers as u64, epochs, syncs, &advances, &bucket_sizes);
+            m.note_parallel(
+                workers as u64,
+                epochs,
+                syncs,
+                &advances,
+                &bucket_sizes,
+                self.m_phase_ns,
+                &self.m_partition_steps,
+            );
         }
         report
     }
@@ -848,6 +1043,34 @@ impl Engine {
         now: Cycles,
         retired_blocks: &mut Vec<(usize, usize)>,
     ) -> (Option<Cycles>, bool) {
+        self.drive_warp(sm_idx, widx, now, retired_blocks, None)
+    }
+
+    /// Commit a worker-planned step on the coordinator (threaded runs only):
+    /// identical accounting to [`Engine::step_warp`], but the kernel
+    /// finalises through `commit_step(ctx, epoch_clean)` instead of `step`.
+    fn commit_warp(
+        &mut self,
+        sm_idx: usize,
+        widx: usize,
+        now: Cycles,
+        retired_blocks: &mut Vec<(usize, usize)>,
+        epoch_clean: bool,
+    ) -> (Option<Cycles>, bool) {
+        self.drive_warp(sm_idx, widx, now, retired_blocks, Some(epoch_clean))
+    }
+
+    /// The single warp-advancement body behind `step_warp` / `commit_warp`:
+    /// only the kernel entry point differs (`step` vs `commit_step`), so the
+    /// serial and planned paths cannot drift in their accounting.
+    fn drive_warp(
+        &mut self,
+        sm_idx: usize,
+        widx: usize,
+        now: Cycles,
+        retired_blocks: &mut Vec<(usize, usize)>,
+        committed: Option<bool>,
+    ) -> (Option<Cycles>, bool) {
         let sm = &mut self.sms[sm_idx];
         let w = &mut sm.warps[widx];
         let ctx = WarpCtx {
@@ -858,7 +1081,11 @@ impl Engine {
         };
         w.steps += 1;
         self.kernels[w.kernel_idx].steps += 1;
-        match w.state.step(&ctx) {
+        let outcome = match committed {
+            Some(epoch_clean) => w.state.commit_step(&ctx, epoch_clean),
+            None => w.state.step(&ctx),
+        };
+        match outcome {
             WarpStep::Busy(c) => {
                 let c = c.max(Cycles(1));
                 w.ready_at = now + c;
@@ -898,6 +1125,10 @@ impl Engine {
         let start = self.clock.now();
         let mut last_progress = self.clock.now();
         let mut deadlocked = false;
+        // Phase wall-clock attribution is only worth an `Instant` pair per
+        // phase on threaded runs with metrics bound.
+        let time_phases = driver.parallel_warps() && self.metrics.is_some();
+        let workers = driver.workers();
 
         // Drop retired warps now, while it is safe: mid-run the event loop
         // never compacts (heap entries index into the warp lists), so
@@ -926,8 +1157,13 @@ impl Engine {
                 self.m_ready_hw = depth;
             }
 
-            // 1. Let devices catch up so completions are visible to warps.
+            // 1. Phase A: let devices catch up so completions are visible to
+            //    warps.
+            let t0 = time_phases.then(std::time::Instant::now);
             self.advance_devices(driver, now);
+            if let Some(t0) = t0 {
+                self.m_phase_ns.0 += t0.elapsed().as_nanos() as u64;
+            }
 
             // 2. Pop every warp that is due and step the batch in SM/slot
             //    order — the exact order the scan scheduler visits warps, so
@@ -942,20 +1178,89 @@ impl Engine {
             }
             batch.sort_unstable();
 
+            // Phase B (threaded runs): hand the plan-capable due warps to the
+            // workers in SM-affine partitions (warp of SM s plans on worker
+            // s % workers) while the coordinator parks at the barrier. The
+            // commit walk below then finalises every step in canonical
+            // (sm, slot) order. A single capable warp gains nothing from a
+            // barrier round trip, so the window only opens for two or more.
+            let mut tasks: Vec<PlanTask> = Vec::new();
+            if driver.parallel_warps() && batch.len() >= 2 {
+                let mut prev: Option<(usize, usize)> = None;
+                for &(sm_idx, widx) in &batch {
+                    if prev == Some((sm_idx, widx)) {
+                        continue; // duplicate heap entry: one plan per warp
+                    }
+                    prev = Some((sm_idx, widx));
+                    let w = &mut self.sms[sm_idx].warps[widx];
+                    if w.done || !w.plan_capable {
+                        continue;
+                    }
+                    let ctx = WarpCtx {
+                        now,
+                        warp: w.id,
+                        lanes: self.gpu.warp_size,
+                        clock_ghz: self.gpu.clock_ghz,
+                    };
+                    tasks.push(PlanTask {
+                        sm: sm_idx,
+                        widx,
+                        state: w.state.as_mut() as *mut dyn WarpKernel,
+                        ctx,
+                        planned: false,
+                    });
+                }
+                if tasks.len() >= 2 {
+                    let t0 = time_phases.then(std::time::Instant::now);
+                    driver.plan_warps(&mut tasks, now);
+                    if let Some(t0) = t0 {
+                        self.m_phase_ns.1 += t0.elapsed().as_nanos() as u64;
+                    }
+                } else {
+                    tasks.clear();
+                }
+            }
+
+            // Commit walk: canonical (sm, slot) order. Serial-class steps
+            // (kernels that never plan, declined plans, duplicate wakes) mark
+            // the epoch dirty so every later planned commit re-validates its
+            // snapshot of shared state — snapshot, validate, retry.
             let mut progressed = false;
             let mut retired_blocks: Vec<(usize, usize)> = Vec::new(); // (sm, slot)
             let (mut steps, mut stale) = (0u64, 0u64);
+            let t0 = time_phases.then(std::time::Instant::now);
+            let mut epoch_clean = true;
+            let mut ti = 0usize;
             for (sm_idx, widx) in batch {
+                let planned = match tasks.get(ti) {
+                    Some(t) if t.sm == sm_idx && t.widx == widx => {
+                        ti += 1;
+                        Some(tasks[ti - 1].planned)
+                    }
+                    _ => None,
+                };
                 if self.sms[sm_idx].warps[widx].done {
                     stale += 1;
                     continue;
                 }
                 steps += 1;
-                let (wake, progress) = self.step_warp(sm_idx, widx, now, &mut retired_blocks);
+                let (wake, progress) = match planned {
+                    Some(true) => {
+                        self.m_partition_steps[sm_idx % workers] += 1;
+                        self.commit_warp(sm_idx, widx, now, &mut retired_blocks, epoch_clean)
+                    }
+                    _ => {
+                        epoch_clean = false;
+                        self.step_warp(sm_idx, widx, now, &mut retired_blocks)
+                    }
+                };
                 if let Some(at) = wake {
                     self.ready.push(Reverse((at.raw(), sm_idx, widx)));
                 }
                 progressed |= progress;
+            }
+            if let Some(t0) = t0 {
+                self.m_phase_ns.2 += t0.elapsed().as_nanos() as u64;
             }
             self.m_steps += steps;
             self.m_stale += stale;
@@ -1464,8 +1769,8 @@ mod tests {
         // Four independent shard devices with co-prime periods plus a warp
         // that completes only when every one is exhausted: the parallel
         // scheduler must produce the identical report (including `rounds`)
-        // for every thread count, and thread counts beyond the device count
-        // must clamp rather than misbehave.
+        // for every thread count; thread counts beyond the device count just
+        // leave the surplus workers with empty partitions.
         let run = |sched: EngineSched| {
             let flag = Arc::new(AtomicU64::new(0));
             let mut eng = Engine::new(GpuConfig::tiny(2));
@@ -1681,8 +1986,186 @@ mod tests {
             !snap.samples.iter().any(|s| {
                 s.name.starts_with("agile_engine_epoch_")
                     || s.name.starts_with("agile_engine_thread_")
+                    || s.name.starts_with("agile_engine_phase_")
+                    || s.name.starts_with("agile_engine_warp_partition_")
             }),
             "unthreaded runs must not create the parallel metric families"
+        );
+    }
+
+    #[test]
+    fn barrier_spin_limit_zero_is_bit_identical() {
+        // Spin limit 0 forces every barrier wait straight onto the
+        // `thread::yield_now` fallback — the path a 1-core box lives on,
+        // where spinning can never observe progress. The run must terminate
+        // and stay bit-identical to the sequential scheduler.
+        let run = |sched: EngineSched, limit: Option<u32>| {
+            let flag = Arc::new(AtomicU64::new(0));
+            let mut eng = Engine::new(GpuConfig::tiny(2));
+            eng.set_scheduler(sched);
+            if let Some(limit) = limit {
+                eng.set_barrier_spin_limit(limit);
+            }
+            for (start, period, fires) in [(100, 313, 40), (150, 401, 30), (60, 257, 50)] {
+                eng.add_shard_device(Box::new(Ticker::new(Arc::clone(&flag), start, period, fires)));
+            }
+            eng.launch(
+                LaunchConfig::new(2, 64).with_registers(16),
+                Box::new(WaitingAllKernel { flag, want: 3 }),
+            );
+            eng.run()
+        };
+        let base = run(EngineSched::EventQueue, None);
+        assert!(!base.deadlocked);
+        for limit in [0u32, 1, 4096] {
+            let par = run(EngineSched::ParallelShards(3), Some(limit));
+            assert_eq!(par.elapsed, base.elapsed, "spin limit {limit}");
+            assert_eq!(par.rounds, base.rounds, "spin limit {limit}");
+            assert_eq!(par.kernels[0].steps, base.kernels[0].steps);
+        }
+    }
+
+    /// A plan-capable kernel: the plan tallies itself into a commutative
+    /// counter, the commit observes the epoch-clean flag and then behaves
+    /// exactly like `step`.
+    struct PlannedKernel {
+        plans: Arc<AtomicU64>,
+        dirty_commits: Arc<AtomicU64>,
+        steps: u32,
+    }
+    struct PlannedWarp {
+        plans: Arc<AtomicU64>,
+        dirty_commits: Arc<AtomicU64>,
+        left: u32,
+    }
+    impl PlannedWarp {
+        fn advance(&mut self) -> WarpStep {
+            if self.left == 0 {
+                return WarpStep::Done;
+            }
+            self.left -= 1;
+            WarpStep::Busy(Cycles(100))
+        }
+    }
+    impl crate::kernel::WarpKernel for PlannedWarp {
+        fn step(&mut self, _ctx: &WarpCtx) -> WarpStep {
+            self.advance()
+        }
+        fn parallel_capable(&self) -> bool {
+            true
+        }
+        fn plan_step(&mut self, _ctx: &WarpCtx) -> bool {
+            self.plans.fetch_add(1, Ordering::Relaxed);
+            true
+        }
+        fn commit_step(&mut self, _ctx: &WarpCtx, epoch_clean: bool) -> WarpStep {
+            if !epoch_clean {
+                self.dirty_commits.fetch_add(1, Ordering::Relaxed);
+            }
+            self.advance()
+        }
+    }
+    impl KernelFactory for PlannedKernel {
+        fn create_warp(&self, _b: u32, _w: u32) -> Box<dyn crate::kernel::WarpKernel> {
+            Box::new(PlannedWarp {
+                plans: Arc::clone(&self.plans),
+                dirty_commits: Arc::clone(&self.dirty_commits),
+                left: self.steps,
+            })
+        }
+        fn name(&self) -> &str {
+            "planned"
+        }
+    }
+
+    #[test]
+    fn plan_capable_warps_are_planned_and_stay_bit_identical() {
+        // All-capable epochs: workers plan every due warp, the coordinator
+        // commits with `epoch_clean == true` throughout, and the report is
+        // bit-identical to the sequential scheduler.
+        let run = |sched: EngineSched| {
+            let plans = Arc::new(AtomicU64::new(0));
+            let dirty = Arc::new(AtomicU64::new(0));
+            let mut eng = Engine::new(GpuConfig::tiny(2));
+            eng.set_scheduler(sched);
+            eng.launch(
+                LaunchConfig::new(4, 32).with_registers(16),
+                Box::new(PlannedKernel {
+                    plans: Arc::clone(&plans),
+                    dirty_commits: Arc::clone(&dirty),
+                    steps: 20,
+                }),
+            );
+            let report = eng.run();
+            (
+                report,
+                plans.load(Ordering::Relaxed),
+                dirty.load(Ordering::Relaxed),
+            )
+        };
+        let (base, base_plans, _) = run(EngineSched::EventQueue);
+        assert!(!base.deadlocked);
+        assert_eq!(base_plans, 0, "sequential runs never call plan_step");
+        let (par, par_plans, par_dirty) = run(EngineSched::ParallelShards(2));
+        assert_eq!(par.elapsed, base.elapsed);
+        assert_eq!(par.rounds, base.rounds);
+        assert_eq!(par.kernels[0].steps, base.kernels[0].steps);
+        assert_eq!(par.kernels[0].busy_cycles, base.kernels[0].busy_cycles);
+        assert!(par_plans > 0, "threaded run must plan the capable warps");
+        assert_eq!(
+            par_dirty, 0,
+            "epochs of only plan-capable warps must commit clean"
+        );
+    }
+
+    #[test]
+    fn serial_warps_dirty_the_epoch_for_later_commits() {
+        // Mixed epochs: a serial (non-capable) kernel co-resident with the
+        // plan-capable one flips `epoch_clean` off for any capable commit
+        // after it in canonical order — and the run stays bit-identical.
+        let run = |sched: EngineSched| {
+            let plans = Arc::new(AtomicU64::new(0));
+            let dirty = Arc::new(AtomicU64::new(0));
+            let mut eng = Engine::new(GpuConfig::tiny(2));
+            eng.set_scheduler(sched);
+            // The serial kernel lands on SM 0 first; capable warps that
+            // share its batch and sort after it see a dirty epoch.
+            eng.launch(
+                LaunchConfig::new(1, 32).with_registers(16),
+                Box::new(ComputeOnlyKernel {
+                    cycles_per_warp: Cycles(2_000),
+                    steps: 20,
+                }),
+            );
+            eng.launch(
+                LaunchConfig::new(4, 32).with_registers(16),
+                Box::new(PlannedKernel {
+                    plans: Arc::clone(&plans),
+                    dirty_commits: Arc::clone(&dirty),
+                    steps: 20,
+                }),
+            );
+            let report = eng.run();
+            (
+                report,
+                plans.load(Ordering::Relaxed),
+                dirty.load(Ordering::Relaxed),
+            )
+        };
+        let (base, _, base_dirty) = run(EngineSched::EventQueue);
+        assert!(!base.deadlocked);
+        assert_eq!(base_dirty, 0);
+        let (par, par_plans, par_dirty) = run(EngineSched::ParallelShards(2));
+        assert_eq!(par.elapsed, base.elapsed);
+        assert_eq!(par.rounds, base.rounds);
+        for k in 0..2 {
+            assert_eq!(par.kernels[k].steps, base.kernels[k].steps);
+            assert_eq!(par.kernels[k].busy_cycles, base.kernels[k].busy_cycles);
+        }
+        assert!(par_plans > 0, "capable warps must still be planned");
+        assert!(
+            par_dirty > 0,
+            "serial steps in the batch must dirty the epoch for later commits"
         );
     }
 

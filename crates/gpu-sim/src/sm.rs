@@ -21,6 +21,9 @@ pub struct ResidentWarp {
     pub block_slot: usize,
     /// The warp's state machine.
     pub state: Box<dyn WarpKernel>,
+    /// Cached [`WarpKernel::parallel_capable`] answer, sampled at placement
+    /// so the epoch hot path never pays a virtual call for serial kernels.
+    pub plan_capable: bool,
     /// Next time the scheduler may step this warp.
     pub ready_at: Cycles,
     /// True once the warp returned [`crate::kernel::WarpStep::Done`].
@@ -201,6 +204,7 @@ mod tests {
                 kernel_idx: 0,
                 block_slot: slot,
                 state: Box::new(NopWarp),
+                plan_capable: false,
                 ready_at: Cycles::ZERO,
                 done: false,
                 busy: Cycles::ZERO,
@@ -229,6 +233,7 @@ mod tests {
                 kernel_idx: 0,
                 block_slot: slot,
                 state: Box::new(NopWarp),
+                plan_capable: false,
                 ready_at: Cycles::ZERO,
                 done: true,
                 busy: Cycles::ZERO,

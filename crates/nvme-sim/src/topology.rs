@@ -42,10 +42,16 @@ use agile_sim::Cycles;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
-/// A set of SSDs addressed by device index (no locking — the building block
-/// a [`StorageTopology`] wraps behind its lock(s)).
+/// A set of SSDs addressed by device index, each behind its **own** mutex —
+/// the building block both [`StorageTopology`] implementations are made of.
+///
+/// Per-device locking is what makes device-affine engine partitioning pay:
+/// two workers advancing different devices of the *same* lock shard never
+/// contend (the shard lock is a submission-cost *model*, see
+/// [`TopologyLock`]; it is not a concurrency primitive here). All methods
+/// take `&self` and lock only the devices they touch.
 pub struct DeviceSet {
-    devices: Vec<SsdDevice>,
+    devices: Vec<Mutex<SsdDevice>>,
 }
 
 impl DeviceSet {
@@ -54,10 +60,10 @@ impl DeviceSet {
     pub fn new(count: usize) -> Self {
         let devices = (0..count)
             .map(|i| {
-                SsdDevice::new(
+                Mutex::new(SsdDevice::new(
                     SsdConfig::new(i as u32),
                     Arc::new(MemBacking::new(i as u32)) as Arc<dyn PageBacking>,
-                )
+                ))
             })
             .collect();
         DeviceSet { devices }
@@ -67,7 +73,7 @@ impl DeviceSet {
     pub fn from_parts(parts: Vec<(SsdConfig, Arc<dyn PageBacking>)>) -> Self {
         let devices = parts
             .into_iter()
-            .map(|(cfg, backing)| SsdDevice::new(cfg, backing))
+            .map(|(cfg, backing)| Mutex::new(SsdDevice::new(cfg, backing)))
             .collect();
         DeviceSet { devices }
     }
@@ -82,31 +88,22 @@ impl DeviceSet {
         self.devices.is_empty()
     }
 
-    /// Access a device.
-    pub fn device(&self, idx: usize) -> &SsdDevice {
-        &self.devices[idx]
-    }
-
-    /// Mutable access to a device (registration, advancing).
-    pub fn device_mut(&mut self, idx: usize) -> &mut SsdDevice {
-        &mut self.devices[idx]
-    }
-
-    /// Iterate over devices.
-    pub fn iter(&self) -> impl Iterator<Item = &SsdDevice> {
-        self.devices.iter()
+    /// Lock and access a device (registration, advancing, stats).
+    pub fn device(&self, idx: usize) -> parking_lot::MutexGuard<'_, SsdDevice> {
+        self.devices[idx].lock()
     }
 
     /// Register `queues_per_device` queue pairs of `depth` entries on every
     /// device and return them grouped by device.
     pub fn register_queues(
-        &mut self,
+        &self,
         queues_per_device: usize,
         depth: u32,
     ) -> Vec<Vec<Arc<QueuePair>>> {
         self.devices
-            .iter_mut()
+            .iter()
             .map(|dev| {
+                let mut dev = dev.lock();
                 (0..queues_per_device)
                     .map(|q| {
                         let qp = QueuePair::new(q as QueueId, depth);
@@ -124,29 +121,69 @@ impl DeviceSet {
     pub fn set_trace_sink(&self, sink: &Arc<dyn TraceSink>) -> bool {
         let mut all_fresh = true;
         for dev in &self.devices {
-            all_fresh &= dev.set_trace_sink(Arc::clone(sink));
+            all_fresh &= dev.lock().set_trace_sink(Arc::clone(sink));
         }
         all_fresh
     }
 
-    /// Advance every device to `now`.
-    pub fn advance_to(&mut self, now: Cycles) {
-        for dev in &mut self.devices {
-            dev.advance_to(now);
+    /// Install a trace sink on one device's completion path only (the
+    /// threaded engine gives each device its own buffering sink). Returns
+    /// `false` if the device already had one.
+    pub fn set_device_trace_sink(&self, idx: usize, sink: &Arc<dyn TraceSink>) -> bool {
+        self.devices[idx].lock().set_trace_sink(Arc::clone(sink))
+    }
+
+    /// Advance every device to `now`, in device order.
+    pub fn advance_to(&self, now: Cycles) {
+        for dev in &self.devices {
+            dev.lock().advance_to(now);
         }
     }
 
+    /// Advance only device `idx` to `now`. Devices are mutually independent
+    /// between advancement boundaries, so callers may advance different
+    /// devices concurrently.
+    pub fn advance_device_to(&self, idx: usize, now: Cycles) {
+        self.devices[idx].lock().advance_to(now);
+    }
+
     /// Earliest pending event across all devices.
-    pub fn next_event_time(&mut self) -> Option<Cycles> {
+    pub fn next_event_time(&self) -> Option<Cycles> {
         self.devices
-            .iter_mut()
-            .filter_map(|d| d.next_event_time())
+            .iter()
+            .filter_map(|d| d.lock().next_event_time())
             .min()
+    }
+
+    /// Earliest pending event on device `idx`.
+    pub fn device_next_event_time(&self, idx: usize) -> Option<Cycles> {
+        self.devices[idx].lock().next_event_time()
     }
 
     /// True when every device is idle.
     pub fn quiescent(&self) -> bool {
-        self.devices.iter().all(|d| d.quiescent())
+        self.devices.iter().all(|d| d.lock().quiescent())
+    }
+
+    /// True when device `idx` is idle.
+    pub fn device_quiescent(&self, idx: usize) -> bool {
+        self.devices[idx].lock().quiescent()
+    }
+
+    /// Round-robin device partitioning for `workers` engine workers:
+    /// position `i` of `order` lands in partition `i % workers` — the
+    /// device-affine buckets the threaded engine pins to its worker threads
+    /// (`order` is normally [`StorageTopology::device_advance_order`]).
+    /// Partitions scale with fleet size, not lock-shard count: a one-shard
+    /// topology still spreads its devices across every worker.
+    pub fn partition_devices(&self, workers: usize, order: &[usize]) -> Vec<Vec<usize>> {
+        let workers = workers.max(1);
+        let mut parts: Vec<Vec<usize>> = (0..workers).map(|_| Vec::new()).collect();
+        for (i, &dev) in order.iter().enumerate() {
+            debug_assert!(dev < self.devices.len());
+            parts[i % workers].push(dev);
+        }
+        parts
     }
 
     /// Interleaved placement used by the scaling experiments: request `i`
@@ -161,12 +198,18 @@ impl DeviceSet {
 
     /// Sum of bytes read across devices.
     pub fn total_bytes_read(&self) -> u64 {
-        self.devices.iter().map(|d| d.stats().bytes_read).sum()
+        self.devices
+            .iter()
+            .map(|d| d.lock().stats().bytes_read)
+            .sum()
     }
 
     /// Sum of bytes written across devices.
     pub fn total_bytes_written(&self) -> u64 {
-        self.devices.iter().map(|d| d.stats().bytes_written).sum()
+        self.devices
+            .iter()
+            .map(|d| d.lock().stats().bytes_written)
+            .sum()
     }
 
     /// Smallest namespace capacity across devices (0 for an empty set) —
@@ -174,7 +217,7 @@ impl DeviceSet {
     pub fn min_namespace_pages(&self) -> u64 {
         self.devices
             .iter()
-            .map(|d| d.config().namespace_pages)
+            .map(|d| d.lock().config().namespace_pages)
             .min()
             .unwrap_or(0)
     }
@@ -378,9 +421,60 @@ pub trait StorageTopology: Send + Sync {
     fn shard_quiescent(&self, shard: usize) -> bool;
 
     /// Install a trace sink on shard `shard`'s device completion paths only
-    /// (the threaded engine gives each shard its own buffering sink).
-    /// Returns `false` if any of the shard's devices already had one.
+    /// (per-shard buffering sinks predate the per-device seams below and are
+    /// kept for compatibility). Returns `false` if any of the shard's
+    /// devices already had one.
     fn set_shard_trace_sink(&self, shard: usize, sink: &Arc<dyn TraceSink>) -> bool;
+
+    /// Advance only global device `dev` to `now`. Devices are mutually
+    /// independent between advancement boundaries, so the engine may call
+    /// this concurrently for different devices; calling it for
+    /// [`Self::device_advance_order`] in order is exactly
+    /// [`Self::advance_to`]. The default delegates to the owning shard —
+    /// behaviourally correct (advancing a shard twice to one `now` is
+    /// idempotent) but serialising; both in-repo topologies override with
+    /// true per-device seams.
+    fn advance_device_to(&self, dev: usize, now: Cycles) {
+        self.advance_shard_to(self.shard_of(dev), now);
+    }
+
+    /// Earliest pending event on global device `dev` (default: the owning
+    /// shard's — conservative but correct for horizon computation).
+    fn device_next_event_time(&self, dev: usize) -> Option<Cycles> {
+        self.shard_next_event_time(self.shard_of(dev))
+    }
+
+    /// True when global device `dev` is idle (default: the owning shard).
+    fn device_quiescent(&self, dev: usize) -> bool {
+        self.shard_quiescent(self.shard_of(dev))
+    }
+
+    /// Install a trace sink on one device's completion path only (the
+    /// threaded engine gives each device its own buffering sink). Returns
+    /// `false` if the device already had one. The default falls back to the
+    /// owning shard and is only correct for one-device-per-shard topologies;
+    /// both in-repo topologies override.
+    fn set_device_trace_sink(&self, dev: usize, sink: &Arc<dyn TraceSink>) -> bool {
+        self.set_shard_trace_sink(self.shard_of(dev), sink)
+    }
+
+    /// Global device indices in sequential advance order: shard 0's devices
+    /// in increasing global order, then shard 1's, … — exactly the order
+    /// [`Self::advance_to`] visits devices. Per-device engine bridges
+    /// registered in this order reproduce the sequential event stream byte
+    /// for byte, which is what keeps the golden traces green at any worker
+    /// count.
+    fn device_advance_order(&self) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.device_count());
+        for s in 0..self.shard_count() {
+            for d in 0..self.device_count() {
+                if self.shard_of(d) == s {
+                    order.push(d);
+                }
+            }
+        }
+        order
+    }
 
     /// Sum of bytes read across devices.
     fn total_bytes_read(&self) -> u64;
@@ -432,12 +526,15 @@ pub trait StorageTopology: Send + Sync {
 // FlatArray
 // ---------------------------------------------------------------------------
 
-/// Every device behind one lock — the original `SsdArray` behaviour.
+/// Every device behind one *modeled* lock — the original `SsdArray`
+/// behaviour. The devices themselves sit behind per-device mutexes (see
+/// [`DeviceSet`]), so even a one-shard array fans out across the threaded
+/// engine's workers.
 pub struct FlatArray {
-    set: Mutex<DeviceSet>,
+    set: DeviceSet,
     lock: TopologyLock,
     /// Cached: the device count is fixed at construction, and `map_page`
-    /// sits on the per-op replay hot path — no reason to take the lock.
+    /// sits on the per-op replay hot path.
     devices: usize,
     global_pages: u64,
     placement: Placement,
@@ -459,16 +556,16 @@ impl FlatArray {
         let global_pages = set.len() as u64 * set.min_namespace_pages();
         FlatArray {
             devices: set.len(),
-            set: Mutex::new(set),
+            set,
             lock: TopologyLock::new(1, DEFAULT_LOCK_HOLD_CYCLES),
             global_pages,
             placement: Placement::default(),
         }
     }
 
-    /// Run `f` with the underlying device set locked (tests, direct access).
-    pub fn with_set<R>(&self, f: impl FnOnce(&mut DeviceSet) -> R) -> R {
-        f(&mut self.set.lock())
+    /// Run `f` with the underlying device set (tests, direct access).
+    pub fn with_set<R>(&self, f: impl FnOnce(&DeviceSet) -> R) -> R {
+        f(&self.set)
     }
 
     /// Override the modeled lock-hold cycles (cost-model studies).
@@ -496,47 +593,59 @@ impl StorageTopology for FlatArray {
         0
     }
     fn register_queues(&self, per_device: usize, depth: u32) -> Vec<Vec<Arc<QueuePair>>> {
-        self.set.lock().register_queues(per_device, depth)
+        self.set.register_queues(per_device, depth)
     }
     fn backing(&self, dev: usize) -> Arc<dyn PageBacking> {
-        Arc::clone(self.set.lock().device(dev).backing())
+        Arc::clone(self.set.device(dev).backing())
     }
     fn set_trace_sink(&self, sink: &Arc<dyn TraceSink>) -> bool {
-        self.set.lock().set_trace_sink(sink)
+        self.set.set_trace_sink(sink)
     }
     fn advance_to(&self, now: Cycles) {
-        self.set.lock().advance_to(now);
+        self.set.advance_to(now);
     }
     fn next_event_time(&self) -> Option<Cycles> {
-        self.set.lock().next_event_time()
+        self.set.next_event_time()
     }
     fn quiescent(&self) -> bool {
-        self.set.lock().quiescent()
+        self.set.quiescent()
     }
     fn advance_shard_to(&self, shard: usize, now: Cycles) {
         debug_assert_eq!(shard, 0, "FlatArray has exactly one shard");
-        self.set.lock().advance_to(now);
+        self.set.advance_to(now);
     }
     fn shard_next_event_time(&self, shard: usize) -> Option<Cycles> {
         debug_assert_eq!(shard, 0, "FlatArray has exactly one shard");
-        self.set.lock().next_event_time()
+        self.set.next_event_time()
     }
     fn shard_quiescent(&self, shard: usize) -> bool {
         debug_assert_eq!(shard, 0, "FlatArray has exactly one shard");
-        self.set.lock().quiescent()
+        self.set.quiescent()
     }
     fn set_shard_trace_sink(&self, shard: usize, sink: &Arc<dyn TraceSink>) -> bool {
         debug_assert_eq!(shard, 0, "FlatArray has exactly one shard");
-        self.set.lock().set_trace_sink(sink)
+        self.set.set_trace_sink(sink)
+    }
+    fn advance_device_to(&self, dev: usize, now: Cycles) {
+        self.set.advance_device_to(dev, now);
+    }
+    fn device_next_event_time(&self, dev: usize) -> Option<Cycles> {
+        self.set.device_next_event_time(dev)
+    }
+    fn device_quiescent(&self, dev: usize) -> bool {
+        self.set.device_quiescent(dev)
+    }
+    fn set_device_trace_sink(&self, dev: usize, sink: &Arc<dyn TraceSink>) -> bool {
+        self.set.set_device_trace_sink(dev, sink)
     }
     fn total_bytes_read(&self) -> u64 {
-        self.set.lock().total_bytes_read()
+        self.set.total_bytes_read()
     }
     fn total_bytes_written(&self) -> u64 {
-        self.set.lock().total_bytes_written()
+        self.set.total_bytes_written()
     }
     fn device_stats(&self, dev: usize) -> DeviceStats {
-        self.set.lock().device(dev).stats().clone()
+        self.set.device(dev).stats().clone()
     }
     fn global_pages(&self) -> u64 {
         self.global_pages
@@ -559,7 +668,7 @@ impl StorageTopology for FlatArray {
         self.lock.acquires_by_shard()
     }
     fn device_inflight(&self, dev: usize) -> u64 {
-        self.set.lock().device(dev).inflight()
+        self.set.device(dev).inflight()
     }
 }
 
@@ -567,17 +676,20 @@ impl StorageTopology for FlatArray {
 // ShardedArray
 // ---------------------------------------------------------------------------
 
-/// Devices partitioned into N shards, each with its own device set and lock.
+/// Devices partitioned into N lock shards over one per-device-locked
+/// [`DeviceSet`].
 ///
 /// Device `d` belongs to shard `d % shards`; the striped data layout is
 /// identical to [`FlatArray`] at equal device count, so any benchmark delta
 /// between the two is attributable to the lock partitioning alone. With
-/// `shards == 1` this *is* the flat array, bit for bit.
+/// `shards == 1` this *is* the flat array, bit for bit. Shard membership is
+/// pure arithmetic — the devices live in one global-order [`DeviceSet`], and
+/// shard-level advancement visits them in **shard-major** order (shard 0's
+/// devices in increasing global order, then shard 1's, …), which is the
+/// historical — and golden-gated — sequential event order.
 pub struct ShardedArray {
-    /// One locked device set per shard.
-    shards: Vec<Mutex<DeviceSet>>,
-    /// Global device index → (shard, index within the shard's set).
-    slots: Vec<(usize, usize)>,
+    set: DeviceSet,
+    shard_count: usize,
     lock: TopologyLock,
     global_pages: u64,
     placement: Placement,
@@ -601,26 +713,11 @@ impl ShardedArray {
     /// device `d` → shard `d % shards`.
     pub fn from_parts(parts: Vec<(SsdConfig, Arc<dyn PageBacking>)>, shards: usize) -> Self {
         assert!(shards >= 1, "a sharded array needs at least one shard");
-        let device_count = parts.len();
-        let mut per_shard: Vec<Vec<(SsdConfig, Arc<dyn PageBacking>)>> =
-            (0..shards).map(|_| Vec::new()).collect();
-        let mut slots = Vec::with_capacity(device_count);
-        for (d, part) in parts.into_iter().enumerate() {
-            let shard = d % shards;
-            slots.push((shard, per_shard[shard].len()));
-            per_shard[shard].push(part);
-        }
-        let sets: Vec<DeviceSet> = per_shard.into_iter().map(DeviceSet::from_parts).collect();
-        let min_pages = sets
-            .iter()
-            .map(|s| s.min_namespace_pages())
-            .filter(|&p| p > 0)
-            .min()
-            .unwrap_or(0);
+        let set = DeviceSet::from_parts(parts);
         ShardedArray {
-            global_pages: device_count as u64 * min_pages,
-            shards: sets.into_iter().map(Mutex::new).collect(),
-            slots,
+            global_pages: set.len() as u64 * set.min_namespace_pages(),
+            set,
+            shard_count: shards,
             lock: TopologyLock::new(shards, DEFAULT_LOCK_HOLD_CYCLES),
             placement: Placement::default(),
         }
@@ -628,7 +725,7 @@ impl ShardedArray {
 
     /// Override the modeled lock-hold cycles (cost-model studies).
     pub fn with_lock_hold(mut self, hold: u64) -> Self {
-        self.lock = TopologyLock::new(self.shards.len(), hold);
+        self.lock = TopologyLock::new(self.shard_count, hold);
         self
     }
 
@@ -639,94 +736,95 @@ impl ShardedArray {
         self
     }
 
-    fn locate(&self, dev: usize) -> (usize, usize) {
-        self.slots[dev]
+    /// Global device indices of `shard`, in increasing global order (the
+    /// shard's historical slot order).
+    fn shard_members(&self, shard: usize) -> impl Iterator<Item = usize> + '_ {
+        (shard..self.set.len()).step_by(self.shard_count)
     }
 }
 
 impl StorageTopology for ShardedArray {
     fn device_count(&self) -> usize {
-        self.slots.len()
+        self.set.len()
     }
     fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.shard_count
     }
     fn shard_of(&self, dev: usize) -> usize {
-        self.locate(dev).0
+        dev % self.shard_count
     }
     fn register_queues(&self, per_device: usize, depth: u32) -> Vec<Vec<Arc<QueuePair>>> {
-        // Register shard by shard, then reorder to global device order.
-        let mut by_global: Vec<Vec<Arc<QueuePair>>> = vec![Vec::new(); self.slots.len()];
-        for (global, &(shard, slot)) in self.slots.iter().enumerate() {
-            let mut set = self.shards[shard].lock();
-            by_global[global] = (0..per_device)
-                .map(|q| {
-                    let qp = QueuePair::new(q as QueueId, depth);
-                    set.device_mut(slot).register_queue_pair(Arc::clone(&qp));
-                    qp
-                })
-                .collect();
-        }
-        by_global
+        self.set.register_queues(per_device, depth)
     }
     fn backing(&self, dev: usize) -> Arc<dyn PageBacking> {
-        let (shard, slot) = self.locate(dev);
-        Arc::clone(self.shards[shard].lock().device(slot).backing())
+        Arc::clone(self.set.device(dev).backing())
     }
     fn set_trace_sink(&self, sink: &Arc<dyn TraceSink>) -> bool {
         let mut all_fresh = true;
-        for shard in &self.shards {
-            all_fresh &= shard.lock().set_trace_sink(sink);
+        for shard in 0..self.shard_count {
+            all_fresh &= self.set_shard_trace_sink(shard, sink);
         }
         all_fresh
     }
     fn advance_to(&self, now: Cycles) {
-        for shard in &self.shards {
-            shard.lock().advance_to(now);
+        // Shard-major, matching the trait contract and the golden traces.
+        for shard in 0..self.shard_count {
+            self.advance_shard_to(shard, now);
         }
     }
     fn next_event_time(&self) -> Option<Cycles> {
-        self.shards
-            .iter()
-            .filter_map(|s| s.lock().next_event_time())
-            .min()
+        self.set.next_event_time()
     }
     fn quiescent(&self) -> bool {
-        self.shards.iter().all(|s| s.lock().quiescent())
+        self.set.quiescent()
     }
     fn advance_shard_to(&self, shard: usize, now: Cycles) {
-        self.shards[shard].lock().advance_to(now);
+        for dev in self.shard_members(shard) {
+            self.set.advance_device_to(dev, now);
+        }
     }
     fn shard_next_event_time(&self, shard: usize) -> Option<Cycles> {
-        self.shards[shard].lock().next_event_time()
+        self.shard_members(shard)
+            .filter_map(|dev| self.set.device_next_event_time(dev))
+            .min()
     }
     fn shard_quiescent(&self, shard: usize) -> bool {
-        self.shards[shard].lock().quiescent()
+        self.shard_members(shard)
+            .all(|dev| self.set.device_quiescent(dev))
     }
     fn set_shard_trace_sink(&self, shard: usize, sink: &Arc<dyn TraceSink>) -> bool {
-        self.shards[shard].lock().set_trace_sink(sink)
+        let mut all_fresh = true;
+        for dev in self.shard_members(shard) {
+            all_fresh &= self.set.set_device_trace_sink(dev, sink);
+        }
+        all_fresh
+    }
+    fn advance_device_to(&self, dev: usize, now: Cycles) {
+        self.set.advance_device_to(dev, now);
+    }
+    fn device_next_event_time(&self, dev: usize) -> Option<Cycles> {
+        self.set.device_next_event_time(dev)
+    }
+    fn device_quiescent(&self, dev: usize) -> bool {
+        self.set.device_quiescent(dev)
+    }
+    fn set_device_trace_sink(&self, dev: usize, sink: &Arc<dyn TraceSink>) -> bool {
+        self.set.set_device_trace_sink(dev, sink)
     }
     fn total_bytes_read(&self) -> u64 {
-        self.shards
-            .iter()
-            .map(|s| s.lock().total_bytes_read())
-            .sum()
+        self.set.total_bytes_read()
     }
     fn total_bytes_written(&self) -> u64 {
-        self.shards
-            .iter()
-            .map(|s| s.lock().total_bytes_written())
-            .sum()
+        self.set.total_bytes_written()
     }
     fn device_stats(&self, dev: usize) -> DeviceStats {
-        let (shard, slot) = self.locate(dev);
-        self.shards[shard].lock().device(slot).stats().clone()
+        self.set.device(dev).stats().clone()
     }
     fn global_pages(&self) -> u64 {
         self.global_pages
     }
     fn map_page(&self, global: u64) -> PageLocation {
-        let (device, page) = stripe(global, self.slots.len() as u64, self.placement);
+        let (device, page) = stripe(global, self.set.len() as u64, self.placement);
         PageLocation {
             shard: self.shard_of(device as usize) as u32,
             device,
@@ -743,18 +841,18 @@ impl StorageTopology for ShardedArray {
         self.lock.acquires_by_shard()
     }
     fn device_inflight(&self, dev: usize) -> u64 {
-        let (shard, slot) = self.locate(dev);
-        self.shards[shard].lock().device(slot).inflight()
+        self.set.device(dev).inflight()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec::{DmaHandle, NvmeCommand};
 
     #[test]
     fn construction_and_registration() {
-        let mut arr = DeviceSet::new(3);
+        let arr = DeviceSet::new(3);
         assert_eq!(arr.len(), 3);
         assert!(!arr.is_empty());
         let qps = arr.register_queues(4, 64);
@@ -875,5 +973,59 @@ mod tests {
                 sharded.lock_acquire(dev, warp, Cycles(warp * 7)),
             );
         }
+    }
+
+    #[test]
+    fn device_advance_order_is_shard_major() {
+        // Shard-major order: shard 0's devices in global order, then shard 1's.
+        let sharded = ShardedArray::new(5, 2);
+        assert_eq!(sharded.device_advance_order(), vec![0, 2, 4, 1, 3]);
+        // One shard (or a flat array) degenerates to global order.
+        assert_eq!(ShardedArray::new(4, 1).device_advance_order(), vec![0, 1, 2, 3]);
+        assert_eq!(FlatArray::new(3).device_advance_order(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn partition_devices_round_robins_order_positions() {
+        let set = DeviceSet::new(5);
+        // Order positions (not device ids) are dealt round-robin, so each
+        // worker gets a contiguous-in-time slice of the advance schedule.
+        let order = vec![0, 2, 4, 1, 3];
+        assert_eq!(
+            set.partition_devices(2, &order),
+            vec![vec![0, 4, 3], vec![2, 1]]
+        );
+        // More workers than devices leaves the tail buckets empty.
+        let parts = set.partition_devices(8, &order);
+        assert_eq!(parts.len(), 8);
+        assert_eq!(parts.iter().filter(|p| p.is_empty()).count(), 3);
+        // A single worker owns everything, in advance order.
+        assert_eq!(set.partition_devices(1, &order), vec![order.clone()]);
+    }
+
+    #[test]
+    fn per_device_advancement_matches_whole_set_advancement() {
+        // Advancing devices one by one through the per-device seam must leave
+        // the topology in the same externally visible state as advance_to.
+        let run = |per_device: bool| -> (u64, u64, Vec<u64>) {
+            let topo = ShardedArray::new(3, 2);
+            let queues = topo.register_queues(1, 16);
+            for (dev, qs) in queues.iter().enumerate() {
+                let lba = dev as u64 * 3;
+                assert!(qs[0].sq.write_slot(0, NvmeCommand::read(1, lba, DmaHandle::new())));
+                qs[0].sq_doorbell.ring(1, Cycles(0));
+            }
+            if per_device {
+                for dev in topo.device_advance_order() {
+                    topo.advance_device_to(dev, Cycles(4_000_000));
+                }
+            } else {
+                topo.advance_to(Cycles(4_000_000));
+            }
+            let stats: Vec<u64> = (0..3).map(|d| topo.device_stats(d).reads_completed).collect();
+            (topo.total_bytes_read(), topo.total_bytes_written(), stats)
+        };
+        assert_eq!(run(true), run(false));
+        assert!(run(true).0 > 0, "reads must actually complete");
     }
 }

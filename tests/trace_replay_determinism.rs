@@ -164,8 +164,10 @@ mod engine_scheduler_equivalence {
     use proptest::prelude::*;
 
     /// Metric samples of a run minus the parallel-only engine families
-    /// (`agile_engine_epoch_*` / `agile_engine_thread_*`), which by design
-    /// exist only on threaded runs. Everything else — replay counters,
+    /// (`agile_engine_epoch_*` / `agile_engine_thread_*` /
+    /// `agile_engine_phase_*` / `agile_engine_warp_partition_*`), which by
+    /// design exist only on threaded runs (and the phase timers measure host
+    /// wall-clock, never deterministic). Everything else — replay counters,
     /// cache/topology telemetry, controller gauges — must match sample for
     /// sample, value for value. With `engine_internals` false the remaining
     /// `agile_engine_*` scheduler introspection (rounds, ready-queue high
@@ -183,15 +185,17 @@ mod engine_scheduler_equivalence {
             .filter(|s| {
                 !s.name.starts_with("agile_engine_epoch_")
                     && !s.name.starts_with("agile_engine_thread_")
+                    && !s.name.starts_with("agile_engine_phase_")
+                    && !s.name.starts_with("agile_engine_warp_partition_")
                     && (engine_internals || !s.name.starts_with("agile_engine_"))
             })
             .cloned()
             .collect()
     }
 
-    fn instrumented_config(sched: EngineSched) -> ReplayConfig {
+    fn instrumented_config(sched: EngineSched, shards: usize) -> ReplayConfig {
         ReplayConfig::quick()
-            .sharded(4)
+            .sharded(shards)
             .tenant_partitioned()
             .with_engine_sched(sched)
             .with_metrics()
@@ -211,53 +215,63 @@ mod engine_scheduler_equivalence {
             let trace = TraceSpec::multi_tenant(
                 "engine-equiv", seed, devices, 1 << 14, ops,
             ).generate();
-            let baseline = run_trace_replay(
-                &trace,
-                ReplaySystem::Agile,
-                &instrumented_config(EngineSched::EventQueue),
-            );
-            prop_assert!(!baseline.deadlocked);
-            let base_summary = baseline.summary();
-            let base_decisions = baseline
-                .control
-                .as_ref()
-                .map(|c| (c.windows_seen, c.decisions.clone()));
-
-            // FullScan is behaviourally identical but its scheduler
-            // introspection (rounds, ready-queue high water) legitimately
-            // differs; ParallelShards must match EventQueue on everything.
-            let mut variants = vec![(
-                "FullScan".to_string(),
-                instrumented_config(EngineSched::FullScan),
-                false,
-            )];
-            for n in [1usize, 2, 4] {
-                variants.push((
-                    format!("ParallelShards({n})"),
-                    instrumented_config(EngineSched::ParallelShards(n)),
-                    true,
-                ));
-            }
-            for (name, cfg, engine_internals) in variants {
-                let run = run_trace_replay(&trace, ReplaySystem::Agile, &cfg);
-                prop_assert!(!run.deadlocked, "{name} deadlocked");
-                prop_assert_eq!(
-                    run.summary(), base_summary.clone(),
-                    "{} summary must be byte-identical to EventQueue", &name
+            // shards=4 exercises the multi-shard fleet; shards=1 is the
+            // previously idle-worker configuration, where device-affine
+            // partitioning now spreads the single lock shard's devices
+            // (and parallel warp planning) across every worker.
+            for shards in [4usize, 1] {
+                let baseline = run_trace_replay(
+                    &trace,
+                    ReplaySystem::Agile,
+                    &instrumented_config(EngineSched::EventQueue, shards),
                 );
-                prop_assert_eq!(
-                    comparable_samples(&run, engine_internals),
-                    comparable_samples(&baseline, engine_internals),
-                    "{} metrics snapshot must be bit-identical", &name
-                );
-                let decisions = run
+                prop_assert!(!baseline.deadlocked);
+                let base_summary = baseline.summary();
+                let base_decisions = baseline
                     .control
                     .as_ref()
                     .map(|c| (c.windows_seen, c.decisions.clone()));
-                prop_assert_eq!(
-                    decisions, base_decisions.clone(),
-                    "{} controller decision log must be identical", &name
-                );
+
+                // FullScan is behaviourally identical but its scheduler
+                // introspection (rounds, ready-queue high water)
+                // legitimately differs; ParallelShards must match
+                // EventQueue on everything.
+                let mut variants = vec![(
+                    "FullScan".to_string(),
+                    instrumented_config(EngineSched::FullScan, shards),
+                    false,
+                )];
+                for n in [1usize, 2, 4] {
+                    variants.push((
+                        format!("ParallelShards({n})"),
+                        instrumented_config(EngineSched::ParallelShards(n), shards),
+                        true,
+                    ));
+                }
+                for (name, cfg, engine_internals) in variants {
+                    let run = run_trace_replay(&trace, ReplaySystem::Agile, &cfg);
+                    prop_assert!(!run.deadlocked, "{name} deadlocked (shards={shards})");
+                    prop_assert_eq!(
+                        run.summary(), base_summary.clone(),
+                        "{} summary must be byte-identical to EventQueue (shards={})",
+                        &name, shards
+                    );
+                    prop_assert_eq!(
+                        comparable_samples(&run, engine_internals),
+                        comparable_samples(&baseline, engine_internals),
+                        "{} metrics snapshot must be bit-identical (shards={})",
+                        &name, shards
+                    );
+                    let decisions = run
+                        .control
+                        .as_ref()
+                        .map(|c| (c.windows_seen, c.decisions.clone()));
+                    prop_assert_eq!(
+                        decisions, base_decisions.clone(),
+                        "{} controller decision log must be identical (shards={})",
+                        &name, shards
+                    );
+                }
             }
         }
     }
